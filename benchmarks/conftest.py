@@ -1,0 +1,63 @@
+"""Shared benchmark workloads.
+
+Every figure benchmark draws from the same session-scoped artefacts so
+the expensive simulations run once.  Each benchmark writes its
+paper-vs-measured table to ``benchmarks/output/<id>.txt`` (and prints it,
+visible with ``pytest -s``).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import sentiment_timeline, track_speeds
+from repro.netsim.link import LinkProfile
+from repro.social import CorpusConfig, CorpusGenerator
+from repro.telemetry import CallDatasetGenerator, GeneratorConfig
+
+BENCH_SEED = 20231128
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+SWEEP_BASE = LinkProfile(
+    base_latency_ms=20, loss_rate=0.001, jitter_ms=2.0, bandwidth_mbps=3.5
+)
+
+
+def emit(name: str, text: str) -> None:
+    """Print a reproduction table and persist it under benchmarks/output."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}")
+
+
+@pytest.fixture(scope="session")
+def observational_dataset():
+    """Cohort-style call dataset with oversampled ratings (Figs. 1, 2, 4)."""
+    config = GeneratorConfig(
+        n_calls=2500, seed=BENCH_SEED, mos_sample_rate=0.2, decorrelate=0.65
+    )
+    return CallDatasetGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def sweep_generator():
+    return CallDatasetGenerator(GeneratorConfig(n_calls=0, seed=BENCH_SEED))
+
+
+@pytest.fixture(scope="session")
+def bench_corpus():
+    """The full two-year r/Starlink corpus (Figs. 5–7, S1, S2)."""
+    return CorpusGenerator(CorpusConfig(seed=BENCH_SEED)).generate()
+
+
+@pytest.fixture(scope="session")
+def bench_timeline(bench_corpus):
+    return sentiment_timeline(bench_corpus)
+
+
+@pytest.fixture(scope="session")
+def bench_track(bench_corpus):
+    return track_speeds(bench_corpus)

@@ -1,0 +1,216 @@
+"""F1 — Fig. 1: user engagement vs the four network metrics.
+
+Paper shapes being reproduced:
+
+* latency 0→300 ms: Presence and Cam On fall ~20 %, Mic On falls >25 %
+  with a steeper slope below 150 ms;
+* loss 0→2 %: all three metrics fall <10 % (mitigation absorbs it), but
+  3 %+ loss raises the drop-off chance by >10 points;
+* jitter: Cam On falls >15 % by 10 ms, Mic On barely moves;
+* bandwidth: everything within 5 % of best at 1 Mbps; Mic On flat.
+
+The ablation re-runs the loss sweep with the mitigation stack disabled:
+the loss panel steepens, demonstrating the paper's explanation for the
+weak loss effect.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SWEEP_BASE, emit
+from benchmarks.util import timed
+from repro.engagement import CohortFilter, fig1_curves
+from repro.io.tables import format_table
+from repro.telemetry import CallDatasetGenerator, GeneratorConfig
+from repro.telemetry.generator import sweep_value_of
+
+LATENCY_VALUES = [10.0, 75.0, 150.0, 225.0, 300.0]
+LOSS_VALUES = [0.0005, 0.005, 0.01, 0.02, 0.035]
+JITTER_VALUES = [1.0, 4.0, 7.0, 10.0, 14.0]
+BANDWIDTH_VALUES = [0.5, 1.0, 2.0, 3.0, 4.0]
+
+
+def _sweep_pool(generator, metric, values, calls_per_value=120):
+    ds = generator.generate_sweep(
+        SWEEP_BASE, metric, values, calls_per_value=calls_per_value
+    )
+    return [(c.participants[0], sweep_value_of(c)) for c in ds]
+
+
+def _means(pool, value, metric):
+    return float(np.mean([getattr(p, metric) for p, v in pool if v == value]))
+
+
+def _panel_rows(pool, label):
+    by_value = {}
+    for p, v in pool:
+        by_value.setdefault(v, []).append(p)
+    return [
+        [
+            f"{label}={v:g}",
+            float(np.mean([p.presence_pct for p in by_value[v]])),
+            float(np.mean([p.cam_on_pct for p in by_value[v]])),
+            float(np.mean([p.mic_on_pct for p in by_value[v]])),
+            float(100 * np.mean([p.dropped_early for p in by_value[v]])),
+        ]
+        for v in sorted(by_value)
+    ]
+
+
+@pytest.fixture(scope="module")
+def panels(sweep_generator):
+    return {
+        "latency": _sweep_pool(sweep_generator, "latency", LATENCY_VALUES),
+        "loss": _sweep_pool(sweep_generator, "loss", LOSS_VALUES),
+        "jitter": _sweep_pool(sweep_generator, "jitter", JITTER_VALUES),
+        "bandwidth": _sweep_pool(sweep_generator, "bandwidth", BANDWIDTH_VALUES),
+    }
+
+
+class TestFig1:
+    def test_bench_fig1_panels(self, benchmark, panels):
+        rows = timed(benchmark, lambda: {
+            name: _panel_rows(pool, name) for name, pool in panels.items()
+        })
+        tables = [
+            format_table(
+                [name, "presence%", "cam_on%", "mic_on%", "drop%"],
+                rows[name],
+                title=f"Fig. 1 ({name} panel) — mean engagement per session bin",
+            )
+            for name in ("latency", "loss", "jitter", "bandwidth")
+        ]
+        emit("fig1_engagement", "\n\n".join(tables))
+
+    # --- latency panel shapes -------------------------------------------
+
+    def test_latency_mic_drop_over_25pct(self, benchmark, panels):
+        pool = panels["latency"]
+        best, worst = timed(benchmark, lambda: (
+            _means(pool, 10.0, "mic_on_pct"), _means(pool, 300.0, "mic_on_pct")
+        ))
+        assert (best - worst) / best > 0.20
+
+    def test_latency_presence_and_cam_drop_around_20pct(self, benchmark, panels):
+        pool = panels["latency"]
+        drops = timed(benchmark, lambda: {
+            metric: (_means(pool, 10.0, metric) - _means(pool, 300.0, metric))
+            / _means(pool, 10.0, metric)
+            for metric in ("presence_pct", "cam_on_pct")
+        })
+        for metric, drop in drops.items():
+            assert 0.08 < drop < 0.45, f"{metric} drop {drop:.2f}"
+
+    def test_latency_mic_steeper_before_150(self, benchmark, panels):
+        pool = panels["latency"]
+        early, late = timed(benchmark, lambda: (
+            _means(pool, 10.0, "mic_on_pct") - _means(pool, 150.0, "mic_on_pct"),
+            _means(pool, 150.0, "mic_on_pct") - _means(pool, 300.0, "mic_on_pct"),
+        ))
+        assert early > late > -1.0
+
+    # --- loss panel shapes ----------------------------------------------
+
+    def test_loss_under_2pct_costs_under_10pct(self, benchmark, panels):
+        pool = panels["loss"]
+        drops = timed(benchmark, lambda: {
+            metric: (_means(pool, 0.0005, metric) - _means(pool, 0.02, metric))
+            / _means(pool, 0.0005, metric)
+            for metric in ("presence_pct", "cam_on_pct", "mic_on_pct")
+        })
+        for metric, drop in drops.items():
+            assert drop < 0.12, f"{metric} lost {drop:.2%} at 2% loss"
+
+    def test_loss_over_3pct_raises_dropoff_10_points(self, benchmark, panels):
+        pool = panels["loss"]
+        clean, heavy = timed(benchmark, lambda: (
+            _means(pool, 0.0005, "dropped_early") * 100,
+            _means(pool, 0.035, "dropped_early") * 100,
+        ))
+        assert heavy - clean > 10.0
+
+    # --- jitter panel shapes --------------------------------------------
+
+    def test_jitter_10ms_cuts_cam_over_15pct(self, benchmark, panels):
+        pool = panels["jitter"]
+        best, at_10 = timed(benchmark, lambda: (
+            _means(pool, 1.0, "cam_on_pct"), _means(pool, 10.0, "cam_on_pct")
+        ))
+        assert (best - at_10) / best > 0.12
+
+    def test_jitter_barely_touches_mic(self, benchmark, panels):
+        pool = panels["jitter"]
+        best, at_10 = timed(benchmark, lambda: (
+            _means(pool, 1.0, "mic_on_pct"), _means(pool, 10.0, "mic_on_pct")
+        ))
+        assert abs(best - at_10) / best < 0.08
+
+    # --- bandwidth panel shapes -----------------------------------------
+
+    def test_bandwidth_1mbps_within_5pct_of_best(self, benchmark, panels):
+        pool = panels["bandwidth"]
+        gaps = timed(benchmark, lambda: {
+            metric: (
+                max(_means(pool, v, metric) for v in BANDWIDTH_VALUES)
+                - _means(pool, 1.0, metric)
+            ) / max(_means(pool, v, metric) for v in BANDWIDTH_VALUES)
+            for metric in ("presence_pct", "cam_on_pct", "mic_on_pct")
+        })
+        for metric, gap in gaps.items():
+            assert gap < 0.08, metric
+
+    def test_bandwidth_mic_uncorrelated(self, benchmark, panels):
+        pool = panels["bandwidth"]
+        mic = timed(benchmark, lambda: [
+            _means(pool, v, "mic_on_pct") for v in BANDWIDTH_VALUES
+        ])
+        assert (max(mic) - min(mic)) / max(mic) < 0.08
+
+    # --- ablation: disable the mitigation stack --------------------------
+
+    def test_ablation_mitigation_flattens_loss_panel(self, benchmark):
+        def run():
+            results = {}
+            for enabled in (True, False):
+                gen = CallDatasetGenerator(
+                    GeneratorConfig(n_calls=0, seed=77,
+                                    mitigation_enabled=enabled)
+                )
+                pool = [
+                    (c.participants[0], sweep_value_of(c))
+                    for c in gen.generate_sweep(
+                        SWEEP_BASE, "loss", [0.0005, 0.02], calls_per_value=80
+                    )
+                ]
+                best = _means(pool, 0.0005, "presence_pct")
+                worst = _means(pool, 0.02, "presence_pct")
+                results[enabled] = (best - worst) / best
+            return results
+
+        results = timed(benchmark, run)
+        emit(
+            "fig1_ablation_mitigation",
+            "Fig. 1 ablation — Presence drop at 2% loss\n"
+            f"  mitigation on : {100 * results[True]:5.1f} %\n"
+            f"  mitigation off: {100 * results[False]:5.1f} %",
+        )
+        assert results[False] > results[True]
+
+
+class TestFig1Observational:
+    def test_observational_pipeline_paper_method(
+        self, benchmark, observational_dataset
+    ):
+        """Post-hoc conditioning on observational data (the paper's actual
+        method): cohort filter + hold-others-constant windows."""
+        cohort = CohortFilter().apply(observational_dataset)
+        pool = list(cohort.participants())
+
+        result = timed(
+            benchmark,
+            lambda: fig1_curves(pool, include_drop=True, min_bin_count=8),
+        )
+        curve = result.panel("latency_ms")["mic_on_pct"]
+        finite = np.where(~np.isnan(curve.stat))[0]
+        assert len(finite) >= 3
+        assert curve.stat[finite[-1]] < curve.stat[finite[0]]

@@ -1,0 +1,82 @@
+"""F2 — Fig. 2: compounding impact of latency × loss on Presence.
+
+Paper shape: Presence dips by as much as ~50 % for the worst
+(latency, loss) combinations relative to the best combination, and the
+joint effect exceeds either individual effect.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SWEEP_BASE, emit
+from benchmarks.util import timed
+from repro.engagement.compound import compound_presence_grid
+from repro.io.tables import format_table
+from repro.telemetry import CallDatasetGenerator, GeneratorConfig
+from repro.telemetry.generator import sweep_value_of
+
+LATENCIES = [15.0, 150.0, 290.0]
+LOSSES = [0.001, 0.015, 0.035]
+
+
+@pytest.fixture(scope="module")
+def joint_pool():
+    """Focal participants across the joint (latency, loss) grid."""
+    from dataclasses import replace
+
+    gen = CallDatasetGenerator(GeneratorConfig(n_calls=0, seed=31))
+    pool = []
+    for lat, loss in itertools.product(LATENCIES, LOSSES):
+        base = replace(SWEEP_BASE, base_latency_ms=lat)
+        ds = gen.generate_sweep(base, "loss", [loss], calls_per_value=70)
+        for call in ds:
+            pool.append(call.participants[0])
+    return pool
+
+
+class TestFig2:
+    def test_bench_fig2_grid(self, benchmark, joint_pool):
+        grid = timed(benchmark, lambda: compound_presence_grid(
+            joint_pool,
+            latency_edges=(0, 80, 220, 350),
+            loss_edges=(0.0, 0.8, 2.5, 5.0),
+            min_cell_count=10,
+        ))
+        relative = grid.relative()
+        rows = []
+        for i in range(grid.shape[0]):
+            rows.append(
+                [f"lat {grid.latency_edges[i]:.0f}-{grid.latency_edges[i+1]:.0f}ms"]
+                + [
+                    float(relative[i, j]) if not np.isnan(relative[i, j]) else -1.0
+                    for j in range(grid.shape[1])
+                ]
+            )
+        headers = ["cell"] + [
+            f"loss {grid.loss_edges[j]:.1f}-{grid.loss_edges[j+1]:.1f}%"
+            for j in range(grid.shape[1])
+        ]
+        emit("fig2_compound", format_table(
+            headers, rows,
+            title="Fig. 2 — Presence as % of best (latency x loss grid); "
+                  f"max dip = {grid.max_dip_pct():.1f} % (paper: ~50 %)",
+        ))
+        assert grid.max_dip_pct() > 30.0
+
+    def test_joint_worse_than_marginals(self, benchmark, joint_pool):
+        grid = timed(benchmark, lambda: compound_presence_grid(
+            joint_pool,
+            latency_edges=(0, 80, 350),
+            loss_edges=(0.0, 0.8, 5.0),
+            min_cell_count=10,
+        ))
+        best = grid.stat[0, 0]
+        lat_only = grid.stat[1, 0]
+        loss_only = grid.stat[0, 1]
+        joint = grid.stat[1, 1]
+        assert joint < lat_only
+        assert joint < loss_only
+        # Compounding: the joint dip exceeds the larger single dip.
+        assert (best - joint) > max(best - lat_only, best - loss_only) * 1.1

@@ -1,0 +1,74 @@
+"""F3 — Fig. 3: platform type shapes sensitivity to network loss.
+
+Paper shape: four platform curves of Presence vs loss; mobile users drop
+off sooner than PC users at the same conditions, and OS flavours differ.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SWEEP_BASE, emit
+from benchmarks.util import timed
+from repro.io.tables import format_table
+from repro.telemetry import CallDatasetGenerator, GeneratorConfig
+from repro.telemetry.generator import sweep_value_of
+from repro.telemetry.platforms import PLATFORMS
+
+LOSSES = [0.001, 0.01, 0.02, 0.035]
+
+
+@pytest.fixture(scope="module")
+def per_platform_pools():
+    pools = {}
+    for key in PLATFORMS:
+        gen = CallDatasetGenerator(GeneratorConfig(n_calls=0, seed=37))
+        ds = gen.generate_sweep(
+            SWEEP_BASE, "loss", LOSSES, calls_per_value=60, platform_key=key
+        )
+        pools[key] = [(c.participants[0], sweep_value_of(c)) for c in ds]
+    return pools
+
+
+def _presence(pool, loss):
+    return float(np.mean([p.presence_pct for p, v in pool if v == loss]))
+
+
+def _drop_pct(pool):
+    best = _presence(pool, LOSSES[0])
+    worst = _presence(pool, LOSSES[-1])
+    return 100.0 * (best - worst) / best
+
+
+class TestFig3:
+    def test_bench_fig3_curves(self, benchmark, per_platform_pools):
+        rows = timed(benchmark, lambda: [
+            [key] + [_presence(pool, loss) for loss in LOSSES]
+            + [_drop_pct(pool)]
+            for key, pool in sorted(per_platform_pools.items())
+        ])
+        emit("fig3_platforms", format_table(
+            ["platform"] + [f"loss={l:g}" for l in LOSSES] + ["drop %"],
+            rows,
+            title="Fig. 3 — Presence vs loss rate per platform",
+        ))
+
+    def test_all_four_platforms_covered(self, benchmark, per_platform_pools):
+        keys = timed(benchmark, lambda: sorted(per_platform_pools))
+        assert len(keys) == 4
+
+    def test_mobile_more_sensitive_than_pc(self, benchmark, per_platform_pools):
+        drops = timed(benchmark, lambda: {
+            key: _drop_pct(pool) for key, pool in per_platform_pools.items()
+        })
+        mobile = min(drops["ios_mobile"], drops["android_mobile"])
+        pc = max(drops["windows_pc"], drops["mac_pc"])
+        assert mobile > pc
+
+    def test_os_flavours_differ(self, benchmark, per_platform_pools):
+        """Sensitivity varies within a device class too."""
+        drops = timed(benchmark, lambda: {
+            key: _drop_pct(pool) for key, pool in per_platform_pools.items()
+        })
+        assert drops["android_mobile"] != pytest.approx(
+            drops["ios_mobile"], abs=1e-9
+        )

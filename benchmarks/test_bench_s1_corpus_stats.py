@@ -1,0 +1,42 @@
+"""S1 — §4.1/§4.2 corpus volume statistics.
+
+Paper numbers: 372 posts/week, 8190 upvotes/week, 5702 comments/week on
+r/Starlink (average over the span), and ~1750 shared speed-test reports
+between Jan '21 and Dec '22.
+"""
+
+import pytest
+
+from benchmarks.conftest import emit
+from benchmarks.util import timed
+from repro.io.tables import format_table
+
+PAPER = {
+    "posts_per_week": 372.0,
+    "upvotes_per_week": 8190.0,
+    "comments_per_week": 5702.0,
+}
+
+
+class TestS1:
+    def test_bench_s1_weekly_stats(self, benchmark, bench_corpus):
+        stats = timed(benchmark, bench_corpus.weekly_stats)
+        rows = [
+            [name, PAPER[name], stats[name],
+             100 * (stats[name] - PAPER[name]) / PAPER[name]]
+            for name in PAPER
+        ]
+        rows.append([
+            "speed-test reports (total)", 1750.0,
+            float(len(bench_corpus.speed_shares())),
+            100 * (len(bench_corpus.speed_shares()) - 1750) / 1750,
+        ])
+        emit("s1_corpus_stats", format_table(
+            ["statistic", "paper", "measured", "delta %"],
+            rows,
+            title="S1 — corpus volume calibration (paper §4.1/§4.2)",
+        ))
+        assert stats["posts_per_week"] == pytest.approx(372, rel=0.15)
+        assert stats["upvotes_per_week"] == pytest.approx(8190, rel=0.5)
+        assert stats["comments_per_week"] == pytest.approx(5702, rel=0.5)
+        assert len(bench_corpus.speed_shares()) == pytest.approx(1750, rel=0.2)

@@ -1,0 +1,129 @@
+"""S4 — §6 confounders: platform, meeting size, long-term conditioning.
+
+Paper claims: platform has a visible effect (Fig. 3); meeting size and
+long-term conditioning have *relatively weaker* effects on user actions.
+Also benchmarks the DESIGN.md ablation of the Presence baseline (median
+vs max participant duration) — the paper argues median is robust to
+stragglers.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import SWEEP_BASE, emit
+from benchmarks.util import timed
+from repro.io.tables import format_table
+from repro.telemetry import CallDatasetGenerator, GeneratorConfig
+from repro.telemetry.generator import sweep_value_of
+
+
+@pytest.fixture(scope="module")
+def degraded_pool(sweep_generator):
+    """Focal sessions on one degraded profile: all variance left is
+    confounders (platform / meeting size / conditioning) plus noise."""
+    ds = sweep_generator.generate_sweep(
+        SWEEP_BASE, "latency", [250.0], calls_per_value=500
+    )
+    return [c.participants[0] for c in ds], {
+        c.participants[0].user_id: c.size for c in ds
+    }
+
+
+@pytest.fixture(scope="module")
+def degraded_single_platform_pool(sweep_generator):
+    """Same, but platform pinned — isolates the (weak) conditioning
+    effect from the (strong) platform effect."""
+    ds = sweep_generator.generate_sweep(
+        SWEEP_BASE, "latency", [250.0], calls_per_value=900,
+        platform_key="windows_pc",
+    )
+    return [c.participants[0] for c in ds]
+
+
+def _effect(values_by_group):
+    """Spread of group means relative to the overall mean (%, 0-100)."""
+    means = [np.mean(v) for v in values_by_group if len(v) >= 20]
+    overall = np.mean([x for v in values_by_group for x in v])
+    if overall == 0 or len(means) < 2:
+        return 0.0
+    return 100.0 * (max(means) - min(means)) / overall
+
+
+class TestS4Confounders:
+    def test_bench_s4_effect_sizes(self, benchmark, degraded_pool):
+        pool, sizes = degraded_pool
+
+        def run():
+            by_platform = {}
+            for p in pool:
+                by_platform.setdefault(p.platform, []).append(p.mic_on_pct)
+            platform_effect = _effect(list(by_platform.values()))
+
+            small = [p.mic_on_pct for p in pool if sizes[p.user_id] <= 4]
+            large = [p.mic_on_pct for p in pool if sizes[p.user_id] >= 8]
+            size_effect = _effect([small, large])
+
+            hardened = [p.mic_on_pct for p in pool if p.conditioning < 0.4]
+            sensitive = [p.mic_on_pct for p in pool if p.conditioning > 0.8]
+            conditioning_effect = _effect([hardened, sensitive])
+            return platform_effect, size_effect, conditioning_effect
+
+        platform_effect, size_effect, conditioning_effect = timed(benchmark, run)
+        emit("s4_confounders", format_table(
+            ["confounder", "Mic On effect size %"],
+            [
+                ["platform", platform_effect],
+                ["meeting size (<=4 vs >=8)", size_effect],
+                ["conditioning (hardened vs sensitive)", conditioning_effect],
+            ],
+            title="S4 — confounder effect sizes under degraded latency "
+                  "(paper: platform strong; size & conditioning weaker)",
+        ))
+        assert platform_effect > 0
+        assert conditioning_effect < platform_effect
+
+    def test_conditioning_direction(self, benchmark,
+                                    degraded_single_platform_pool):
+        """Hardened (low-expectation) users mute less under degradation.
+
+        The effect is deliberately small (§6 calls it weak), so it is
+        measured on a platform-pinned pool — mixing platforms buries a
+        ~2-point conditioning effect under 10-point platform baselines."""
+        pool = degraded_single_platform_pool
+        means = timed(benchmark, lambda: (
+            np.mean([p.mic_on_pct for p in pool if p.conditioning < 0.45]),
+            np.mean([p.mic_on_pct for p in pool if p.conditioning > 0.85]),
+        ))
+        hardened, sensitive = means
+        assert hardened > sensitive
+
+
+class TestS4PresenceBaseline:
+    def test_ablation_median_vs_max_baseline(self, benchmark,
+                                             observational_dataset):
+        """The paper's median-duration baseline is robust to stragglers;
+        a max-duration baseline deflates everyone's Presence whenever one
+        participant lingers after the meeting."""
+        def run():
+            median_based = []
+            max_based = []
+            for call in observational_dataset:
+                durations = np.array(
+                    [p.session_duration_s for p in call.participants]
+                )
+                if len(durations) < 3:
+                    continue
+                med, mx = np.median(durations), durations.max()
+                median_based.extend(np.minimum(100, 100 * durations / med))
+                max_based.extend(np.minimum(100, 100 * durations / mx))
+            return float(np.mean(median_based)), float(np.mean(max_based))
+
+        med_mean, max_mean = timed(benchmark, run)
+        emit(
+            "s4_ablation_presence_baseline",
+            "S4 ablation — Presence baseline choice\n"
+            f"  median-duration baseline: mean presence {med_mean:5.1f}\n"
+            f"  max-duration baseline   : mean presence {max_mean:5.1f}\n"
+            "  (max baseline deflates everyone when one straggler lingers)",
+        )
+        assert max_mean < med_mean

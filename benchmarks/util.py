@@ -1,0 +1,15 @@
+"""Benchmark helpers."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+def timed(benchmark, fn: Callable[[], Any]) -> Any:
+    """Run ``fn`` once under the benchmark timer and return its result.
+
+    Every benchmark test times its core computation through this helper
+    so that shape assertions and timing live in the same test — and so
+    nothing gets skipped under ``--benchmark-only``.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""§6 future work, implemented: acting on user signals.
+
+Four closed loops the paper sketches as future directions:
+
+1. **Confounder adjustment** ("Are networks to blame always?") — how much
+   of a naive engagement-vs-latency slope is composition, not causation;
+2. **Early warning** — engagement confirms a quality regression days
+   before the sparse MOS stream can;
+3. **Online resource tuning** — per-cohort jitter-buffer/FEC settings
+   chosen from predicted engagement;
+4. **Deployment planning** — placing extra Starlink launches where they
+   maximise community satisfaction under the conditioning model.
+
+Run: ``python examples/network_planning.py``
+"""
+
+import numpy as np
+
+from repro.engagement.adjustment import composition_bias_demo
+from repro.engagement.early_warning import detection_latency_experiment
+from repro.netsim.link import LinkProfile
+from repro.netsim.tuning import MitigationTuner, tuning_gain
+from repro.rng import derive
+from repro.starlink.planning import LaunchPlanner, plan_outcome
+from repro.telemetry import CallDatasetGenerator, GeneratorConfig
+
+
+def confounders() -> None:
+    print("=== 1. Are networks to blame always? ===\n")
+    dataset = CallDatasetGenerator(
+        GeneratorConfig(n_calls=800, seed=11, decorrelate=0.7)
+    ).generate()
+    numbers = composition_bias_demo(
+        dataset.participants(), edges=(0, 120, 350)
+    )
+    print(f"  naive Mic On drop over latency : {numbers['raw_drop_pct']:.1f} %")
+    print(f"  after platform adjustment      : {numbers['adjusted_drop_pct']:.1f} %")
+    print(f"  composition bias removed       : {numbers['composition_bias_pct']:.1f} points\n")
+
+
+def early_warning() -> None:
+    print("=== 2. Early warning: engagement vs sampled MOS ===\n")
+    outcomes = detection_latency_experiment(derive(11, "planning-demo"))
+    eng, mos = outcomes["engagement"], outcomes["mos"]
+    print(f"  regression ships on day 40 of 60")
+    print(f"  engagement detector fires after {eng.days_to_detect} day(s)")
+    if mos.days_to_detect is None:
+        print("  MOS detector never confirms within the horizon "
+              "(0.1-1% sampling is too thin)\n")
+    else:
+        print(f"  MOS detector fires after {mos.days_to_detect} day(s)\n")
+
+
+def resource_tuning() -> None:
+    print("=== 3. Per-cohort mitigation tuning ===\n")
+    cohorts = {
+        "jittery cable": LinkProfile(base_latency_ms=15, loss_rate=0.003,
+                                     jitter_ms=14, bandwidth_mbps=3.0,
+                                     burstiness=0.4),
+        "clean satellite": LinkProfile(base_latency_ms=120, loss_rate=0.002,
+                                       jitter_ms=2, bandwidth_mbps=2.5,
+                                       burstiness=0.3),
+        "lossy DSL": LinkProfile(base_latency_ms=40, loss_rate=0.025,
+                                 jitter_ms=5, bandwidth_mbps=1.5,
+                                 burstiness=0.6),
+    }
+    results = tuning_gain(
+        cohorts, MitigationTuner(fec_budgets_pct=(1.0, 2.0, 4.0))
+    )
+    for name, r in results.items():
+        print(f"  {name:16s} -> buffer {r.stack.jitter_buffer_ms:4.0f} ms, "
+              f"FEC budget {r.stack.fec_budget_pct:.0f}%  "
+              f"(QoE {r.default_score:.2f} -> {r.score:.2f}, "
+              f"gain {r.gain:+.2f})")
+    print()
+
+
+def deployment_planning() -> None:
+    print("=== 4. Sentiment-aware launch planning ===\n")
+    baseline = plan_outcome({})
+    print(f"  historical plan: mean satisfaction "
+          f"{baseline.mean_satisfaction:.3f}, worst month "
+          f"{baseline.min_satisfaction:.3f}")
+    planner = LaunchPlanner(objective="mean")
+    candidates = [(2021, 7), (2021, 12), (2022, 2), (2022, 9)]
+    planned = planner.plan(3, candidates)
+    print(f"  +3 launches, greedily placed: {planned.extra_launches}")
+    print(f"  planned: mean satisfaction {planned.mean_satisfaction:.3f}, "
+          f"worst month {planned.min_satisfaction:.3f}")
+    print("  (the planner cushions demand shocks rather than boosting "
+          "already-good months — raising the peak would only raise "
+          "expectations)")
+
+
+if __name__ == "__main__":
+    confounders()
+    early_warning()
+    resource_tuning()
+    deployment_planning()

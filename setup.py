@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``.
+This shim lets ``pip install -e . --no-use-pep517 --no-build-isolation``
+(and plain ``pip install -e .`` on modern toolchains via pyproject.toml)
+work everywhere.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

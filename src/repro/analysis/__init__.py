@@ -1,0 +1,35 @@
+"""The §4 analysis pipelines: explicit feedback from social media.
+
+Each module is one analysis from the paper, operating only on post text
+and public metadata (never on the generator's hidden ground truth):
+
+* :mod:`repro.analysis.sentiment_timeline` — daily strong-sentiment
+  counts and peak extraction (Fig. 5a).
+* :mod:`repro.analysis.peak_annotation` — word clouds + news search per
+  peak (Fig. 5a annotations and the Fig. 5b cloud).
+* :mod:`repro.analysis.outage_monitor` — outage-keyword counting over
+  negative threads (Fig. 6).
+* :mod:`repro.analysis.speed_tracker` — OCR over shared screenshots →
+  monthly median downlink with subsample-stability check (Fig. 7).
+* :mod:`repro.analysis.fulcrum` — normalized positive sentiment (Pos) vs
+  speed, with the conditioning exceptions (§4.2 "the wheel of time").
+"""
+
+from repro.analysis.fulcrum import FulcrumResult, pos_vs_speed
+from repro.analysis.outage_monitor import OutageSeries, outage_keyword_series
+from repro.analysis.peak_annotation import PeakAnnotation, annotate_peak
+from repro.analysis.sentiment_timeline import SentimentTimeline, sentiment_timeline
+from repro.analysis.speed_tracker import SpeedTrack, track_speeds
+
+__all__ = [
+    "FulcrumResult",
+    "OutageSeries",
+    "PeakAnnotation",
+    "SentimentTimeline",
+    "SpeedTrack",
+    "annotate_peak",
+    "outage_keyword_series",
+    "pos_vs_speed",
+    "sentiment_timeline",
+    "track_speeds",
+]

@@ -1,0 +1,79 @@
+"""Fig. 5a: daily strong-positive / strong-negative post counts.
+
+§4.1: *"The sentiment analysis service assigns three different scores —
+positive, negative, and neutral — to each piece of text ... We count the
+number of posts with strong positive (≥0.7) or negative (≥0.7) scores
+per day."*
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.timeline import DailySeries
+from repro.errors import AnalysisError
+from repro.nlp.sentiment import SentimentAnalyzer, SentimentScores
+from repro.social.corpus import RedditCorpus
+from repro.social.schema import Post
+
+
+@dataclass
+class SentimentTimeline:
+    """Daily strong-sentiment counts plus per-post scores.
+
+    Attributes:
+        strong_positive / strong_negative: dense daily count series.
+        scores: per-post scores keyed by post id (reused by downstream
+            analyses so the corpus is only scored once).
+    """
+
+    strong_positive: DailySeries
+    strong_negative: DailySeries
+    scores: Dict[str, SentimentScores]
+
+    def combined(self) -> DailySeries:
+        """Total strong-sentiment posts per day — the peak-ranking series."""
+        out = DailySeries.zeros(self.strong_positive.start, self.strong_positive.end)
+        out.values[:] = self.strong_positive.values + self.strong_negative.values
+        return out
+
+    def top_peaks(
+        self, k: int = 3, min_separation_days: int = 7
+    ) -> List[Tuple[dt.date, float]]:
+        """The k largest strong-sentiment days, de-duplicating neighbours."""
+        return self.combined().top_peaks(k, min_separation_days)
+
+    def peak_polarity(self, day: dt.date) -> str:
+        """Whether a peak day was driven by positive or negative posts."""
+        pos = self.strong_positive[day]
+        neg = self.strong_negative[day]
+        if pos == 0 and neg == 0:
+            raise AnalysisError(f"{day} has no strong-sentiment posts")
+        return "positive" if pos >= neg else "negative"
+
+
+def sentiment_timeline(
+    corpus: RedditCorpus,
+    analyzer: Optional[SentimentAnalyzer] = None,
+) -> SentimentTimeline:
+    """Score every post and build the daily strong-sentiment series."""
+    analyzer = analyzer or SentimentAnalyzer()
+    start = corpus.config.span_start
+    end = corpus.config.span_end
+    strong_pos = DailySeries.zeros(start, end)
+    strong_neg = DailySeries.zeros(start, end)
+    scores: Dict[str, SentimentScores] = {}
+    for post in corpus:
+        s = analyzer.score(post.full_text)
+        scores[post.post_id] = s
+        if s.is_strong_positive:
+            strong_pos.add(post.date)
+        elif s.is_strong_negative:
+            strong_neg.add(post.date)
+    return SentimentTimeline(
+        strong_positive=strong_pos,
+        strong_negative=strong_neg,
+        scores=scores,
+    )

@@ -1,0 +1,287 @@
+"""Command-line interface: the reproduction as a toolbox.
+
+Subcommands mirror the two data pipelines and the analyses on top:
+
+* ``generate-calls`` / ``generate-corpus`` — produce datasets (JSONL);
+* ``analyze-teams`` — the §3 summary over a call dataset;
+* ``analyze-starlink`` — the §4 summary over a social corpus;
+* ``usaas`` — answer the §5 query over both.
+
+Usage::
+
+    python -m repro.cli generate-calls --n-calls 500 --out calls.jsonl
+    python -m repro.cli analyze-teams --calls calls.jsonl
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as dt
+import sys
+from typing import List, Optional
+
+from repro.rng import DEFAULT_SEED
+
+
+def _cmd_generate_calls(args: argparse.Namespace) -> int:
+    from repro.telemetry import CallDatasetGenerator, GeneratorConfig
+
+    config = GeneratorConfig(
+        n_calls=args.n_calls, seed=args.seed,
+        mos_sample_rate=args.mos_sample_rate,
+    )
+    dataset = CallDatasetGenerator(config).generate()
+    dataset.to_jsonl(args.out)
+    print(f"wrote {len(dataset)} calls / {dataset.n_participants} sessions "
+          f"to {args.out}")
+    return 0
+
+
+def _cmd_generate_corpus(args: argparse.Namespace) -> int:
+    from repro.social import CorpusConfig, CorpusGenerator
+
+    config = CorpusConfig(
+        seed=args.seed,
+        span_start=dt.date.fromisoformat(args.start),
+        span_end=dt.date.fromisoformat(args.end),
+        author_pool_size=args.authors,
+    )
+    corpus = CorpusGenerator(config).generate()
+    corpus.to_jsonl(args.out)
+    print(f"wrote {len(corpus)} posts to {args.out}")
+    return 0
+
+
+def _cmd_analyze_teams(args: argparse.Namespace) -> int:
+    from repro.engagement import CohortFilter, fig1_curves, mos_by_engagement
+    from repro.telemetry.store import CallDataset
+
+    dataset = CallDataset.from_jsonl(args.calls)
+    if args.report:
+        from repro.reporting import teams_report
+
+        print(teams_report(dataset, min_bin_count=args.min_bin_count))
+        return 0
+    cohort = CohortFilter().apply(dataset)
+    pool = list(cohort.participants())
+    print(f"{len(dataset)} calls loaded; cohort keeps {len(cohort)} calls "
+          f"/ {len(pool)} sessions")
+
+    result = fig1_curves(
+        pool, use_control_windows=not args.no_controls,
+        min_bin_count=args.min_bin_count,
+    )
+    print("\nengagement drop from best to worst bin (%):")
+    for metric in ("latency_ms", "loss_pct", "jitter_ms", "bandwidth_mbps"):
+        parts = []
+        for engagement in ("presence_pct", "cam_on_pct", "mic_on_pct"):
+            try:
+                drop = result.relative_drop_pct(metric, engagement)
+                parts.append(f"{engagement.replace('_pct', '')}={drop:.0f}%")
+            except Exception:
+                parts.append(f"{engagement.replace('_pct', '')}=n/a")
+        print(f"  {metric:16s} " + "  ".join(parts))
+
+    try:
+        mos = mos_by_engagement(dataset.participants())
+        print(f"\nMOS correlations over {mos.n_rated} rated sessions:")
+        for name, r in sorted(mos.correlations.items(), key=lambda kv: -kv[1]):
+            print(f"  {name:14s} spearman r = {r:+.2f}")
+    except Exception as exc:
+        print(f"\nMOS analysis skipped: {exc}")
+    return 0
+
+
+def _cmd_analyze_starlink(args: argparse.Namespace) -> int:
+    from repro.analysis import (
+        annotate_peak,
+        outage_keyword_series,
+        sentiment_timeline,
+        track_speeds,
+    )
+    from repro.social import EventCalendar, build_news_index
+    from repro.social.corpus import RedditCorpus
+
+    corpus = RedditCorpus.from_jsonl(args.posts)
+    if args.report:
+        from repro.reporting import starlink_report
+
+        print(starlink_report(corpus, n_peaks=args.peaks))
+        return 0
+    print(f"{len(corpus)} posts loaded "
+          f"({corpus.weekly_stats()['posts_per_week']:.0f}/week)")
+
+    timeline = sentiment_timeline(corpus)
+    index = build_news_index(EventCalendar())
+    print("\ntop sentiment peaks:")
+    for day, value in timeline.top_peaks(args.peaks):
+        annotation = annotate_peak(corpus, index, day)
+        news = annotation.headline or "(no news found)"
+        print(f"  {day}  {int(value):4d} strong posts "
+              f"({timeline.peak_polarity(day)})  {news}")
+
+    outages = outage_keyword_series(corpus, scores=timeline.scores)
+    print("\noutage-keyword spikes:")
+    for day, value in outages.top_spike_days(2):
+        print(f"  {day}  {int(value)} occurrences")
+
+    if corpus.speed_shares():
+        track = track_speeds(corpus)
+        print(f"\nspeed tracking: {track.n_extracted}/{track.n_shared} "
+              f"screenshots extracted; "
+              f"subsample deviation {100 * track.max_subsample_deviation():.1f}%")
+    return 0
+
+
+def _cmd_usaas(args: argparse.Namespace) -> int:
+    from repro.core.usaas import (
+        UsaasQuery,
+        UsaasService,
+        social_signals,
+        telemetry_signals,
+    )
+    from repro.social.corpus import RedditCorpus
+    from repro.telemetry.store import CallDataset
+
+    service = UsaasService()
+    if args.calls:
+        dataset = CallDataset.from_jsonl(args.calls)
+        service.register_source(
+            "telemetry",
+            lambda: telemetry_signals(dataset, network=args.network),
+        )
+    if args.posts:
+        corpus = RedditCorpus.from_jsonl(args.posts)
+        service.register_source(
+            "social", lambda: social_signals(corpus, network=args.network)
+        )
+    report = service.answer(
+        UsaasQuery(network=args.network, service=args.service)
+    )
+    print(report.summary)
+    print(f"\n({report.n_implicit} implicit + {report.n_explicit} explicit "
+          f"signals)")
+    return 0
+
+
+def _cmd_plan_launches(args: argparse.Namespace) -> int:
+    from repro.starlink.planning import LaunchPlanner, plan_outcome
+
+    candidates = []
+    for spec in args.candidates.split(","):
+        year, month = spec.strip().split("-")
+        candidates.append((int(year), int(month)))
+    baseline = plan_outcome({})
+    planner = LaunchPlanner(objective=args.objective)
+    planned = planner.plan(args.budget, candidates)
+    print(f"baseline: mean satisfaction {baseline.mean_satisfaction:.3f}, "
+          f"worst month {baseline.min_satisfaction:.3f}")
+    print(f"planned (+{args.budget} launches): "
+          f"{planned.extra_launches}")
+    print(f"          mean satisfaction {planned.mean_satisfaction:.3f}, "
+          f"worst month {planned.min_satisfaction:.3f}")
+    return 0
+
+
+def _cmd_tune_mitigation(args: argparse.Namespace) -> int:
+    from repro.netsim.link import LinkProfile
+    from repro.netsim.tuning import MitigationTuner
+
+    profile = LinkProfile(
+        base_latency_ms=args.latency,
+        loss_rate=args.loss,
+        jitter_ms=args.jitter,
+        bandwidth_mbps=args.bandwidth,
+        burstiness=args.burstiness,
+    )
+    tuner = MitigationTuner(
+        fec_budgets_pct=(1.0, 2.0, 4.0), objective=args.objective
+    )
+    result = tuner.tune(profile)
+    print(f"path: {profile}")
+    print(f"recommendation: jitter buffer "
+          f"{result.stack.jitter_buffer_ms:.0f} ms, FEC budget "
+          f"{result.stack.fec_budget_pct:.0f}%")
+    print(f"predicted {result.objective} quality: "
+          f"{result.default_score:.3f} -> {result.score:.3f} "
+          f"({result.gain:+.3f})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolbox for 'Don't Forget the User' "
+                    "(HotNets '23)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("generate-calls", help="simulate a call dataset")
+    p.add_argument("--n-calls", type=int, default=500)
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.add_argument("--mos-sample-rate", type=float, default=0.005)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_generate_calls)
+
+    p = sub.add_parser("generate-corpus", help="simulate an r/Starlink corpus")
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.add_argument("--start", default="2021-01-01")
+    p.add_argument("--end", default="2022-12-31")
+    p.add_argument("--authors", type=int, default=4000)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=_cmd_generate_corpus)
+
+    p = sub.add_parser("analyze-teams", help="run the §3 analyses")
+    p.add_argument("--calls", required=True)
+    p.add_argument("--no-controls", action="store_true",
+                   help="skip the hold-other-metrics-constant windows")
+    p.add_argument("--min-bin-count", type=int, default=8)
+    p.add_argument("--report", action="store_true",
+                   help="emit the full §3 study report instead")
+    p.set_defaults(fn=_cmd_analyze_teams)
+
+    p = sub.add_parser("analyze-starlink", help="run the §4 analyses")
+    p.add_argument("--posts", required=True)
+    p.add_argument("--peaks", type=int, default=3)
+    p.add_argument("--report", action="store_true",
+                   help="emit the full §4 study report instead")
+    p.set_defaults(fn=_cmd_analyze_starlink)
+
+    p = sub.add_parser("plan-launches",
+                       help="sentiment-aware launch planning (§6)")
+    p.add_argument("--budget", type=int, default=3)
+    p.add_argument("--candidates", default="2021-7,2021-12,2022-2,2022-9",
+                   help="comma-separated YYYY-M months")
+    p.add_argument("--objective", choices=("mean", "worst_month"),
+                   default="mean")
+    p.set_defaults(fn=_cmd_plan_launches)
+
+    p = sub.add_parser("tune-mitigation",
+                       help="per-cohort mitigation tuning (§6)")
+    p.add_argument("--latency", type=float, default=30.0)
+    p.add_argument("--loss", type=float, default=0.005)
+    p.add_argument("--jitter", type=float, default=8.0)
+    p.add_argument("--bandwidth", type=float, default=2.5)
+    p.add_argument("--burstiness", type=float, default=0.4)
+    p.add_argument("--objective",
+                   choices=("overall", "interactivity", "video"),
+                   default="overall")
+    p.set_defaults(fn=_cmd_tune_mitigation)
+
+    p = sub.add_parser("usaas", help="answer a §5 USaaS query")
+    p.add_argument("--calls", help="call dataset JSONL (implicit signals)")
+    p.add_argument("--posts", help="corpus JSONL (explicit signals)")
+    p.add_argument("--network", default="starlink")
+    p.add_argument("--service", default=None)
+    p.set_defaults(fn=_cmd_usaas)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,198 @@
+"""The unified user-signal model at the heart of USaaS (§5).
+
+The paper's framework consumes two families of user feedback:
+
+* **implicit** signals — in-session user actions captured privately by an
+  application (mute, camera-off, drop-off, session duration), and
+* **explicit** signals — feedback users volunteer, either in-app (star
+  ratings → MOS) or offline on social media (posts, speed-test shares).
+
+Both are normalised here into :class:`Signal` records carrying a timestamp,
+a source network/service, a named metric and a value, so the correlator can
+join them without caring where they came from.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.errors import SchemaError
+
+
+class SignalKind(enum.Enum):
+    """Whether a user produced the signal deliberately."""
+
+    IMPLICIT = "implicit"
+    EXPLICIT = "explicit"
+
+
+@dataclass(frozen=True)
+class Signal:
+    """One observation of user feedback.
+
+    Attributes:
+        kind: implicit (action) vs explicit (volunteered feedback).
+        timestamp: when the signal was produced.
+        network: the access network it pertains to (e.g. ``"starlink"``).
+        service: the networked service, if any (e.g. ``"teams"``).
+        metric: the signal's name (e.g. ``"presence"``, ``"sentiment_pos"``).
+        value: numeric value of the signal.
+        weight: aggregation weight (e.g. upvotes for a social post).
+        attrs: free-form dimensions (platform, country, ...) used for
+            cohorting; values must be strings to stay hashable/groupable.
+    """
+
+    kind: SignalKind
+    timestamp: dt.datetime
+    network: str
+    metric: str
+    value: float
+    service: Optional[str] = None
+    weight: float = 1.0
+    attrs: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.network:
+            raise SchemaError("signal requires a network")
+        if not self.metric:
+            raise SchemaError("signal requires a metric name")
+        if self.weight < 0:
+            raise SchemaError(f"weight must be non-negative, got {self.weight}")
+
+    def attr(self, key: str, default: Optional[str] = None) -> Optional[str]:
+        for k, v in self.attrs:
+            if k == key:
+                return v
+        return default
+
+    @property
+    def date(self) -> dt.date:
+        return self.timestamp.date()
+
+
+def ImplicitSignal(
+    timestamp: dt.datetime,
+    network: str,
+    metric: str,
+    value: float,
+    service: Optional[str] = None,
+    weight: float = 1.0,
+    **attrs: str,
+) -> Signal:
+    """Convenience constructor for implicit (user-action) signals."""
+    return Signal(
+        kind=SignalKind.IMPLICIT,
+        timestamp=timestamp,
+        network=network,
+        metric=metric,
+        value=value,
+        service=service,
+        weight=weight,
+        attrs=tuple(sorted(attrs.items())),
+    )
+
+
+def ExplicitSignal(
+    timestamp: dt.datetime,
+    network: str,
+    metric: str,
+    value: float,
+    service: Optional[str] = None,
+    weight: float = 1.0,
+    **attrs: str,
+) -> Signal:
+    """Convenience constructor for explicit (volunteered) signals."""
+    return Signal(
+        kind=SignalKind.EXPLICIT,
+        timestamp=timestamp,
+        network=network,
+        metric=metric,
+        value=value,
+        service=service,
+        weight=weight,
+        attrs=tuple(sorted(attrs.items())),
+    )
+
+
+class SignalSeries:
+    """An append-only collection of signals with simple filtering.
+
+    This is the in-memory exchange format between signal *sources*
+    (telemetry adapters, social adapters) and the USaaS correlator.
+    """
+
+    def __init__(self, signals: Iterable[Signal] = ()) -> None:
+        self._signals: List[Signal] = list(signals)
+
+    def __len__(self) -> int:
+        return len(self._signals)
+
+    def __iter__(self) -> Iterator[Signal]:
+        return iter(self._signals)
+
+    def append(self, signal: Signal) -> None:
+        if not isinstance(signal, Signal):
+            raise SchemaError(f"expected Signal, got {type(signal).__name__}")
+        self._signals.append(signal)
+
+    def extend(self, signals: Iterable[Signal]) -> None:
+        for signal in signals:
+            self.append(signal)
+
+    def filter(
+        self,
+        kind: Optional[SignalKind] = None,
+        network: Optional[str] = None,
+        service: Optional[str] = None,
+        metric: Optional[str] = None,
+        start: Optional[dt.datetime] = None,
+        end: Optional[dt.datetime] = None,
+        **attrs: str,
+    ) -> "SignalSeries":
+        """Return the subset matching every provided criterion."""
+        def keep(s: Signal) -> bool:
+            if kind is not None and s.kind is not kind:
+                return False
+            if network is not None and s.network != network:
+                return False
+            if service is not None and s.service != service:
+                return False
+            if metric is not None and s.metric != metric:
+                return False
+            if start is not None and s.timestamp < start:
+                return False
+            if end is not None and s.timestamp > end:
+                return False
+            return all(s.attr(k) == v for k, v in attrs.items())
+
+        return SignalSeries(s for s in self._signals if keep(s))
+
+    def metrics(self) -> List[str]:
+        """Distinct metric names, sorted."""
+        return sorted({s.metric for s in self._signals})
+
+    def values(self) -> List[float]:
+        return [s.value for s in self._signals]
+
+    def weighted_mean(self) -> float:
+        """Weight-aware mean of signal values."""
+        if not self._signals:
+            raise SchemaError("cannot average an empty signal series")
+        total_weight = sum(s.weight for s in self._signals)
+        if total_weight == 0:
+            raise SchemaError("all signals have zero weight")
+        return sum(s.value * s.weight for s in self._signals) / total_weight
+
+    def daily_mean(self) -> Dict[dt.date, float]:
+        """Per-day weighted mean — the join key for cross-signal queries."""
+        sums: Dict[dt.date, float] = {}
+        weights: Dict[dt.date, float] = {}
+        for s in self._signals:
+            sums[s.date] = sums.get(s.date, 0.0) + s.value * s.weight
+            weights[s.date] = weights.get(s.date, 0.0) + s.weight
+        return {
+            day: sums[day] / weights[day] for day in sums if weights[day] > 0
+        }

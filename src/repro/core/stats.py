@@ -1,0 +1,245 @@
+"""Statistical primitives shared by the engagement and social pipelines.
+
+These are deliberately small, dependency-light implementations (numpy only)
+of the operations the paper performs: binning sessions by a network metric
+and reporting a per-bin statistic (Fig. 1–4), rank and linear correlation
+(Fig. 4, §5), and bootstrap confidence intervals used by our benchmark
+harness to decide whether an observed shape is stable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class BinnedCurve:
+    """A per-bin summary of ``values`` grouped by ``key``.
+
+    Attributes:
+        edges: bin edges, length ``n_bins + 1``.
+        centers: bin mid-points, length ``n_bins``.
+        stat: the per-bin statistic (NaN for empty bins).
+        counts: number of samples per bin.
+    """
+
+    edges: np.ndarray
+    centers: np.ndarray
+    stat: np.ndarray
+    counts: np.ndarray
+
+    def __post_init__(self) -> None:
+        if len(self.edges) != len(self.centers) + 1:
+            raise AnalysisError("edges must have exactly one more entry than centers")
+        if len(self.centers) != len(self.stat) or len(self.stat) != len(self.counts):
+            raise AnalysisError("centers, stat and counts must have equal length")
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.centers)
+
+    def nonempty(self) -> "BinnedCurve":
+        """Return a copy restricted to bins that actually contain samples."""
+        mask = self.counts > 0
+        if mask.all():
+            return self
+        # Edges cannot be sliced consistently for arbitrary masks; keep
+        # per-bin geometry by rebuilding degenerate edges around centers.
+        centers = self.centers[mask]
+        widths = np.diff(self.edges)[mask]
+        edges = np.concatenate([centers - widths / 2, [centers[-1] + widths[-1] / 2]]) \
+            if len(centers) else np.array([0.0])
+        return BinnedCurve(
+            edges=edges,
+            centers=centers,
+            stat=self.stat[mask],
+            counts=self.counts[mask],
+        )
+
+    def as_rows(self) -> list:
+        """Rows of ``(center, stat, count)`` — handy for table printing."""
+        return [
+            (float(c), float(s), int(n))
+            for c, s, n in zip(self.centers, self.stat, self.counts)
+        ]
+
+
+@dataclass(frozen=True)
+class BootstrapResult:
+    """Point estimate with a bootstrap percentile confidence interval."""
+
+    estimate: float
+    low: float
+    high: float
+    n_resamples: int
+    confidence: float = field(default=0.95)
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def width(self) -> float:
+        return self.high - self.low
+
+
+def _as_1d(values: Sequence[float], name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=float)
+    if arr.ndim != 1:
+        raise AnalysisError(f"{name} must be one-dimensional, got shape {arr.shape}")
+    return arr
+
+
+def bin_statistic(
+    key: Sequence[float],
+    values: Sequence[float],
+    edges: Sequence[float],
+    statistic: str = "mean",
+) -> BinnedCurve:
+    """Group ``values`` by which bin of ``edges`` their ``key`` falls in.
+
+    This is the workhorse behind every Fig. 1-style plot: ``key`` is a
+    per-session network metric, ``values`` is a per-session engagement
+    metric, and the result is the engagement curve over the metric.
+
+    Args:
+        key: per-sample bin key (e.g. mean session latency, ms).
+        values: per-sample value to summarise (e.g. Presence, %).
+        edges: monotonically increasing bin edges.
+        statistic: ``"mean"``, ``"median"``, ``"p95"``, or ``"count"``.
+
+    Samples with a key outside ``[edges[0], edges[-1]]`` are dropped, which
+    matches the paper's practice of restricting each panel to a fixed range.
+    """
+    key_arr = _as_1d(key, "key")
+    val_arr = _as_1d(values, "values")
+    if len(key_arr) != len(val_arr):
+        raise AnalysisError(
+            f"key and values must align: {len(key_arr)} != {len(val_arr)}"
+        )
+    edge_arr = np.asarray(edges, dtype=float)
+    if edge_arr.ndim != 1 or len(edge_arr) < 2:
+        raise AnalysisError("edges must contain at least two values")
+    if not np.all(np.diff(edge_arr) > 0):
+        raise AnalysisError("edges must be strictly increasing")
+
+    n_bins = len(edge_arr) - 1
+    idx = np.searchsorted(edge_arr, key_arr, side="right") - 1
+    # Fold the right edge into the final bin so edges[-1] is inclusive.
+    idx[key_arr == edge_arr[-1]] = n_bins - 1
+    in_range = (idx >= 0) & (idx < n_bins)
+
+    stat = np.full(n_bins, np.nan)
+    counts = np.zeros(n_bins, dtype=int)
+    reducers: dict = {
+        "mean": np.mean,
+        "median": np.median,
+        "p95": lambda a: np.percentile(a, 95),
+        "count": len,
+    }
+    if statistic not in reducers:
+        raise AnalysisError(f"unknown statistic {statistic!r}")
+    reducer: Callable = reducers[statistic]
+
+    for b in range(n_bins):
+        members = val_arr[in_range & (idx == b)]
+        counts[b] = len(members)
+        if len(members):
+            stat[b] = float(reducer(members))
+
+    centers = (edge_arr[:-1] + edge_arr[1:]) / 2
+    return BinnedCurve(edges=edge_arr, centers=centers, stat=stat, counts=counts)
+
+
+def pearson(x: Sequence[float], y: Sequence[float]) -> float:
+    """Pearson linear correlation coefficient.
+
+    Returns 0.0 when either input is constant (correlation undefined),
+    which keeps downstream ranking logic total.
+    """
+    x_arr = _as_1d(x, "x")
+    y_arr = _as_1d(y, "y")
+    if len(x_arr) != len(y_arr):
+        raise AnalysisError("x and y must have equal length")
+    if len(x_arr) < 2:
+        raise AnalysisError("correlation needs at least two samples")
+    if np.std(x_arr) == 0 or np.std(y_arr) == 0:
+        return 0.0
+    return float(np.corrcoef(x_arr, y_arr)[0, 1])
+
+
+def _ranks(values: np.ndarray) -> np.ndarray:
+    """Average ranks (ties share their mean rank), 1-based."""
+    order = np.argsort(values, kind="mergesort")
+    ranks = np.empty(len(values), dtype=float)
+    sorted_vals = values[order]
+    i = 0
+    while i < len(values):
+        j = i
+        while j + 1 < len(values) and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        mean_rank = (i + j) / 2 + 1
+        ranks[order[i : j + 1]] = mean_rank
+        i = j + 1
+    return ranks
+
+
+def spearman(x: Sequence[float], y: Sequence[float]) -> float:
+    """Spearman rank correlation (Pearson over average ranks)."""
+    x_arr = _as_1d(x, "x")
+    y_arr = _as_1d(y, "y")
+    if len(x_arr) != len(y_arr):
+        raise AnalysisError("x and y must have equal length")
+    if len(x_arr) < 2:
+        raise AnalysisError("correlation needs at least two samples")
+    return pearson(_ranks(x_arr), _ranks(y_arr))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Percentile with validation; q in [0, 100]."""
+    if not 0 <= q <= 100:
+        raise AnalysisError(f"percentile q must be in [0, 100], got {q}")
+    arr = _as_1d(values, "values")
+    if len(arr) == 0:
+        raise AnalysisError("cannot take a percentile of an empty sequence")
+    return float(np.percentile(arr, q))
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    statistic: Callable[[np.ndarray], float] = np.median,
+    n_resamples: int = 1000,
+    confidence: float = 0.95,
+    rng: Optional[np.random.Generator] = None,
+) -> BootstrapResult:
+    """Percentile-bootstrap confidence interval for ``statistic(values)``.
+
+    Used by the Fig. 7 stability analysis (the paper checks that monthly
+    median downlink speeds barely move when 5–10 % of the data is dropped).
+    """
+    arr = _as_1d(values, "values")
+    if len(arr) == 0:
+        raise AnalysisError("cannot bootstrap an empty sequence")
+    if not 0 < confidence < 1:
+        raise AnalysisError("confidence must be in (0, 1)")
+    if n_resamples < 1:
+        raise AnalysisError("n_resamples must be positive")
+    if rng is None:
+        rng = np.random.default_rng(0)
+    estimate = float(statistic(arr))
+    resampled = np.empty(n_resamples)
+    for i in range(n_resamples):
+        sample = arr[rng.integers(0, len(arr), size=len(arr))]
+        resampled[i] = statistic(sample)
+    alpha = (1 - confidence) / 2
+    return BootstrapResult(
+        estimate=estimate,
+        low=float(np.percentile(resampled, 100 * alpha)),
+        high=float(np.percentile(resampled, 100 * (1 - alpha))),
+        n_resamples=n_resamples,
+        confidence=confidence,
+    )

@@ -1,0 +1,107 @@
+"""Adapters: domain datasets → unified signal series.
+
+These are the ingestion shims a real USaaS deployment would run next to
+each source: the conferencing service exports per-session user actions
+(implicit) and ratings (explicit); the social pipeline exports per-post
+sentiment polarity weighted by popularity.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Callable, Dict, Optional
+
+from repro.core.signals import ExplicitSignal, ImplicitSignal, Signal, SignalSeries
+from repro.core.usaas.privacy import scrub_author
+from repro.errors import QueryError
+from repro.nlp.sentiment import SentimentAnalyzer, SentimentScores
+from repro.social.corpus import RedditCorpus
+from repro.telemetry.store import CallDataset
+
+
+def telemetry_signals(
+    dataset: CallDataset,
+    network: str,
+    service: str = "teams",
+    network_of: Optional[Callable] = None,
+) -> SignalSeries:
+    """Export a call dataset as implicit (+ sparse explicit) signals.
+
+    Args:
+        network: network label for every session, unless ``network_of``
+            is given.
+        network_of: optional ``participant -> network-name`` attribution
+            function (a real deployment would map client IPs to ASes).
+    """
+    if not network and network_of is None:
+        raise QueryError("either network or network_of is required")
+    series = SignalSeries()
+    for call in dataset:
+        for p in call.participants:
+            net = network_of(p) if network_of is not None else network
+            author = scrub_author(p.user_id)
+            common = dict(
+                service=service,
+                platform=p.platform,
+                country=p.country,
+                user=author,
+            )
+            ts = call.start
+            series.append(ImplicitSignal(ts, net, "presence", p.presence_pct, **common))
+            series.append(ImplicitSignal(ts, net, "cam_on", p.cam_on_pct, **common))
+            series.append(ImplicitSignal(ts, net, "mic_on", p.mic_on_pct, **common))
+            series.append(
+                ImplicitSignal(ts, net, "drop_off", 100.0 * p.dropped_early, **common)
+            )
+            if p.rating is not None:
+                series.append(
+                    ExplicitSignal(ts, net, "rating", float(p.rating), **common)
+                )
+    return series
+
+
+def social_signals(
+    corpus: RedditCorpus,
+    network: str = "starlink",
+    scores: Optional[Dict[str, SentimentScores]] = None,
+    analyzer: Optional[SentimentAnalyzer] = None,
+    service_of_topic: Optional[Dict[str, str]] = None,
+) -> SignalSeries:
+    """Export a social corpus as explicit sentiment signals.
+
+    Each post becomes one ``sentiment_polarity`` signal in [-1, 1],
+    weighted by popularity (upvotes + comments), so that one viral thread
+    counts for the crowd behind it — which is also why the bias corrector
+    exists downstream.
+    """
+    analyzer = analyzer or SentimentAnalyzer()
+    series = SignalSeries()
+    for post in corpus:
+        s = scores.get(post.post_id) if scores else None
+        if s is None:
+            s = analyzer.score(post.full_text)
+        service = (service_of_topic or {}).get(post.topic)
+        series.append(
+            ExplicitSignal(
+                post.created,
+                network,
+                "sentiment_polarity",
+                s.polarity,
+                service=service,
+                weight=max(1.0, post.popularity),
+                user=scrub_author(post.author),
+                topic=post.topic,
+            )
+        )
+        if post.speed_test is not None:
+            series.append(
+                ExplicitSignal(
+                    post.created,
+                    network,
+                    "reported_downlink_mbps",
+                    post.speed_test.download_mbps,
+                    user=scrub_author(post.author),
+                    topic=post.topic,
+                )
+            )
+    return series

@@ -1,0 +1,80 @@
+"""Social-media bias correction (§6 "The social network bias").
+
+Social feedback over-represents three things: loud users (many posts),
+viral threads (huge popularity weights), and extreme feelings (delighted
+or furious users post; the satisfied middle doesn't).  USaaS can't fix
+the last one without ground truth, but it can stop the first two from
+multiplying it:
+
+* **author de-duplication** — at most ``per_author_daily_cap`` signals
+  per (hashed) author per day count;
+* **weight winsorisation** — popularity weights are capped at the
+  ``weight_cap_quantile`` of the weight distribution, so one viral
+  thread can't dominate a month.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.signals import Signal, SignalSeries
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class BiasCorrector:
+    """Debiasing parameters.
+
+    Attributes:
+        per_author_daily_cap: max signals per author per day (0 = off).
+        weight_cap_quantile: winsorisation quantile for weights in
+            (0, 1]; 1.0 disables capping.
+    """
+
+    per_author_daily_cap: int = 3
+    weight_cap_quantile: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.per_author_daily_cap < 0:
+            raise ConfigError("per_author_daily_cap must be >= 0")
+        if not 0 < self.weight_cap_quantile <= 1:
+            raise ConfigError("weight_cap_quantile must be in (0, 1]")
+
+    def apply(self, series: SignalSeries) -> SignalSeries:
+        """Return the debiased series (original untouched)."""
+        signals: List[Signal] = list(series)
+        if not signals:
+            return SignalSeries()
+
+        if self.per_author_daily_cap > 0:
+            seen: Dict[Tuple[str, object], int] = {}
+            kept: List[Signal] = []
+            for signal in signals:
+                author = signal.attr("user") or "?"
+                key = (author, signal.date)
+                seen[key] = seen.get(key, 0) + 1
+                if seen[key] <= self.per_author_daily_cap:
+                    kept.append(signal)
+            signals = kept
+
+        if self.weight_cap_quantile < 1 and signals:
+            weights = np.array([s.weight for s in signals])
+            cap = float(np.quantile(weights, self.weight_cap_quantile))
+            cap = max(cap, 1.0)
+            signals = [
+                Signal(
+                    kind=s.kind,
+                    timestamp=s.timestamp,
+                    network=s.network,
+                    metric=s.metric,
+                    value=s.value,
+                    service=s.service,
+                    weight=min(s.weight, cap),
+                    attrs=s.attrs,
+                )
+                for s in signals
+            ]
+        return SignalSeries(signals)

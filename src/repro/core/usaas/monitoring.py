@@ -1,0 +1,88 @@
+"""Continuous monitoring: USaaS as an alarm service.
+
+§6: *"Both service and network providers could proactively act based on
+USaaS output."*  The batch ``answer()`` path tells a stakeholder what has
+happened; this module watches a signal stream and tells them the moment
+something *starts* happening, by replaying the series day by day through
+the engagement drift detector.
+
+:func:`watch_metric` returns every alarm the detector would have raised
+across the series' history — running it daily in production amounts to
+keeping only the last day's verdict.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.signals import SignalSeries
+from repro.engagement.early_warning import DriftDetector
+from repro.errors import AnalysisError
+
+
+@dataclass(frozen=True)
+class Alarm:
+    """One raised alarm.
+
+    Attributes:
+        day: the day the alarm fired.
+        metric: which metric drifted.
+        z_score: that day's z-score against the learned baseline.
+        day_mean: the day's mean metric value.
+        n_signals: how many signals the day aggregated.
+    """
+
+    day: dt.date
+    metric: str
+    z_score: float
+    day_mean: float
+    n_signals: int
+
+
+def watch_metric(
+    series: SignalSeries,
+    metric: str,
+    detector: Optional[DriftDetector] = None,
+    rearm: bool = True,
+) -> List[Alarm]:
+    """Replay a signal series through a drift detector.
+
+    Args:
+        series: the signal stream (any kind/network mix — filter first).
+        metric: the metric to watch.
+        detector: detector settings; default watches for drops.
+        rearm: after an alarm, reset the streak so distinct episodes
+            produce distinct alarms (False = first alarm only).
+
+    Returns:
+        Alarms in chronological order.
+    """
+    subset = series.filter(metric=metric)
+    if len(subset) == 0:
+        raise AnalysisError(f"no signals carry metric {metric!r}")
+    by_day: Dict[dt.date, List[float]] = {}
+    for signal in subset:
+        by_day.setdefault(signal.date, []).append(signal.value)
+
+    detector = detector or DriftDetector()
+    alarms: List[Alarm] = []
+    previously_alarmed = False
+    for day in sorted(by_day):
+        values = by_day[day]
+        z = detector.observe(values)
+        if detector.has_alarmed and not previously_alarmed:
+            alarms.append(Alarm(
+                day=day,
+                metric=metric,
+                z_score=float(z) if z is not None else float("nan"),
+                day_mean=float(sum(values) / len(values)),
+                n_signals=len(values),
+            ))
+            if rearm:
+                detector._alarmed = False
+                detector._streak = 0
+            else:
+                previously_alarmed = True
+    return alarms

@@ -1,0 +1,55 @@
+"""The USaaS query surface.
+
+§5: *"The queries could take as input the network/service under
+consideration, network performance metrics and possible user actions of
+interest, application QoE metrics, etc."*
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class UsaasQuery:
+    """One stakeholder question.
+
+    Attributes:
+        network: the access network of interest (e.g. ``"starlink"``).
+        service: the networked service, or None for network-wide signals.
+        implicit_metrics: user-action metrics to pull (e.g. ``presence``).
+        explicit_metrics: volunteered-feedback metrics (e.g.
+            ``sentiment_polarity``, ``rating``).
+        start / end: time range; None means unbounded.
+        min_users: privacy floor override (None uses the service default).
+        breakdown: optional signal attribute (e.g. ``"platform"``,
+            ``"country"``) to split level insights by — §5's "deep
+            insights" knob.
+    """
+
+    network: str
+    service: Optional[str] = None
+    implicit_metrics: Tuple[str, ...] = ("presence", "cam_on", "mic_on")
+    explicit_metrics: Tuple[str, ...] = ("sentiment_polarity",)
+    start: Optional[dt.datetime] = None
+    end: Optional[dt.datetime] = None
+    min_users: Optional[int] = None
+    breakdown: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if not self.network:
+            raise QueryError("query requires a network")
+        if not self.implicit_metrics and not self.explicit_metrics:
+            raise QueryError("query must request at least one metric")
+        if (
+            self.start is not None
+            and self.end is not None
+            and self.end < self.start
+        ):
+            raise QueryError("query end precedes start")
+        if self.min_users is not None and self.min_users < 1:
+            raise QueryError("min_users must be >= 1")

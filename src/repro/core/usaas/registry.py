@@ -1,0 +1,58 @@
+"""Signal-source registry: where USaaS pulls its inputs from."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Tuple
+
+from repro.core.signals import SignalSeries
+from repro.errors import QueryError
+
+SourceFn = Callable[[], SignalSeries]
+
+
+class SignalSourceRegistry:
+    """Named, lazily-evaluated signal sources.
+
+    Sources are callables returning a :class:`SignalSeries` so that
+    expensive exports (scoring a whole corpus) only run when a query
+    actually needs them; results are cached per source.
+    """
+
+    def __init__(self) -> None:
+        self._sources: Dict[str, SourceFn] = {}
+        self._cache: Dict[str, SignalSeries] = {}
+
+    def register(self, name: str, source: SourceFn) -> None:
+        if not name:
+            raise QueryError("source name must be non-empty")
+        if name in self._sources:
+            raise QueryError(f"source {name!r} already registered")
+        if not callable(source):
+            raise QueryError(f"source {name!r} must be callable")
+        self._sources[name] = source
+
+    def unregister(self, name: str) -> None:
+        if name not in self._sources:
+            raise QueryError(f"source {name!r} not registered")
+        del self._sources[name]
+        self._cache.pop(name, None)
+
+    def names(self) -> List[str]:
+        return sorted(self._sources)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._sources
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def series(self, name: str) -> SignalSeries:
+        if name not in self._sources:
+            raise QueryError(f"source {name!r} not registered")
+        if name not in self._cache:
+            self._cache[name] = self._sources[name]()
+        return self._cache[name]
+
+    def all_series(self) -> Iterator[Tuple[str, SignalSeries]]:
+        for name in self.names():
+            yield name, self.series(name)

@@ -1,0 +1,316 @@
+"""The USaaS facade: query in, privacy-safe insights out.
+
+Fig. 8 of the paper: network changes produce implicit and explicit user
+signals; USaaS collects both, finds correlations, and shares user-centric
+insights back with network and service providers.  :class:`UsaasService`
+is that loop:
+
+    service = UsaasService()
+    service.register_source("teams", lambda: telemetry_signals(...))
+    service.register_source("reddit", lambda: social_signals(...))
+    report = service.answer(UsaasQuery(network="starlink", service="teams"))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.signals import SignalKind, SignalSeries
+from repro.core.usaas.bias import BiasCorrector
+from repro.core.usaas.correlator import CorrelationFinding, correlate_series
+from repro.core.usaas.insights import Insight, confidence_from
+from repro.core.usaas.privacy import PrivacyGuard
+from repro.core.usaas.query import UsaasQuery
+from repro.core.usaas.registry import SignalSourceRegistry
+from repro.core.usaas.summarize import summarize_insights
+from repro.errors import AnalysisError, PrivacyError, QueryError
+
+
+@dataclass(frozen=True)
+class UsaasReport:
+    """Everything returned for one query."""
+
+    query: UsaasQuery
+    insights: Tuple[Insight, ...]
+    correlations: Tuple[CorrelationFinding, ...]
+    summary: str
+    n_implicit: int
+    n_explicit: int
+
+
+class UsaasService:
+    """Registry + privacy + bias + correlation, behind one ``answer()``."""
+
+    def __init__(
+        self,
+        privacy: Optional[PrivacyGuard] = None,
+        bias: Optional[BiasCorrector] = None,
+    ) -> None:
+        self._registry = SignalSourceRegistry()
+        self._privacy = privacy or PrivacyGuard()
+        self._bias = bias or BiasCorrector()
+
+    @property
+    def registry(self) -> SignalSourceRegistry:
+        return self._registry
+
+    def register_source(self, name: str, source) -> None:
+        self._registry.register(name, source)
+
+    # -- query execution -------------------------------------------------
+
+    def _gather(self, query: UsaasQuery) -> SignalSeries:
+        merged = SignalSeries()
+        for _, series in self._registry.all_series():
+            subset = series.filter(
+                network=query.network,
+                start=query.start,
+                end=query.end,
+            )
+            merged.extend(subset)
+        return merged
+
+    def answer(self, query: UsaasQuery) -> UsaasReport:
+        """Run a query end to end.
+
+        Raises:
+            QueryError: no sources registered.
+            PrivacyError: the matching population is below the floor.
+        """
+        if len(self._registry) == 0:
+            raise QueryError("no signal sources registered")
+        pool = self._gather(query)
+        guard = (
+            PrivacyGuard(query.min_users)
+            if query.min_users is not None
+            else self._privacy
+        )
+        guard.assert_scrubbed(pool)
+        guard.check(pool, context=f"query({query.network})")
+        pool = self._bias.apply(pool)
+
+        implicit = pool.filter(kind=SignalKind.IMPLICIT, service=query.service)
+        explicit = pool.filter(kind=SignalKind.EXPLICIT)
+
+        insights: List[Insight] = []
+        correlations: List[CorrelationFinding] = []
+
+        # Level insights for each requested implicit metric.
+        for metric in query.implicit_metrics:
+            subset = implicit.filter(metric=metric)
+            if len(subset) == 0:
+                continue
+            mean = subset.weighted_mean()
+            insights.append(
+                Insight(
+                    kind="level",
+                    statement=(
+                        f"{metric} on {query.network}"
+                        f"{' for ' + query.service if query.service else ''} "
+                        f"averages {mean:.1f} over {len(subset)} sessions"
+                    ),
+                    confidence=confidence_from(len(subset), 0.5),
+                    evidence=(("mean", float(mean)), ("n", float(len(subset)))),
+                )
+            )
+            if query.breakdown:
+                insights.extend(
+                    self._breakdown_insights(subset, metric, query.breakdown)
+                )
+
+        # Cross-signal correlations: every implicit x explicit pair.
+        for implicit_metric in query.implicit_metrics:
+            for explicit_metric in query.explicit_metrics:
+                try:
+                    finding = correlate_series(
+                        implicit, explicit, implicit_metric, explicit_metric
+                    )
+                except AnalysisError:
+                    continue
+                correlations.append(finding)
+                if finding.strength == "negligible":
+                    continue
+                direction = "tracks" if finding.correlation > 0 else "moves against"
+                lag_note = (
+                    f" (explicit feedback trails by {finding.best_lag_days}d)"
+                    if finding.best_lag_days > 0 else ""
+                )
+                insights.append(
+                    Insight(
+                        kind="correlation",
+                        statement=(
+                            f"{explicit_metric} {direction} {implicit_metric} "
+                            f"(r={finding.correlation:+.2f}, "
+                            f"{finding.n_days} days){lag_note}"
+                        ),
+                        confidence=confidence_from(
+                            finding.n_days, finding.correlation
+                        ),
+                        evidence=(
+                            ("r", finding.correlation),
+                            ("lag_days", float(finding.best_lag_days)),
+                            ("n_days", float(finding.n_days)),
+                        ),
+                    )
+                )
+
+        # Anomaly insight: worst explicit-sentiment day.
+        sentiment = explicit.filter(metric="sentiment_polarity")
+        if len(sentiment) > 0:
+            daily = sentiment.daily_mean()
+            if daily:
+                worst_day = min(daily, key=lambda d: daily[d])
+                if daily[worst_day] < -0.2:
+                    insights.append(
+                        Insight(
+                            kind="anomaly",
+                            statement=(
+                                f"explicit sentiment bottomed out on "
+                                f"{worst_day.isoformat()} "
+                                f"(mean polarity {daily[worst_day]:+.2f})"
+                            ),
+                            confidence=confidence_from(
+                                len(sentiment), daily[worst_day]
+                            ),
+                            evidence=(("polarity", daily[worst_day]),),
+                        )
+                    )
+
+        summary = summarize_insights(insights, query.network)
+        return UsaasReport(
+            query=query,
+            insights=tuple(insights),
+            correlations=tuple(correlations),
+            summary=summary,
+            n_implicit=len(implicit),
+            n_explicit=len(explicit),
+        )
+
+    def _breakdown_insights(
+        self,
+        subset: SignalSeries,
+        metric: str,
+        attribute: str,
+        min_group_size: int = 20,
+    ) -> List[Insight]:
+        """Per-attribute-value level insights (with a size floor)."""
+        groups: Dict[str, List[float]] = {}
+        for signal in subset:
+            value = signal.attr(attribute)
+            if value is not None:
+                groups.setdefault(value, []).append(signal.value)
+        insights: List[Insight] = []
+        for name, values in sorted(groups.items()):
+            if len(values) < min_group_size:
+                continue
+            mean = float(np.mean(values))
+            insights.append(
+                Insight(
+                    kind="level",
+                    statement=(
+                        f"{metric} for {attribute}={name} averages "
+                        f"{mean:.1f} over {len(values)} sessions"
+                    ),
+                    confidence=confidence_from(len(values), 0.4),
+                    evidence=(("mean", mean), ("n", float(len(values)))),
+                )
+            )
+        return insights
+
+    def compare(
+        self,
+        network_a: str,
+        network_b: str,
+        service: Optional[str] = None,
+        metrics: Tuple[str, ...] = ("presence", "cam_on", "mic_on"),
+    ) -> "ComparisonReport":
+        """The paper's worked comparison, generalised: network A vs B.
+
+        For each implicit metric, reports both means and a standardised
+        effect size (Cohen's d); positive deltas mean network A is higher.
+        """
+        if network_a == network_b:
+            raise QueryError("compare needs two distinct networks")
+        rows: List[MetricComparison] = []
+        pools = {}
+        for network in (network_a, network_b):
+            query = UsaasQuery(network=network, service=service,
+                               implicit_metrics=metrics)
+            pool = self._gather(query)
+            self._privacy.assert_scrubbed(pool)
+            self._privacy.check(pool, context=f"compare({network})")
+            pools[network] = self._bias.apply(pool).filter(
+                kind=SignalKind.IMPLICIT, service=service
+            )
+        for metric in metrics:
+            values_a = pools[network_a].filter(metric=metric).values()
+            values_b = pools[network_b].filter(metric=metric).values()
+            if len(values_a) < 2 or len(values_b) < 2:
+                continue
+            mean_a, mean_b = float(np.mean(values_a)), float(np.mean(values_b))
+            pooled_sd = float(np.sqrt(
+                (np.var(values_a, ddof=1) + np.var(values_b, ddof=1)) / 2
+            ))
+            effect = (mean_a - mean_b) / pooled_sd if pooled_sd > 0 else 0.0
+            rows.append(MetricComparison(
+                metric=metric, mean_a=mean_a, mean_b=mean_b,
+                n_a=len(values_a), n_b=len(values_b),
+                effect_size=float(effect),
+            ))
+        if not rows:
+            raise AnalysisError("no metric had enough data on both networks")
+        return ComparisonReport(
+            network_a=network_a, network_b=network_b, metrics=tuple(rows)
+        )
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's A-vs-B comparison (positive effect = A higher)."""
+
+    metric: str
+    mean_a: float
+    mean_b: float
+    n_a: int
+    n_b: int
+    effect_size: float
+
+    @property
+    def magnitude(self) -> str:
+        d = abs(self.effect_size)
+        if d >= 0.8:
+            return "large"
+        if d >= 0.5:
+            return "medium"
+        if d >= 0.2:
+            return "small"
+        return "negligible"
+
+
+@dataclass(frozen=True)
+class ComparisonReport:
+    """Full A-vs-B comparison across metrics."""
+
+    network_a: str
+    network_b: str
+    metrics: Tuple[MetricComparison, ...]
+
+    def worst_gap(self) -> MetricComparison:
+        """The metric where A trails B the most (most negative effect)."""
+        return min(self.metrics, key=lambda m: m.effect_size)
+
+    def summary(self) -> str:
+        lines = [f"{self.network_a} vs {self.network_b}:"]
+        for m in self.metrics:
+            direction = "ahead" if m.effect_size > 0 else "behind"
+            lines.append(
+                f"  {m.metric}: {m.mean_a:.1f} vs {m.mean_b:.1f} "
+                f"({self.network_a} {direction}, d={m.effect_size:+.2f}, "
+                f"{m.magnitude})"
+            )
+        return "\n".join(lines)
+
+

@@ -1,0 +1,53 @@
+"""Deterministic insight summarisation.
+
+§5 suggests incorporating generative AI to summarise contextual user
+feedback; offline this is a careful template renderer over the structured
+insights — the pipeline position is identical, the prose is just less
+florid.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.usaas.insights import Insight
+from repro.errors import AnalysisError
+
+_CONFIDENCE_WORD = (
+    (0.8, "high-confidence"),
+    (0.55, "moderate-confidence"),
+    (0.0, "preliminary"),
+)
+
+
+def _confidence_word(confidence: float) -> str:
+    for floor, word in _CONFIDENCE_WORD:
+        if confidence >= floor:
+            return word
+    raise AnalysisError(f"bad confidence {confidence}")
+
+
+def summarize_insights(
+    insights: Sequence[Insight],
+    network: str,
+    max_items: int = 5,
+) -> str:
+    """Render a ranked plain-text digest of the findings."""
+    if max_items < 1:
+        raise AnalysisError("max_items must be >= 1")
+    if not insights:
+        return (
+            f"USaaS digest for {network}: no findings met the reporting "
+            f"thresholds in the queried window."
+        )
+    ranked = sorted(insights, key=lambda i: -i.confidence)[:max_items]
+    lines: List[str] = [f"USaaS digest for {network}:"]
+    for rank, insight in enumerate(ranked, start=1):
+        lines.append(
+            f"  {rank}. [{_confidence_word(insight.confidence)}] "
+            f"{insight.statement}"
+        )
+    remaining = len(insights) - len(ranked)
+    if remaining > 0:
+        lines.append(f"  (+{remaining} lower-confidence findings withheld)")
+    return "\n".join(lines)

@@ -1,0 +1,105 @@
+"""Fig. 2 reproduction: compounding impact of latency × loss on Presence.
+
+§3.2: *"user Presence percentage could dip by as much as ~50% for certain
+combinations of latency and loss relative to the best value across all
+such combinations."*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import AnalysisError
+from repro.telemetry.schema import ParticipantRecord
+
+
+@dataclass(frozen=True)
+class CompoundGrid:
+    """A 2-D grid of a per-cell statistic over (latency, loss) bins.
+
+    Attributes:
+        latency_edges / loss_edges: bin edges of the two axes.
+        stat: cell means, shape (n_latency_bins, n_loss_bins); NaN where
+            a cell has fewer than the minimum sample count.
+        counts: per-cell sample counts.
+    """
+
+    latency_edges: np.ndarray
+    loss_edges: np.ndarray
+    stat: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def shape(self) -> Tuple[int, int]:
+        return self.stat.shape
+
+    def best(self) -> float:
+        finite = self.stat[~np.isnan(self.stat)]
+        if len(finite) == 0:
+            raise AnalysisError("grid has no populated cells")
+        return float(finite.max())
+
+    def worst(self) -> float:
+        finite = self.stat[~np.isnan(self.stat)]
+        if len(finite) == 0:
+            raise AnalysisError("grid has no populated cells")
+        return float(finite.min())
+
+    def max_dip_pct(self) -> float:
+        """Worst-cell dip relative to the best cell — Fig. 2's headline."""
+        best = self.best()
+        if best <= 0:
+            raise AnalysisError("best cell is non-positive; dip undefined")
+        return float(100.0 * (best - self.worst()) / best)
+
+    def relative(self) -> np.ndarray:
+        """Grid values as % of the best cell."""
+        return 100.0 * self.stat / self.best()
+
+
+def compound_presence_grid(
+    participants: Iterable[ParticipantRecord],
+    latency_edges: Sequence[float] = (0, 50, 100, 150, 200, 250, 300),
+    loss_edges: Sequence[float] = (0.0, 0.25, 0.5, 1.0, 2.0, 3.0, 5.0),
+    value_metric: str = "presence_pct",
+    network_stat: str = "mean",
+    min_cell_count: int = 5,
+) -> CompoundGrid:
+    """Mean engagement per joint (latency, loss) cell."""
+    lat_edges = np.asarray(latency_edges, dtype=float)
+    loss_edge_arr = np.asarray(loss_edges, dtype=float)
+    for name, arr in (("latency_edges", lat_edges), ("loss_edges", loss_edge_arr)):
+        if len(arr) < 2 or not np.all(np.diff(arr) > 0):
+            raise AnalysisError(f"{name} must be strictly increasing, length >= 2")
+
+    pool = list(participants)
+    if not pool:
+        raise AnalysisError("no participants to analyse")
+    latency = np.array([p.metric("latency_ms", network_stat) for p in pool])
+    loss = np.array([p.metric("loss_pct", network_stat) for p in pool])
+    values = np.array([getattr(p, value_metric) for p in pool], dtype=float)
+
+    n_lat, n_loss = len(lat_edges) - 1, len(loss_edge_arr) - 1
+    lat_idx = np.searchsorted(lat_edges, latency, side="right") - 1
+    loss_idx = np.searchsorted(loss_edge_arr, loss, side="right") - 1
+    lat_idx[latency == lat_edges[-1]] = n_lat - 1
+    loss_idx[loss == loss_edge_arr[-1]] = n_loss - 1
+    in_range = (lat_idx >= 0) & (lat_idx < n_lat) & (loss_idx >= 0) & (loss_idx < n_loss)
+
+    stat = np.full((n_lat, n_loss), np.nan)
+    counts = np.zeros((n_lat, n_loss), dtype=int)
+    for i in range(n_lat):
+        for j in range(n_loss):
+            cell = values[in_range & (lat_idx == i) & (loss_idx == j)]
+            counts[i, j] = len(cell)
+            if len(cell) >= min_cell_count:
+                stat[i, j] = float(cell.mean())
+    return CompoundGrid(
+        latency_edges=lat_edges,
+        loss_edges=loss_edge_arr,
+        stat=stat,
+        counts=counts,
+    )

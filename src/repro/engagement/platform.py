@@ -1,0 +1,80 @@
+"""Fig. 3 reproduction: platform-dependent sensitivity to network loss.
+
+§3.2: *"Different platforms (PC/mobile, operating system, etc.) have
+different impacts on user sensitivity to network performance. ... Users
+joining calls on their mobile devices tend to drop off sooner ... than
+users on PCs."*
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.stats import BinnedCurve
+from repro.engagement.binning import engagement_curve
+from repro.engagement.cohort import ConditionWindow, control_windows_except
+from repro.errors import AnalysisError
+from repro.telemetry.schema import ParticipantRecord
+
+
+def platform_curves(
+    participants: Iterable[ParticipantRecord],
+    network_metric: str = "loss_pct",
+    engagement_metric: str = "presence_pct",
+    edges: Sequence[float] = tuple(np.linspace(0, 3.0, 7)),
+    use_control_windows: bool = True,
+    min_bin_count: int = 5,
+    min_platform_sessions: int = 30,
+) -> Dict[str, BinnedCurve]:
+    """One engagement-vs-condition curve per platform.
+
+    Platforms with fewer than ``min_platform_sessions`` sessions are
+    omitted (their curves would be noise).
+    """
+    pool = list(participants)
+    if not pool:
+        raise AnalysisError("no participants to analyse")
+    windows: Optional[list] = (
+        control_windows_except(network_metric) if use_control_windows else None
+    )
+    by_platform: Dict[str, list] = {}
+    for p in pool:
+        by_platform.setdefault(p.platform, []).append(p)
+
+    curves: Dict[str, BinnedCurve] = {}
+    for platform_key, sessions in sorted(by_platform.items()):
+        if len(sessions) < min_platform_sessions:
+            continue
+        curves[platform_key] = engagement_curve(
+            sessions,
+            network_metric,
+            engagement_metric,
+            edges,
+            control_windows=windows,
+            min_bin_count=min_bin_count,
+        )
+    if not curves:
+        raise AnalysisError("no platform had enough sessions")
+    return curves
+
+
+def sensitivity_ranking(curves: Dict[str, BinnedCurve]) -> Dict[str, float]:
+    """Per-platform engagement drop (%) from first to last finite bin.
+
+    Larger = more sensitive.  The paper's claim is that mobile platforms
+    rank above PCs.
+    """
+    ranking: Dict[str, float] = {}
+    for platform_key, curve in curves.items():
+        finite = np.where(~np.isnan(curve.stat))[0]
+        if len(finite) < 2:
+            continue
+        first, last = curve.stat[finite[0]], curve.stat[finite[-1]]
+        if first <= 0:
+            continue
+        ranking[platform_key] = float(100.0 * (first - last) / first)
+    if not ranking:
+        raise AnalysisError("no platform curve had two finite bins")
+    return ranking

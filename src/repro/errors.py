@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so callers can catch library failures without
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object failed validation."""
+
+
+class SchemaError(ReproError):
+    """A record violated the expected data schema."""
+
+
+class SimulationError(ReproError):
+    """A simulator reached an inconsistent internal state."""
+
+
+class AnalysisError(ReproError):
+    """An analysis pipeline received data it cannot process."""
+
+
+class QueryError(ReproError):
+    """A USaaS query was malformed or referenced unknown signals."""
+
+
+class ExtractionError(ReproError):
+    """OCR or NLP extraction failed on the given input."""
+
+
+class PrivacyError(ReproError):
+    """An operation would have violated an aggregation/privacy floor."""

@@ -1,0 +1,6 @@
+"""Persistence and report-rendering helpers."""
+
+from repro.io.jsonl import read_jsonl, write_jsonl
+from repro.io.tables import format_series, format_table
+
+__all__ = ["format_series", "format_table", "read_jsonl", "write_jsonl"]

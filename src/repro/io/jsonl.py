@@ -1,0 +1,60 @@
+"""Line-delimited JSON helpers used by dataset stores and benchmarks."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Iterable, Iterator, List, Union
+
+from repro.errors import SchemaError
+
+PathLike = Union[str, Path]
+
+
+def write_jsonl(path: PathLike, records: Iterable[Any]) -> int:
+    """Write one JSON value per line; returns the record count."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as f:
+        for record in records:
+            f.write(json.dumps(record, default=_default) + "\n")
+            count += 1
+    return count
+
+
+def read_jsonl(path: PathLike) -> List[Any]:
+    """Read all records; raises SchemaError with line numbers on bad JSON."""
+    out: List[Any] = []
+    with open(path, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                out.append(json.loads(line))
+            except ValueError as exc:
+                raise SchemaError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
+    return out
+
+
+def iter_jsonl(path: PathLike) -> Iterator[Any]:
+    """Stream records without loading the whole file."""
+    with open(path, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                yield json.loads(line)
+            except ValueError as exc:
+                raise SchemaError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
+
+
+def _default(value: Any) -> Any:
+    """JSON fallback for dates and numpy scalars."""
+    iso = getattr(value, "isoformat", None)
+    if callable(iso):
+        return iso()
+    item = getattr(value, "item", None)
+    if callable(item):
+        return item()
+    raise TypeError(f"cannot serialise {type(value).__name__}")

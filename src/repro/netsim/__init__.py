@@ -1,0 +1,70 @@
+"""Network condition simulation and QoE modelling.
+
+This substrate stands in for the real networks under the paper's two
+studies.  It produces per-session traces of the four metrics the MS Teams
+client reports every five seconds — latency, packet loss, jitter and
+available bandwidth (§3.1) — and converts them into experienced quality:
+
+* condition *processes* with realistic temporal structure
+  (:mod:`repro.netsim.link`, :mod:`repro.netsim.loss`,
+  :mod:`repro.netsim.jitter`, composed by :mod:`repro.netsim.path`),
+* five-second sampling into traces (:mod:`repro.netsim.trace`),
+* the application-layer safeguards the paper credits for the weak loss
+  effect — FEC, jitter buffering, concealment
+  (:mod:`repro.netsim.mitigation`), and
+* an ITU-T E-model-style mapping from (mitigated) conditions to audio,
+  video and interactivity quality (:mod:`repro.netsim.qoe`).
+"""
+
+from repro.netsim.jitter import JitterProcess
+from repro.netsim.link import LinkProfile, NETWORK_TIERS, sample_link_profile
+from repro.netsim.loss import BernoulliLoss, GilbertElliottLoss
+from repro.netsim.mitigation import EffectiveConditions, MitigationStack
+from repro.netsim.path import NetworkPath
+from repro.netsim.qoe import QoeModel, QualityScores
+from repro.netsim.trace import (
+    ConditionSample,
+    ConditionTrace,
+    TraceGenerator,
+    generate_condition_arrays,
+)
+from repro.netsim.abr import AbrController, AbrResult, simulate_abr
+from repro.netsim.queueing import BottleneckQueue, profile_for_load, simulate_queue
+from repro.netsim.tuning import MitigationTuner, TuningResult, tuning_gain
+from repro.netsim.vectorized import (
+    EffectiveArrays,
+    QualityArrays,
+    mitigate_arrays,
+    qoe_arrays,
+)
+
+__all__ = [
+    "AbrController",
+    "AbrResult",
+    "BernoulliLoss",
+    "BottleneckQueue",
+    "ConditionSample",
+    "ConditionTrace",
+    "EffectiveArrays",
+    "EffectiveConditions",
+    "GilbertElliottLoss",
+    "JitterProcess",
+    "LinkProfile",
+    "MitigationStack",
+    "MitigationTuner",
+    "NETWORK_TIERS",
+    "TuningResult",
+    "tuning_gain",
+    "NetworkPath",
+    "QoeModel",
+    "QualityArrays",
+    "QualityScores",
+    "TraceGenerator",
+    "generate_condition_arrays",
+    "mitigate_arrays",
+    "profile_for_load",
+    "qoe_arrays",
+    "sample_link_profile",
+    "simulate_abr",
+    "simulate_queue",
+]

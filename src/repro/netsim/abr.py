@@ -1,0 +1,189 @@
+"""Adaptive video bitrate: why bandwidth barely dents engagement.
+
+Fig. 1 (right) shows *MS Teams is not too bandwidth hungry* — engagement
+at 1 Mbps sits within 5 % of 4 Mbps.  The mechanism is the client's
+bitrate ladder: video degrades *gracefully* by stepping down resolution
+long before it stalls.  §3.2 also notes application-level optimisations
+differ by platform ("depending on CPU and other resource availability"),
+which here maps to different ladders.
+
+:class:`AbrController` implements a conservative EWMA-estimate +
+hysteresis rung selector; :func:`simulate_abr` runs it over a bandwidth
+trace and summarises delivered quality (mean rung utility, switch count,
+starvation fraction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+
+# Teams-like ladder: audio-only fallback through 1080p-ish.
+DEFAULT_LADDER_MBPS: Tuple[float, ...] = (0.15, 0.3, 0.6, 1.0, 1.5, 2.5)
+
+# Log-saturating perceptual utility per rung (diminishing returns).
+def rung_utility(bitrate_mbps: float, ladder_top: float) -> float:
+    """Perceptual value of a rung in [0, 1], log-saturating."""
+    if bitrate_mbps <= 0 or ladder_top <= 0:
+        raise ConfigError("bitrates must be positive")
+    return float(
+        np.log1p(9 * bitrate_mbps / ladder_top) / np.log1p(9)
+    )
+
+
+@dataclass
+class AbrController:
+    """EWMA bandwidth estimation with hysteretic rung switching.
+
+    Attributes:
+        ladder_mbps: ascending bitrate rungs.
+        estimate_gain: EWMA weight of the newest bandwidth sample.
+        up_headroom: estimate must exceed the next rung by this factor
+            before switching up (prevents flapping).
+        down_trigger: switch down when the estimate falls below the
+            current rung times this factor.
+    """
+
+    ladder_mbps: Tuple[float, ...] = DEFAULT_LADDER_MBPS
+    estimate_gain: float = 0.3
+    up_headroom: float = 1.3
+    down_trigger: float = 1.0
+    _estimate: float = field(default=0.0, repr=False)
+    _rung: int = field(default=0, repr=False)
+    _started: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if len(self.ladder_mbps) < 2:
+            raise ConfigError("ladder needs at least two rungs")
+        if list(self.ladder_mbps) != sorted(self.ladder_mbps):
+            raise ConfigError("ladder must be ascending")
+        if any(b <= 0 for b in self.ladder_mbps):
+            raise ConfigError("ladder bitrates must be positive")
+        if not 0 < self.estimate_gain <= 1:
+            raise ConfigError("estimate_gain must be in (0, 1]")
+        if self.up_headroom < 1:
+            raise ConfigError("up_headroom must be >= 1")
+        if not 0 < self.down_trigger <= self.up_headroom:
+            raise ConfigError("down_trigger must be in (0, up_headroom]")
+
+    @property
+    def current_bitrate(self) -> float:
+        return self.ladder_mbps[self._rung]
+
+    def step(self, measured_bandwidth_mbps: float) -> float:
+        """Consume one bandwidth sample; return the selected bitrate."""
+        if measured_bandwidth_mbps < 0:
+            raise ConfigError("bandwidth must be >= 0")
+        if not self._started:
+            self._estimate = measured_bandwidth_mbps
+            self._started = True
+            # Start conservatively: highest rung safely under the estimate.
+            self._rung = 0
+            for i, rung in enumerate(self.ladder_mbps):
+                if rung <= self._estimate:
+                    self._rung = i
+        else:
+            self._estimate = (
+                (1 - self.estimate_gain) * self._estimate
+                + self.estimate_gain * measured_bandwidth_mbps
+            )
+        # Down-switch as far as needed.
+        while (
+            self._rung > 0
+            and self._estimate < self.ladder_mbps[self._rung] * self.down_trigger
+        ):
+            self._rung -= 1
+        # Up-switch one rung at a time, with headroom.
+        if (
+            self._rung + 1 < len(self.ladder_mbps)
+            and self._estimate
+            >= self.ladder_mbps[self._rung + 1] * self.up_headroom
+        ):
+            self._rung += 1
+        return self.current_bitrate
+
+    def reset(self) -> None:
+        self._started = False
+        self._estimate = 0.0
+        self._rung = 0
+
+
+@dataclass(frozen=True)
+class AbrResult:
+    """Outcome of running ABR over a bandwidth trace.
+
+    Attributes:
+        bitrates: selected bitrate per interval.
+        n_switches: rung changes over the trace.
+        starvation_fraction: intervals where even the lowest rung
+            exceeded the measured bandwidth (video would stall).
+        mean_utility: average perceptual rung utility in [0, 1].
+    """
+
+    bitrates: np.ndarray
+    n_switches: int
+    starvation_fraction: float
+    mean_utility: float
+
+
+def simulate_abr(
+    bandwidth_trace_mbps: Sequence[float],
+    controller: AbrController = None,
+) -> AbrResult:
+    """Run the controller over a per-interval bandwidth trace."""
+    trace = np.asarray(bandwidth_trace_mbps, dtype=float)
+    if len(trace) == 0:
+        raise SimulationError("empty bandwidth trace")
+    controller = controller or AbrController()
+    controller.reset()
+    ladder_top = controller.ladder_mbps[-1]
+    lowest = controller.ladder_mbps[0]
+
+    bitrates = np.empty(len(trace))
+    switches = 0
+    starved = 0
+    previous = None
+    for i, bandwidth in enumerate(trace):
+        selected = controller.step(float(bandwidth))
+        bitrates[i] = selected
+        if previous is not None and selected != previous:
+            switches += 1
+        previous = selected
+        if bandwidth < lowest:
+            starved += 1
+    utilities = [rung_utility(b, ladder_top) for b in bitrates]
+    return AbrResult(
+        bitrates=bitrates,
+        n_switches=switches,
+        starvation_fraction=starved / len(trace),
+        mean_utility=float(np.mean(utilities)),
+    )
+
+
+def graceful_degradation_curve(
+    mean_bandwidths_mbps: Sequence[float],
+    controller: AbrController = None,
+    n_intervals: int = 240,
+    seed: int = 0,
+) -> List[Tuple[float, float]]:
+    """Mean delivered utility vs mean available bandwidth.
+
+    The Fig. 1 (right) mechanism in one curve: utility is log-saturating,
+    so halving bandwidth from 4 to 2 Mbps barely moves it, while dropping
+    under the lowest rung finally hurts.
+    """
+    from repro.rng import derive
+
+    out: List[Tuple[float, float]] = []
+    for mean_bw in mean_bandwidths_mbps:
+        if mean_bw <= 0:
+            raise ConfigError("bandwidths must be positive")
+        rng = derive(seed, "abr", str(mean_bw))
+        trace = mean_bw * np.exp(rng.normal(0, 0.25, size=n_intervals))
+        result = simulate_abr(trace, controller)
+        out.append((float(mean_bw), result.mean_utility))
+    return out

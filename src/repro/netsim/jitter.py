@@ -1,0 +1,72 @@
+"""Delay-variation (jitter) processes.
+
+Jitter is modelled as an AR(1) process around the link's anchor jitter
+scale, with occasional multiplicative spikes representing cross-traffic
+bursts and wireless retransmission storms.  The AR(1) term gives each
+session temporal coherence (a jittery session stays jittery), which is why
+per-session *mean* jitter — the statistic the paper bins on — is a
+meaningful session descriptor at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass
+class JitterProcess:
+    """AR(1) jitter with spike events.
+
+    Attributes:
+        scale_ms: anchor (long-run mean) jitter of the path.
+        persistence: AR(1) coefficient in [0, 1); higher → smoother.
+        spike_prob: per-interval probability of a jitter spike.
+        spike_factor: multiplicative size of a spike.
+    """
+
+    scale_ms: float
+    persistence: float = 0.7
+    spike_prob: float = 0.05
+    spike_factor: float = 3.0
+    _level: float = field(default=0.0, repr=False)
+    _initialised: bool = field(default=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.scale_ms < 0:
+            raise ConfigError(f"jitter scale must be >= 0, got {self.scale_ms}")
+        if not 0 <= self.persistence < 1:
+            raise ConfigError(
+                f"persistence must be in [0, 1), got {self.persistence}"
+            )
+        if not 0 <= self.spike_prob <= 1:
+            raise ConfigError(f"spike_prob must be in [0, 1], got {self.spike_prob}")
+        if self.spike_factor < 1:
+            raise ConfigError(f"spike_factor must be >= 1, got {self.spike_factor}")
+
+    def sample_interval(self, rng: np.random.Generator) -> float:
+        """Mean jitter (ms) over the next five-second interval."""
+        if self.scale_ms == 0:
+            return 0.0
+        if not self._initialised:
+            self._level = self.scale_ms
+            self._initialised = True
+        innovation_sd = self.scale_ms * np.sqrt(1 - self.persistence**2) * 0.4
+        self._level = (
+            self.persistence * self._level
+            + (1 - self.persistence) * self.scale_ms
+            + rng.normal(0.0, innovation_sd)
+        )
+        self._level = max(0.05, self._level)
+        value = self._level
+        if rng.random() < self.spike_prob:
+            value *= 1 + (self.spike_factor - 1) * rng.random()
+        return float(value)
+
+    def reset(self) -> None:
+        """Forget state between sessions."""
+        self._initialised = False
+        self._level = 0.0

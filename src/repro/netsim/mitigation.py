@@ -1,0 +1,141 @@
+"""Application-layer safeguards: FEC, jitter buffering, concealment.
+
+§3.2 of the paper explains the surprisingly weak loss effect: *"MS Teams
+is able to effectively mitigate the packet loss using application layer
+safeguards."*  This module implements those safeguards so the weak loss
+effect is *mechanistic* in our reproduction rather than baked into the
+analysis:
+
+* **Forward error correction** repairs most random losses below its
+  protection budget; bursty losses overwhelm it (all redundancy for a
+  block is gone at once).
+* The **jitter buffer** absorbs delay variation up to its target depth at
+  the cost of added mouth-to-ear delay; jitter beyond the buffer surfaces
+  as late-frame discard (felt as residual loss, mostly by video).
+* **Concealment** (PLC for audio, freeze/LTR recovery for video) masks a
+  further share of residual gaps perceptually.
+
+Disabling the stack (``MitigationStack.disabled()``) is the ablation
+DESIGN.md calls out: without it, the Fig. 1 loss panel steepens to match
+the latency panel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.netsim.trace import ConditionSample
+
+
+@dataclass(frozen=True)
+class EffectiveConditions:
+    """Conditions as *experienced* after mitigation.
+
+    Attributes:
+        delay_ms: mouth-to-ear / glass-to-glass one-way delay, including
+            jitter-buffer depth.
+        residual_audio_loss_pct: audible gap rate after FEC + PLC.
+        residual_video_loss_pct: visible artefact rate after FEC +
+            freeze-recovery; includes late frames discarded by the buffer.
+        video_bitrate_share: fraction of the wanted video bitrate the
+            bandwidth could carry (1.0 = unconstrained).
+        audio_bitrate_share: same for audio (almost always 1.0).
+    """
+
+    delay_ms: float
+    residual_audio_loss_pct: float
+    residual_video_loss_pct: float
+    video_bitrate_share: float
+    audio_bitrate_share: float
+
+
+@dataclass(frozen=True)
+class MitigationStack:
+    """Tunable model of the conferencing client's loss/jitter defences.
+
+    Attributes:
+        fec_budget_pct: loss percentage fully repairable by FEC when
+            losses are random.
+        fec_efficiency: fraction of in-budget random losses repaired.
+        burst_penalty: how much burstiness degrades FEC (0 = none).
+        jitter_buffer_ms: adaptive buffer target depth.
+        audio_concealment: fraction of residual audio gaps masked by PLC.
+        video_concealment: fraction of residual video artefacts masked.
+        video_target_mbps / audio_target_mbps: codec target bitrates.
+    """
+
+    fec_budget_pct: float = 2.0
+    fec_efficiency: float = 0.92
+    burst_penalty: float = 0.5
+    jitter_buffer_ms: float = 4.0
+    audio_concealment: float = 0.6
+    video_concealment: float = 0.35
+    video_target_mbps: float = 1.0
+    audio_target_mbps: float = 0.064
+
+    def __post_init__(self) -> None:
+        if self.fec_budget_pct < 0:
+            raise ConfigError("fec_budget_pct must be >= 0")
+        if not 0 <= self.fec_efficiency <= 1:
+            raise ConfigError("fec_efficiency must be in [0, 1]")
+        if not 0 <= self.burst_penalty <= 1:
+            raise ConfigError("burst_penalty must be in [0, 1]")
+        if self.jitter_buffer_ms < 0:
+            raise ConfigError("jitter_buffer_ms must be >= 0")
+        if not 0 <= self.audio_concealment <= 1:
+            raise ConfigError("audio_concealment must be in [0, 1]")
+        if not 0 <= self.video_concealment <= 1:
+            raise ConfigError("video_concealment must be in [0, 1]")
+        if self.video_target_mbps <= 0 or self.audio_target_mbps <= 0:
+            raise ConfigError("codec target bitrates must be positive")
+
+    @classmethod
+    def disabled(cls) -> "MitigationStack":
+        """No FEC, no buffer headroom, no concealment — the ablation."""
+        return cls(
+            fec_budget_pct=0.0,
+            fec_efficiency=0.0,
+            burst_penalty=1.0,
+            jitter_buffer_ms=0.0,
+            audio_concealment=0.0,
+            video_concealment=0.0,
+        )
+
+    def apply(self, sample: ConditionSample, burstiness: float = 0.3) -> EffectiveConditions:
+        """Map raw network conditions to experienced conditions."""
+        if not 0 <= burstiness <= 1:
+            raise ConfigError(f"burstiness must be in [0, 1], got {burstiness}")
+
+        # --- FEC: repairs in-budget loss, degraded by burstiness. ---
+        loss = sample.loss_pct
+        effective_efficiency = self.fec_efficiency * (1 - self.burst_penalty * burstiness)
+        in_budget = min(loss, self.fec_budget_pct)
+        over_budget = max(0.0, loss - self.fec_budget_pct)
+        after_fec = in_budget * (1 - effective_efficiency) + over_budget
+
+        # --- Jitter buffer: absorbs up to its depth, discards the rest. ---
+        excess_jitter = max(0.0, sample.jitter_ms - self.jitter_buffer_ms)
+        # Late-frame discard grows with excess jitter; video frames (large,
+        # multi-packet) suffer disproportionately.
+        late_audio_pct = min(20.0, 0.15 * excess_jitter)
+        late_video_pct = min(40.0, 1.5 * excess_jitter)
+
+        # --- Concealment over what's left. ---
+        residual_audio = (after_fec + late_audio_pct) * (1 - self.audio_concealment)
+        residual_video = (after_fec + late_video_pct) * (1 - self.video_concealment)
+
+        # --- Bandwidth adequacy. ---
+        video_share = min(1.0, sample.bandwidth_mbps / self.video_target_mbps)
+        audio_share = min(1.0, sample.bandwidth_mbps / self.audio_target_mbps)
+
+        delay = sample.latency_ms + self.jitter_buffer_ms + min(
+            sample.jitter_ms, self.jitter_buffer_ms
+        )
+        return EffectiveConditions(
+            delay_ms=float(delay),
+            residual_audio_loss_pct=float(min(100.0, residual_audio)),
+            residual_video_loss_pct=float(min(100.0, residual_video)),
+            video_bitrate_share=float(video_share),
+            audio_bitrate_share=float(audio_share),
+        )

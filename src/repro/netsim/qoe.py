@@ -1,0 +1,134 @@
+"""Quality-of-experience model: conditions → perceived quality.
+
+Audio quality follows the ITU-T G.107 E-model shape: a transmission
+rating ``R`` starts from a clean-channel baseline and is reduced by delay
+impairment ``Id`` and equipment/loss impairment ``Ie``, then mapped to a
+1–5 MOS.  Video quality is driven by residual artefact rate and achieved
+bitrate share.  A separate **interactivity** score captures how hard
+turn-taking is at a given mouth-to-ear delay — this is the channel through
+which latency suppresses Mic On in Fig. 1 (steep below ~150 ms, flattening
+beyond, as the paper observes).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.netsim.mitigation import EffectiveConditions
+
+
+@dataclass(frozen=True)
+class QualityScores:
+    """Perceived quality of one interval (or one session on average).
+
+    Attributes:
+        audio_mos: 1–5 audio quality.
+        video_mos: 1–5 video quality.
+        interactivity: 0–1; 1 means conversation feels instantaneous.
+        overall_mos: 1–5 blend used for rating/drop-off decisions.
+    """
+
+    audio_mos: float
+    video_mos: float
+    interactivity: float
+    overall_mos: float
+
+    def __post_init__(self) -> None:
+        for name in ("audio_mos", "video_mos", "overall_mos"):
+            value = getattr(self, name)
+            if not 1.0 <= value <= 5.0:
+                raise ConfigError(f"{name} must be in [1, 5], got {value}")
+        if not 0.0 <= self.interactivity <= 1.0:
+            raise ConfigError(
+                f"interactivity must be in [0, 1], got {self.interactivity}"
+            )
+
+
+def _r_to_mos(r: float) -> float:
+    """ITU-T G.107 mapping from transmission rating to MOS."""
+    if r <= 0:
+        return 1.0
+    if r >= 100:
+        return 4.5
+    return 1 + 0.035 * r + 7e-6 * r * (r - 60) * (100 - r)
+
+
+@dataclass(frozen=True)
+class QoeModel:
+    """Tunable QoE mapping.
+
+    Attributes:
+        r_baseline: clean-channel transmission rating (G.107 default 93.2).
+        delay_knee_ms: one-way delay beyond which Id grows steeply.
+        loss_impairment_scale: steepness of the Ie loss term.
+        interactivity_halflife_ms: delay at which interactivity is 0.5.
+    """
+
+    r_baseline: float = 93.2
+    delay_knee_ms: float = 177.3
+    loss_impairment_scale: float = 30.0
+    interactivity_halflife_ms: float = 120.0
+
+    def __post_init__(self) -> None:
+        if self.r_baseline <= 0:
+            raise ConfigError("r_baseline must be positive")
+        if self.delay_knee_ms <= 0 or self.interactivity_halflife_ms <= 0:
+            raise ConfigError("delay parameters must be positive")
+        if self.loss_impairment_scale < 0:
+            raise ConfigError("loss_impairment_scale must be >= 0")
+
+    # --- audio ---------------------------------------------------------
+    def audio_r_factor(self, eff: EffectiveConditions) -> float:
+        delay = eff.delay_ms
+        id_term = 0.024 * delay
+        if delay > self.delay_knee_ms:
+            id_term += 0.11 * (delay - self.delay_knee_ms)
+        loss_frac = eff.residual_audio_loss_pct / 100.0
+        ie_term = self.loss_impairment_scale * math.log(1 + 15 * loss_frac)
+        # Audio bitrate starvation is rare but catastrophic when it happens.
+        starvation = 40.0 * (1 - eff.audio_bitrate_share)
+        return self.r_baseline - id_term - ie_term - starvation
+
+    def audio_mos(self, eff: EffectiveConditions) -> float:
+        return float(min(5.0, max(1.0, _r_to_mos(self.audio_r_factor(eff)))))
+
+    # --- video ---------------------------------------------------------
+    def video_mos(self, eff: EffectiveConditions) -> float:
+        """Video MOS from artefact rate and bitrate adequacy.
+
+        Quality saturates with bitrate (log-like), so a 1 Mbps session is
+        within a few percent of a 4 Mbps one — the Fig. 1 (right) shape.
+        """
+        artefact_frac = eff.residual_video_loss_pct / 100.0
+        artefact_quality = math.exp(-7.0 * artefact_frac)
+        # Log-saturating bitrate utility; share >= 1 means unconstrained.
+        share = max(1e-3, eff.video_bitrate_share)
+        bitrate_quality = min(1.0, 0.88 + 0.12 * math.log10(1 + 9 * share) / math.log10(10))
+        quality = artefact_quality * bitrate_quality
+        return float(min(5.0, max(1.0, 1 + 4 * quality)))
+
+    # --- interactivity -------------------------------------------------
+    def interactivity(self, eff: EffectiveConditions) -> float:
+        """How fluid turn-taking feels: 1 at zero delay, 0.5 at halflife.
+
+        The exponential form gives the "steep then plateau" response the
+        paper sees in Mic On: most of the damage is done by ~150 ms.
+        """
+        return float(math.exp(-math.log(2) * eff.delay_ms / self.interactivity_halflife_ms))
+
+    # --- overall -------------------------------------------------------
+    def score(self, eff: EffectiveConditions) -> QualityScores:
+        audio = self.audio_mos(eff)
+        video = self.video_mos(eff)
+        inter = self.interactivity(eff)
+        # The call stands or falls on audio; video and interactivity both
+        # modulate the overall impression.
+        overall = 0.55 * audio + 0.25 * video + 0.20 * (1 + 4 * inter)
+        return QualityScores(
+            audio_mos=audio,
+            video_mos=video,
+            interactivity=inter,
+            overall_mos=float(min(5.0, max(1.0, overall))),
+        )

@@ -1,0 +1,282 @@
+"""Bottleneck queueing: where latency, jitter and loss actually come from.
+
+The link profiles in :mod:`repro.netsim.link` anchor each path's typical
+conditions; this module grounds those anchors in first principles.  A
+congested access link is a finite-buffer FIFO queue in front of a
+fixed-rate bottleneck, and its delay/jitter/loss all follow from the
+offered load:
+
+* :class:`BottleneckQueue` gives the closed-form M/M/1/K quantities
+  (mean wait, delay variation, blocking probability);
+* :func:`simulate_queue` is a small discrete-event simulation of the same
+  queue, used by the tests to validate the formulas and available for
+  workloads that are not Poisson;
+* :func:`profile_for_load` converts (propagation delay, offered load)
+  into a :class:`~repro.netsim.link.LinkProfile`, so a whole family of
+  tier anchors can be derived from one physical story.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError, SimulationError
+from repro.netsim.link import LinkProfile
+
+
+@dataclass(frozen=True)
+class BottleneckQueue:
+    """A finite-buffer FIFO in front of a fixed-rate bottleneck (M/M/1/K).
+
+    Attributes:
+        capacity_mbps: bottleneck service rate.
+        buffer_packets: queue capacity K (including the one in service).
+        packet_bytes: mean packet size.
+    """
+
+    capacity_mbps: float = 10.0
+    buffer_packets: int = 50
+    packet_bytes: int = 1200
+
+    def __post_init__(self) -> None:
+        if self.capacity_mbps <= 0:
+            raise ConfigError("capacity_mbps must be positive")
+        if self.buffer_packets < 1:
+            raise ConfigError("buffer_packets must be >= 1")
+        if self.packet_bytes <= 0:
+            raise ConfigError("packet_bytes must be positive")
+
+    @property
+    def service_time_ms(self) -> float:
+        """Mean transmission time of one packet."""
+        return self.packet_bytes * 8 / (self.capacity_mbps * 1e6) * 1e3
+
+    def utilisation(self, offered_mbps: float) -> float:
+        if offered_mbps < 0:
+            raise ConfigError("offered load must be >= 0")
+        return offered_mbps / self.capacity_mbps
+
+    def _state_probabilities(self, rho: float) -> np.ndarray:
+        k = self.buffer_packets
+        if abs(rho - 1.0) < 1e-12:
+            return np.full(k + 1, 1.0 / (k + 1))
+        powers = rho ** np.arange(k + 1)
+        return powers * (1 - rho) / (1 - rho ** (k + 1))
+
+    def blocking_probability(self, offered_mbps: float) -> float:
+        """Probability an arriving packet finds the buffer full (= loss)."""
+        rho = self.utilisation(offered_mbps)
+        if rho == 0:
+            return 0.0
+        return float(self._state_probabilities(rho)[-1])
+
+    def mean_wait_ms(self, offered_mbps: float) -> float:
+        """Mean queueing + service delay of *accepted* packets."""
+        rho = self.utilisation(offered_mbps)
+        probs = self._state_probabilities(rho)
+        mean_queue = float(np.arange(len(probs)) @ probs)
+        accepted_rate = rho * (1 - probs[-1])  # in service-time units
+        if accepted_rate <= 0:
+            return self.service_time_ms
+        # Little's law: L = lambda_eff * W.
+        return mean_queue / accepted_rate * self.service_time_ms
+
+    def delay_std_ms(self, offered_mbps: float) -> float:
+        """Standard deviation of the sojourn time (jitter proxy).
+
+        Computed from the queue-length distribution seen by accepted
+        arrivals (PASTA, renormalised over non-full states): a packet
+        arriving at queue length n waits n+1 service times, each Exp(mu).
+        """
+        rho = self.utilisation(offered_mbps)
+        probs = self._state_probabilities(rho)
+        accept = probs[:-1]
+        total = accept.sum()
+        if total <= 0:
+            return 0.0
+        accept = accept / total
+        n = np.arange(len(accept))
+        stages = n + 1  # Erlang(n+1) sojourn
+        mean = float(stages @ accept)
+        # Var = E[Var|n] + Var(E|n) with Erlang stages of unit-mean phases.
+        var = float(stages @ accept) + float((stages**2) @ accept) - mean**2
+        return math.sqrt(max(var, 0.0)) * self.service_time_ms
+
+
+def simulate_queue(
+    rng: np.random.Generator,
+    queue: BottleneckQueue,
+    offered_mbps: float,
+    n_packets: int = 20000,
+) -> Tuple[np.ndarray, float]:
+    """Discrete-event simulation of the M/M/1/K queue.
+
+    Returns (sojourn times in ms of accepted packets, loss fraction).
+    """
+    if n_packets < 1:
+        raise SimulationError("n_packets must be >= 1")
+    rho = queue.utilisation(offered_mbps)
+    if rho <= 0:
+        raise SimulationError("offered load must be positive to simulate")
+    service_ms = queue.service_time_ms
+    interarrival_ms = service_ms / rho
+
+    arrivals = np.cumsum(rng.exponential(interarrival_ms, size=n_packets))
+    services = rng.exponential(service_ms, size=n_packets)
+
+    # Track departure times of packets currently in the system.
+    in_system: List[float] = []
+    sojourns: List[float] = []
+    dropped = 0
+    free_at = 0.0  # when the server becomes free
+    for arrival, service in zip(arrivals, services):
+        in_system = [d for d in in_system if d > arrival]
+        if len(in_system) >= queue.buffer_packets:
+            dropped += 1
+            continue
+        # FIFO: service starts when the previous departure completes
+        # (free_at <= arrival whenever the system is empty, because the
+        # last departure was already filtered out above).
+        start = max(arrival, in_system[-1] if in_system else free_at)
+        departure = start + service
+        in_system.append(departure)
+        free_at = departure
+        sojourns.append(departure - arrival)
+    return np.asarray(sojourns), dropped / n_packets
+
+
+@dataclass(frozen=True)
+class PriorityBottleneck:
+    """Two-class non-preemptive priority at the same bottleneck.
+
+    Conferencing traffic is commonly DSCP-marked so audio (class 1)
+    queues ahead of video/bulk (class 2).  The classic M/M/1
+    non-preemptive priority results give per-class mean waits:
+
+        W_q1 = R / (1 - rho1)
+        W_q2 = R / ((1 - rho1)(1 - rho1 - rho2))
+
+    with R the mean residual service time of the job in service.  This is
+    why audio stays interactive on a loaded link long after video has
+    gone to mush — the physical complement of the FEC/concealment story.
+    """
+
+    queue: BottleneckQueue = BottleneckQueue()
+
+    def _rhos(self, audio_mbps: float, video_mbps: float) -> Tuple[float, float]:
+        if audio_mbps < 0 or video_mbps < 0:
+            raise ConfigError("offered loads must be >= 0")
+        rho1 = audio_mbps / self.queue.capacity_mbps
+        rho2 = video_mbps / self.queue.capacity_mbps
+        if rho1 + rho2 >= 1:
+            raise ConfigError(
+                f"total load {rho1 + rho2:.2f} >= 1 has no steady state"
+            )
+        return rho1, rho2
+
+    def mean_waits_ms(self, audio_mbps: float,
+                      video_mbps: float) -> Tuple[float, float]:
+        """(audio, video) mean *queueing* waits, excluding service."""
+        rho1, rho2 = self._rhos(audio_mbps, video_mbps)
+        service = self.queue.service_time_ms
+        # Exponential service: mean residual = rho_total * service.
+        residual = (rho1 + rho2) * service
+        wait_audio = residual / (1 - rho1)
+        wait_video = residual / ((1 - rho1) * (1 - rho1 - rho2))
+        return wait_audio, wait_video
+
+    def protection_factor(self, audio_mbps: float,
+                          video_mbps: float) -> float:
+        """How many times shorter the audio wait is than the video wait."""
+        wait_audio, wait_video = self.mean_waits_ms(audio_mbps, video_mbps)
+        if wait_audio <= 0:
+            return float("inf")
+        return wait_video / wait_audio
+
+
+def simulate_priority_queue(
+    rng: np.random.Generator,
+    bottleneck: PriorityBottleneck,
+    audio_mbps: float,
+    video_mbps: float,
+    n_packets: int = 30000,
+) -> Tuple[float, float]:
+    """Event simulation of the two-class queue; returns mean waits (ms).
+
+    Non-preemptive: the packet in service finishes; among waiting
+    packets, audio always goes first (FIFO within class).
+    """
+    rho1, rho2 = bottleneck._rhos(audio_mbps, video_mbps)
+    service_ms = bottleneck.queue.service_time_ms
+    total_rate = (rho1 + rho2) / service_ms  # packets per ms
+    if total_rate <= 0:
+        raise SimulationError("need positive offered load")
+    p_audio = rho1 / (rho1 + rho2)
+
+    arrivals = np.cumsum(rng.exponential(1 / total_rate, size=n_packets))
+    classes = rng.random(n_packets) < p_audio
+    services = rng.exponential(service_ms, size=n_packets)
+
+    waits = {True: [], False: []}
+    queue_audio: List[int] = []
+    queue_video: List[int] = []
+    clock = 0.0
+    next_arrival = 0
+    while next_arrival < n_packets or queue_audio or queue_video:
+        # Admit everything that has arrived by the current clock.
+        while next_arrival < n_packets and arrivals[next_arrival] <= clock:
+            (queue_audio if classes[next_arrival] else queue_video).append(
+                next_arrival
+            )
+            next_arrival += 1
+        if not queue_audio and not queue_video:
+            if next_arrival >= n_packets:
+                break
+            clock = arrivals[next_arrival]
+            continue
+        index = queue_audio.pop(0) if queue_audio else queue_video.pop(0)
+        start = max(clock, arrivals[index])
+        waits[bool(classes[index])].append(start - arrivals[index])
+        clock = start + services[index]
+    mean_audio = float(np.mean(waits[True])) if waits[True] else 0.0
+    mean_video = float(np.mean(waits[False])) if waits[False] else 0.0
+    return mean_audio, mean_video
+
+
+def profile_for_load(
+    base_latency_ms: float,
+    offered_mbps: float,
+    queue: BottleneckQueue = BottleneckQueue(),
+    available_headroom_fraction: float = 1.0,
+) -> LinkProfile:
+    """Derive a LinkProfile from a physical bottleneck story.
+
+    Args:
+        base_latency_ms: propagation delay of the path.
+        offered_mbps: cross-traffic load on the bottleneck.
+        queue: the bottleneck's queue.
+        available_headroom_fraction: share of the residual capacity the
+            measured flow can actually grab.
+    """
+    if base_latency_ms < 0:
+        raise ConfigError("base_latency_ms must be >= 0")
+    if not 0 < available_headroom_fraction <= 1:
+        raise ConfigError("available_headroom_fraction must be in (0, 1]")
+    rho = queue.utilisation(offered_mbps)
+    if rho >= 1.2:
+        raise ConfigError("offered load beyond 120% of capacity is not a "
+                          "steady state worth profiling")
+    residual = max(0.2, (queue.capacity_mbps - offered_mbps)
+                   * available_headroom_fraction)
+    loss = queue.blocking_probability(offered_mbps)
+    return LinkProfile(
+        base_latency_ms=base_latency_ms + queue.mean_wait_ms(offered_mbps),
+        loss_rate=min(0.2, loss),
+        jitter_ms=queue.delay_std_ms(offered_mbps),
+        bandwidth_mbps=min(residual, 4.5),
+        burstiness=min(1.0, 0.2 + 0.6 * rho),
+    )

@@ -1,0 +1,117 @@
+"""Array-based fast paths mirroring the scalar mitigation/QoE models.
+
+The telemetry generator simulates hundreds of thousands of participant
+sessions, each with hundreds of five-second intervals.  Calling the
+scalar :meth:`MitigationStack.apply` / :meth:`QoeModel.score` per interval
+would dominate the runtime, so this module re-expresses the same formulas
+over numpy arrays.  ``tests/netsim/test_vectorized.py`` pins the two
+implementations together element-by-element — if the scalar model changes,
+that test fails until this file is updated to match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.netsim.mitigation import MitigationStack
+from repro.netsim.qoe import QoeModel
+
+
+@dataclass(frozen=True)
+class EffectiveArrays:
+    """Vector analogue of :class:`repro.netsim.mitigation.EffectiveConditions`."""
+
+    delay_ms: np.ndarray
+    residual_audio_loss_pct: np.ndarray
+    residual_video_loss_pct: np.ndarray
+    video_bitrate_share: np.ndarray
+    audio_bitrate_share: np.ndarray
+
+
+@dataclass(frozen=True)
+class QualityArrays:
+    """Vector analogue of :class:`repro.netsim.qoe.QualityScores`."""
+
+    audio_mos: np.ndarray
+    video_mos: np.ndarray
+    interactivity: np.ndarray
+    overall_mos: np.ndarray
+
+
+def mitigate_arrays(
+    stack: MitigationStack,
+    latency_ms: np.ndarray,
+    loss_pct: np.ndarray,
+    jitter_ms: np.ndarray,
+    bandwidth_mbps: np.ndarray,
+    burstiness: float,
+) -> EffectiveArrays:
+    """Vectorised :meth:`MitigationStack.apply` over per-interval arrays."""
+    effective_efficiency = stack.fec_efficiency * (1 - stack.burst_penalty * burstiness)
+    in_budget = np.minimum(loss_pct, stack.fec_budget_pct)
+    over_budget = np.maximum(0.0, loss_pct - stack.fec_budget_pct)
+    after_fec = in_budget * (1 - effective_efficiency) + over_budget
+
+    excess_jitter = np.maximum(0.0, jitter_ms - stack.jitter_buffer_ms)
+    late_audio_pct = np.minimum(20.0, 0.15 * excess_jitter)
+    late_video_pct = np.minimum(40.0, 1.5 * excess_jitter)
+
+    residual_audio = (after_fec + late_audio_pct) * (1 - stack.audio_concealment)
+    residual_video = (after_fec + late_video_pct) * (1 - stack.video_concealment)
+
+    video_share = np.minimum(1.0, bandwidth_mbps / stack.video_target_mbps)
+    audio_share = np.minimum(1.0, bandwidth_mbps / stack.audio_target_mbps)
+
+    delay = latency_ms + stack.jitter_buffer_ms + np.minimum(
+        jitter_ms, stack.jitter_buffer_ms
+    )
+    return EffectiveArrays(
+        delay_ms=delay,
+        residual_audio_loss_pct=np.minimum(100.0, residual_audio),
+        residual_video_loss_pct=np.minimum(100.0, residual_video),
+        video_bitrate_share=video_share,
+        audio_bitrate_share=audio_share,
+    )
+
+
+def _r_to_mos_arrays(r: np.ndarray) -> np.ndarray:
+    r_clipped = np.clip(r, 0.0, 100.0)
+    mos = 1 + 0.035 * r_clipped + 7e-6 * r_clipped * (r_clipped - 60) * (100 - r_clipped)
+    mos = np.where(r <= 0, 1.0, mos)
+    mos = np.where(r >= 100, 4.5, mos)
+    return mos
+
+
+def qoe_arrays(model: QoeModel, eff: EffectiveArrays) -> QualityArrays:
+    """Vectorised :meth:`QoeModel.score` over mitigated condition arrays."""
+    # --- audio R-factor ---
+    delay = eff.delay_ms
+    id_term = 0.024 * delay + np.where(
+        delay > model.delay_knee_ms, 0.11 * (delay - model.delay_knee_ms), 0.0
+    )
+    loss_frac = eff.residual_audio_loss_pct / 100.0
+    ie_term = model.loss_impairment_scale * np.log(1 + 15 * loss_frac)
+    starvation = 40.0 * (1 - eff.audio_bitrate_share)
+    r = model.r_baseline - id_term - ie_term - starvation
+    audio = np.clip(_r_to_mos_arrays(r), 1.0, 5.0)
+
+    # --- video ---
+    artefact_frac = eff.residual_video_loss_pct / 100.0
+    artefact_quality = np.exp(-7.0 * artefact_frac)
+    share = np.maximum(1e-3, eff.video_bitrate_share)
+    bitrate_quality = np.minimum(1.0, 0.88 + 0.12 * np.log10(1 + 9 * share))
+    video = np.clip(1 + 4 * artefact_quality * bitrate_quality, 1.0, 5.0)
+
+    # --- interactivity & overall ---
+    interactivity = np.exp(-np.log(2) * delay / model.interactivity_halflife_ms)
+    overall = np.clip(
+        0.55 * audio + 0.25 * video + 0.20 * (1 + 4 * interactivity), 1.0, 5.0
+    )
+    return QualityArrays(
+        audio_mos=audio,
+        video_mos=video,
+        interactivity=interactivity,
+        overall_mos=overall,
+    )

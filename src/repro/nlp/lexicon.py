@@ -1,0 +1,108 @@
+"""Sentiment lexicon: word → valence in [-1, 1].
+
+A compact, hand-curated lexicon in the VADER tradition, weighted toward
+the vocabulary of broadband/ISP discussion: service quality, speed,
+reliability, support, pricing, and the emotional register of Reddit.
+Values near ±1 are unambiguous ("fantastic", "garbage"); mild words sit
+near ±0.3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+POSITIVE: Dict[str, float] = {
+    # general praise
+    "good": 0.5, "great": 0.7, "awesome": 0.9, "amazing": 0.9,
+    "fantastic": 0.9, "excellent": 0.85, "wonderful": 0.8, "perfect": 0.9,
+    "love": 0.8, "loving": 0.8, "loved": 0.8, "best": 0.8, "better": 0.45,
+    "nice": 0.5, "happy": 0.65, "glad": 0.55, "excited": 0.7,
+    "impressed": 0.7, "impressive": 0.7, "incredible": 0.85,
+    "solid": 0.5, "smooth": 0.5, "stable": 0.55, "reliable": 0.6,
+    "flawless": 0.85, "thrilled": 0.85, "stoked": 0.8, "pleased": 0.6,
+    "satisfied": 0.6, "win": 0.5, "winner": 0.6, "wow": 0.6,
+    # service / network positives
+    "fast": 0.6, "faster": 0.55, "blazing": 0.7, "speedy": 0.6,
+    "consistent": 0.5, "improved": 0.55, "improvement": 0.55,
+    "improving": 0.5, "upgrade": 0.4, "upgraded": 0.45,
+    "works": 0.4, "working": 0.35, "worked": 0.3,
+    "recommend": 0.6, "recommended": 0.6, "worth": 0.45,
+    "gamechanger": 0.85, "lifesaver": 0.85, "finally": 0.3,
+    "usable": 0.3, "playable": 0.4, "uninterrupted": 0.55,
+    "perfectly": 0.8, "decent": 0.35, "fine": 0.3,
+    "beautifully": 0.7, "superb": 0.85, "rocks": 0.7,
+    # launch / expansion positives
+    "launched": 0.3, "available": 0.35, "enabled": 0.4, "expanded": 0.4,
+    "preorder": 0.25, "shipped": 0.45, "arrived": 0.5, "delivered": 0.45,
+    # more service positives
+    "snappy": 0.55, "responsive": 0.5, "seamless": 0.6, "crisp": 0.45,
+    "rocksolid": 0.7, "dependable": 0.6, "painless": 0.5, "grateful": 0.6,
+    "thankful": 0.55, "delighted": 0.8, "superior": 0.6, "blessing": 0.7,
+    # emoji (kept as single tokens by the tokenizer)
+    "🚀": 0.6, "🎉": 0.7, "❤": 0.7, "👍": 0.5, "😍": 0.8, "🙌": 0.6,
+    "😊": 0.5, "🔥": 0.5, "✨": 0.4,
+}
+
+NEGATIVE: Dict[str, float] = {
+    # general negatives
+    "bad": -0.55, "terrible": -0.85, "horrible": -0.85, "awful": -0.85,
+    "worst": -0.9, "worse": -0.5, "poor": -0.5, "garbage": -0.85,
+    "trash": -0.8, "useless": -0.75, "unusable": -0.8, "pathetic": -0.8,
+    "hate": -0.8, "angry": -0.7, "furious": -0.85, "annoyed": -0.55,
+    "annoying": -0.55, "frustrated": -0.7, "frustrating": -0.7,
+    "disappointed": -0.7, "disappointing": -0.65, "disappointment": -0.7,
+    "unhappy": -0.65, "upset": -0.6, "sad": -0.5, "regret": -0.65,
+    "ridiculous": -0.6, "unacceptable": -0.8, "joke": -0.5, "scam": -0.85,
+    "fail": -0.6, "failed": -0.6, "failing": -0.6, "failure": -0.65,
+    "broken": -0.65, "broke": -0.55, "problem": -0.45, "problems": -0.5,
+    "issue": -0.35, "issues": -0.4, "complaint": -0.5, "complaints": -0.5,
+    # network negatives
+    "slow": -0.55, "slower": -0.5, "sluggish": -0.55, "lag": -0.5,
+    "laggy": -0.6, "latency": -0.2, "buffering": -0.5, "choppy": -0.55,
+    "unstable": -0.6, "unreliable": -0.65, "inconsistent": -0.5,
+    "outage": -0.7, "outages": -0.7, "down": -0.45, "offline": -0.55,
+    "disconnect": -0.55, "disconnects": -0.6, "disconnected": -0.55,
+    "disconnecting": -0.6, "disconnection": -0.6, "disconnections": -0.6,
+    "drop": -0.35, "drops": -0.45, "dropped": -0.45, "dropping": -0.5,
+    "dropouts": -0.6, "dead": -0.6, "interruption": -0.55,
+    "interruptions": -0.6, "interrupted": -0.5, "degraded": -0.55,
+    "throttled": -0.6, "congested": -0.55, "congestion": -0.5,
+    "obstruction": -0.4, "obstructions": -0.4, "timeout": -0.5,
+    "timeouts": -0.55, "unreachable": -0.6, "nothing": -0.3,
+    # delivery / business negatives
+    "delay": -0.5, "delays": -0.5, "delayed": -0.55, "pushback": -0.4,
+    "waiting": -0.3, "expensive": -0.45, "overpriced": -0.6,
+    "refund": -0.45, "cancel": -0.5, "cancelled": -0.5, "cancelling": -0.55,
+    # emoji
+    "😡": -0.8, "😤": -0.6, "😞": -0.55, "😢": -0.55, "💀": -0.5,
+    "👎": -0.5, "🤬": -0.9, "😠": -0.7,
+}
+
+INTENSIFIERS: Dict[str, float] = {
+    "very": 0.3, "really": 0.3, "extremely": 0.5, "incredibly": 0.5,
+    "absolutely": 0.45, "totally": 0.35, "completely": 0.4, "super": 0.35,
+    "so": 0.25, "insanely": 0.5, "ridiculously": 0.4, "constantly": 0.35,
+    "always": 0.25, "utterly": 0.45,
+    # dampeners (negative boost)
+    "slightly": -0.35, "somewhat": -0.3, "kinda": -0.3, "kind": -0.25,
+    "barely": -0.35, "mildly": -0.35, "occasionally": -0.25,
+}
+
+NEGATORS = frozenset({
+    "not", "no", "never", "none", "neither", "nor", "cannot",
+    "isn't", "wasn't", "aren't", "weren't", "don't", "doesn't", "didn't",
+    "won't", "wouldn't", "can't", "couldn't", "shouldn't", "ain't",
+    "without", "hardly",
+})
+
+
+def _build_valences() -> Dict[str, float]:
+    merged = dict(POSITIVE)
+    overlap = set(merged) & set(NEGATIVE)
+    if overlap:
+        raise ValueError(f"lexicon words in both polarities: {sorted(overlap)}")
+    merged.update(NEGATIVE)
+    return merged
+
+
+VALENCES: Dict[str, float] = _build_valences()

@@ -1,0 +1,179 @@
+"""Emerging-topic mining over popularity-weighted discussions.
+
+§4.1: *"we were also able to detect Redditors discussing the roaming
+feature of Starlink almost ~2 weeks before Elon Musk announced it on
+Twitter ... using a systematic pipeline which mines popular discussions
+(using upvotes and comment numbers)."*
+
+:class:`TrendMiner` implements that pipeline over generic
+``(date, text, popularity)`` records: terms are counted with popularity
+weights in a sliding window, compared against their long-run baseline,
+and flagged as *emerging* the first day their windowed weight exceeds
+``ratio_threshold`` times the baseline (with an absolute floor so that a
+single random post can't trigger).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import AnalysisError
+from repro.nlp.stopwords import STOPWORDS
+from repro.nlp.tokenize import bigrams, words
+
+Record = Tuple[dt.date, str, float]  # (day, text, popularity weight)
+
+
+@dataclass(frozen=True)
+class EmergingTopic:
+    """A term that broke out of its baseline.
+
+    Attributes:
+        term: unigram or bigram.
+        first_detected: first day the breakout criterion held.
+        window_weight: popularity-weighted occurrences in the detection
+            window.
+        baseline_weight: long-run weighted occurrences per window of the
+            same length before the breakout.
+        ratio: window / baseline (capped for brand-new terms).
+    """
+
+    term: str
+    first_detected: dt.date
+    window_weight: float
+    baseline_weight: float
+    ratio: float
+
+
+class TrendMiner:
+    """Sliding-window breakout detector over weighted term counts."""
+
+    def __init__(
+        self,
+        window_days: int = 7,
+        ratio_threshold: float = 4.0,
+        min_window_weight: float = 30.0,
+        min_word_length: int = 4,
+        include_bigrams: bool = True,
+    ) -> None:
+        if window_days < 1:
+            raise AnalysisError("window_days must be >= 1")
+        if ratio_threshold <= 1:
+            raise AnalysisError("ratio_threshold must be > 1")
+        if min_window_weight <= 0:
+            raise AnalysisError("min_window_weight must be positive")
+        self._window_days = window_days
+        self._ratio_threshold = ratio_threshold
+        self._min_window_weight = min_window_weight
+        self._min_word_length = min_word_length
+        self._include_bigrams = include_bigrams
+
+    def _terms_of(self, text: str) -> List[str]:
+        tokens = [
+            w for w in words(text)
+            if len(w) >= self._min_word_length and w not in STOPWORDS
+        ]
+        terms = list(tokens)
+        if self._include_bigrams:
+            terms.extend(bigrams(tokens))
+        return terms
+
+    def mine(
+        self,
+        records: Iterable[Record],
+        terms_of_interest: Optional[Sequence[str]] = None,
+    ) -> List[EmergingTopic]:
+        """Detect breakouts across the record stream.
+
+        Args:
+            records: (date, text, popularity) tuples; popularity is
+                typically ``upvotes + comments``.
+            terms_of_interest: restrict detection to these terms (faster
+                and less noisy when validating a known topic); None scans
+                everything.
+        """
+        pool = sorted(records, key=lambda r: r[0])
+        if not pool:
+            raise AnalysisError("no records to mine")
+        interest = (
+            {t.lower() for t in terms_of_interest} if terms_of_interest else None
+        )
+
+        # daily_weight[term][date] = popularity-weighted occurrences
+        daily_weight: Dict[str, Dict[dt.date, float]] = {}
+        for day, text, weight in pool:
+            if weight < 0:
+                raise AnalysisError(f"negative popularity weight on {day}")
+            for term in self._terms_of(text):
+                if interest is not None and term not in interest:
+                    continue
+                per_day = daily_weight.setdefault(term, {})
+                per_day[day] = per_day.get(day, 0.0) + weight
+
+        first_day, last_day = pool[0][0], pool[-1][0]
+        topics: List[EmergingTopic] = []
+        window = dt.timedelta(days=self._window_days - 1)
+        for term, per_day in daily_weight.items():
+            detected = self._first_breakout(per_day, first_day, last_day, window)
+            if detected is not None:
+                topics.append(detected._replace_term(term))
+        return sorted(topics, key=lambda t: (t.first_detected, -t.ratio))
+
+    def _first_breakout(
+        self,
+        per_day: Dict[dt.date, float],
+        first_day: dt.date,
+        last_day: dt.date,
+        window: dt.timedelta,
+    ) -> Optional["_Breakout"]:
+        day = first_day + window
+        one = dt.timedelta(days=1)
+        while day <= last_day:
+            window_start = day - window
+            window_weight = sum(
+                w for d, w in per_day.items() if window_start <= d <= day
+            )
+            history_days = (window_start - first_day).days
+            history_weight = sum(
+                w for d, w in per_day.items() if d < window_start
+            )
+            if history_days >= self._window_days:
+                n_windows = history_days / self._window_days
+                baseline = history_weight / n_windows
+            else:
+                baseline = 0.0
+            ratio = (
+                window_weight / baseline if baseline > 0
+                else float(window_weight)
+            )
+            if (
+                window_weight >= self._min_window_weight
+                and ratio >= self._ratio_threshold
+            ):
+                return _Breakout(
+                    first_detected=day,
+                    window_weight=window_weight,
+                    baseline_weight=baseline,
+                    ratio=min(ratio, 1000.0),
+                )
+            day += one
+        return None
+
+
+@dataclass(frozen=True)
+class _Breakout:
+    first_detected: dt.date
+    window_weight: float
+    baseline_weight: float
+    ratio: float
+
+    def _replace_term(self, term: str) -> EmergingTopic:
+        return EmergingTopic(
+            term=term,
+            first_detected=self.first_detected,
+            window_weight=self.window_weight,
+            baseline_weight=self.baseline_weight,
+            ratio=self.ratio,
+        )

@@ -1,0 +1,32 @@
+"""Synthetic screenshot rendering and OCR extraction (the Fig. 7 input).
+
+The paper OCRs ~1750 speed-test screenshots with Azure's OCR skill.  The
+offline equivalent is a full loop with the same failure modes:
+
+1. :mod:`repro.ocr.render` lays a ground-truth
+   :class:`~repro.social.schema.SpeedTestShare` out as a provider-specific
+   token grid (Ookla, Fast, the Starlink app and a generic layout differ
+   in where and how the numbers appear);
+2. :mod:`repro.ocr.noise` corrupts it the way a phone-photo-of-a-screen
+   corrupts text: character confusions (O↔0, S↔5), dropped glyphs, lost
+   tokens;
+3. :mod:`repro.ocr.engine` gets only the noisy token grid back and must
+   re-identify the provider, find each metric's value, repair digit
+   confusions and normalise units — or fail, in which case the analysis
+   pipeline drops the report exactly as the paper's pipeline dropped
+   unreadable screenshots.
+"""
+
+from repro.ocr.engine import OcrEngine
+from repro.ocr.fields import ExtractedReport
+from repro.ocr.noise import NoiseModel
+from repro.ocr.render import PlacedToken, Screenshot, render_screenshot
+
+__all__ = [
+    "ExtractedReport",
+    "NoiseModel",
+    "OcrEngine",
+    "PlacedToken",
+    "Screenshot",
+    "render_screenshot",
+]

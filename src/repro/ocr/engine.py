@@ -1,0 +1,222 @@
+"""Field extraction from noisy screenshots.
+
+The engine sees only a corrupted token grid.  It must:
+
+1. identify the provider from (possibly corrupted) logo text — done with
+   a confusion-tolerant fuzzy match;
+2. locate each metric's value: find a label token ("DOWNLOAD", "Ping:",
+   "Latency"), then take the nearest plausible number, handling layouts
+   where the value sits below the label (Ookla), beside it (generic),
+   fused with its unit (Starlink app) or is simply the biggest number on
+   screen (Fast's headline download);
+3. repair digit confusions (``O``→``0`` inside numeric context) before
+   parsing;
+4. sanity-check ranges (a 5000 Mbps Starlink download is a misread) and
+   compute a confidence score.
+
+Unrecoverable screenshots raise :class:`~repro.errors.ExtractionError` —
+the caller drops them, as the paper's pipeline dropped unreadable images.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ExtractionError
+from repro.ocr.fields import ExtractedReport
+from repro.ocr.render import PlacedToken, Screenshot
+
+# Inverse confusion map used to repair characters in numeric context.
+_DIGIT_REPAIRS = {
+    "O": "0", "o": "0", "l": "1", "I": "1", "i": "1",
+    "S": "5", "s": "5", "B": "8", "Z": "2", "z": "2", "b": "6",
+    ",": ".",
+}
+
+_PROVIDER_LOGOS = {
+    "ookla": "SPEEDTEST",
+    "fast": "FAST",
+    "starlink_app": "STARLINK",
+    "other": "Broadband",
+}
+
+_DOWNLOAD_LABELS = ("download", "down")
+_UPLOAD_LABELS = ("upload", "up")
+_LATENCY_LABELS = ("ping", "latency")
+
+# Plausibility windows for a Starlink terminal in 2021-22.
+_DL_RANGE = (1.0, 400.0)
+_UL_RANGE = (0.3, 60.0)
+_LAT_RANGE = (10.0, 400.0)
+
+_NUMERIC_RE = re.compile(r"^\d+(?:\.\d+)?$")
+_FUSED_RE = re.compile(r"^(\d+(?:\.\d+)?)([A-Za-z]+)$")
+
+
+def _char_distance(a: str, b: str) -> int:
+    """Confusion-tolerant Hamming-ish distance (case-insensitive)."""
+    a_low, b_low = a.lower(), b.lower()
+    if abs(len(a_low) - len(b_low)) > 2:
+        return 99
+    distance = abs(len(a_low) - len(b_low))
+    for ca, cb in zip(a_low, b_low):
+        if ca == cb:
+            continue
+        if _DIGIT_REPAIRS.get(ca, ca) == _DIGIT_REPAIRS.get(cb, cb):
+            continue
+        distance += 1
+    return distance
+
+
+def _repair_number(text: str) -> Optional[float]:
+    """Try to parse text as a number after confusion repair."""
+    repaired = "".join(_DIGIT_REPAIRS.get(ch, ch) for ch in text)
+    if _NUMERIC_RE.match(repaired):
+        try:
+            return float(repaired)
+        except ValueError:
+            return None
+    return None
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    value: float
+    token: PlacedToken
+    repaired: bool
+    fused_unit: Optional[str]
+
+
+class OcrEngine:
+    """Provider detection + field extraction over token grids."""
+
+    def extract(self, screenshot: Screenshot) -> ExtractedReport:
+        """Extract all fields; raises ExtractionError when hopeless."""
+        tokens = screenshot.reading_order()
+        if not tokens:
+            raise ExtractionError("empty screenshot")
+        provider = self._detect_provider(tokens)
+        numbers = self._number_candidates(tokens)
+        if not numbers:
+            raise ExtractionError("no numeric tokens recovered")
+
+        download = self._field_near_labels(
+            tokens, numbers, _DOWNLOAD_LABELS, _DL_RANGE
+        )
+        upload = self._field_near_labels(
+            tokens, numbers, _UPLOAD_LABELS, _UL_RANGE
+        )
+        latency = self._field_near_labels(
+            tokens, numbers, _LATENCY_LABELS, _LAT_RANGE
+        )
+        if download is None and provider == "fast":
+            # Fast's headline number is the download; it has no label.
+            download = self._largest_font_number(numbers, _DL_RANGE)
+        if download is None:
+            raise ExtractionError("download field unrecoverable")
+        if upload is not None and download.value <= upload.value:
+            # Starlink downlink always exceeds uplink; a violation means a
+            # digit was dropped or confused somewhere — refuse the read.
+            raise ExtractionError(
+                f"inconsistent read: download {download.value} <= "
+                f"upload {upload.value}"
+            )
+
+        repairs = sum(
+            1 for c in (download, upload, latency)
+            if c is not None and c.repaired
+        )
+        missing = sum(1 for c in (upload, latency) if c is None)
+        confidence = max(0.05, 1.0 - 0.15 * repairs - 0.2 * missing
+                         - (0.15 if provider == "unknown" else 0.0))
+        return ExtractedReport(
+            provider=provider,
+            download_mbps=download.value,
+            upload_mbps=upload.value if upload else None,
+            latency_ms=latency.value if latency else None,
+            confidence=confidence,
+        )
+
+    # -- stages ----------------------------------------------------------
+
+    def _detect_provider(self, tokens: List[PlacedToken]) -> str:
+        best, best_distance = "unknown", 2
+        for token in tokens:
+            for provider, logo in _PROVIDER_LOGOS.items():
+                distance = _char_distance(token.text, logo)
+                if distance < best_distance:
+                    best, best_distance = provider, distance
+        return best
+
+    def _number_candidates(self, tokens: List[PlacedToken]) -> List[_Candidate]:
+        out: List[_Candidate] = []
+        for token in tokens:
+            fused = _FUSED_RE.match(token.text)
+            if fused:
+                value = _repair_number(fused.group(1))
+                if value is not None:
+                    out.append(
+                        _Candidate(
+                            value=value, token=token,
+                            repaired=fused.group(1) != str(value),
+                            fused_unit=fused.group(2).lower(),
+                        )
+                    )
+                continue
+            value = _repair_number(token.text)
+            if value is not None:
+                out.append(
+                    _Candidate(
+                        value=value, token=token,
+                        repaired=not _NUMERIC_RE.match(token.text),
+                        fused_unit=None,
+                    )
+                )
+        return out
+
+    def _field_near_labels(
+        self,
+        tokens: List[PlacedToken],
+        numbers: List[_Candidate],
+        labels: Tuple[str, ...],
+        value_range: Tuple[float, float],
+    ) -> Optional[_Candidate]:
+        label_tokens = [
+            t for t in tokens
+            if any(
+                _char_distance(t.text.rstrip(":"), label) <= 1
+                for label in labels
+            )
+        ]
+        best: Optional[_Candidate] = None
+        best_distance = 1e9
+        for label in label_tokens:
+            for candidate in numbers:
+                if not value_range[0] <= candidate.value <= value_range[1]:
+                    continue
+                dx = candidate.token.x - label.x
+                dy = candidate.token.y - label.y
+                # Values sit right/below their label, never far above.
+                if dy < -12:
+                    continue
+                distance = abs(dx) + 2.5 * abs(dy)
+                if distance < best_distance:
+                    best, best_distance = candidate, distance
+        if best is not None and best_distance > 400:
+            return None
+        return best
+
+    def _largest_font_number(
+        self,
+        numbers: List[_Candidate],
+        value_range: Tuple[float, float],
+    ) -> Optional[_Candidate]:
+        plausible = [
+            c for c in numbers
+            if value_range[0] <= c.value <= value_range[1]
+        ]
+        if not plausible:
+            return None
+        return max(plausible, key=lambda c: c.token.size)

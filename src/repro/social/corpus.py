@@ -1,0 +1,505 @@
+"""The corpus generator: two years of r/Starlink, day by day.
+
+For each day the generator:
+
+1. computes the post volume — a base rate that grows with the subscriber
+   curve, times the event calendar's multiplier, times transient-outage
+   boosts;
+2. samples posting authors (verbosity-weighted, §6 bias built in);
+3. assigns each post a topic from a day-dependent mix (outage days tilt
+   toward outage reports, event windows toward reactions, the roaming
+   discovery opens the roaming topic);
+4. targets each post's sentiment from the world state (monthly
+   conditioned satisfaction, event polarity, personal optimism) and
+   renders it through the template engine;
+5. draws popularity (upvotes / comments) with heavy tails, boosted for
+   strong feelings and big days — which is what makes the §4.1 trend
+   miner's popularity weighting meaningful.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.timeline import DailySeries, MonthlySeries, month_of
+from repro.errors import ConfigError
+from repro.rng import DEFAULT_SEED, derive
+from repro.social.authors import Author, AuthorPool
+from repro.social.events import Event, EventCalendar
+from repro.social.reports import sample_speed_test, share_sentiment
+from repro.social.schema import Post, SpeedTestShare
+from repro.social.textgen import TextGenerator, outage_comment
+from repro.starlink.capacity import CapacityModel
+from repro.starlink.coverage import Outage, OutageProcess
+from repro.starlink.footprint import DEFAULT_FOOTPRINT, Footprint
+from repro.starlink.perception import PerceptionModel
+from repro.starlink.subscribers import SubscriberModel
+
+
+@dataclass(frozen=True)
+class CorpusConfig:
+    """Corpus generation knobs (defaults match the paper's §4.1 stats)."""
+
+    seed: int = DEFAULT_SEED
+    span_start: dt.date = dt.date(2021, 1, 1)
+    span_end: dt.date = dt.date(2022, 12, 31)
+    posts_per_week: float = 372.0
+    upvotes_per_post: float = 22.0
+    comments_per_post: float = 15.3
+    speed_share_count: int = 1750
+    author_pool_size: int = 4000
+    conditioning_mode: str = "cohort"
+
+    def __post_init__(self) -> None:
+        if self.conditioning_mode not in ("cohort", "single"):
+            raise ConfigError(
+                f"conditioning_mode must be 'cohort' or 'single', "
+                f"got {self.conditioning_mode!r}"
+            )
+        if self.span_end < self.span_start:
+            raise ConfigError("span_end precedes span_start")
+        if self.posts_per_week <= 0:
+            raise ConfigError("posts_per_week must be positive")
+        if self.upvotes_per_post <= 0 or self.comments_per_post <= 0:
+            raise ConfigError("popularity targets must be positive")
+        if self.speed_share_count < 0:
+            raise ConfigError("speed_share_count must be >= 0")
+
+
+class RedditCorpus:
+    """The generated corpus with the query surface the analyses need."""
+
+    def __init__(self, posts: List[Post], config: CorpusConfig) -> None:
+        self._posts = sorted(posts, key=lambda p: p.created)
+        self._config = config
+
+    def __len__(self) -> int:
+        return len(self._posts)
+
+    def __iter__(self) -> Iterator[Post]:
+        return iter(self._posts)
+
+    @property
+    def config(self) -> CorpusConfig:
+        return self._config
+
+    def posts(self) -> List[Post]:
+        return list(self._posts)
+
+    def posts_on(self, day: dt.date) -> List[Post]:
+        return [p for p in self._posts if p.date == day]
+
+    def speed_shares(self) -> List[Post]:
+        return [p for p in self._posts if p.speed_test is not None]
+
+    def weekly_stats(self) -> Dict[str, float]:
+        """Average posts / upvotes / comments per week (§4.1 numbers)."""
+        n_weeks = ((self._config.span_end - self._config.span_start).days + 1) / 7
+        return {
+            "posts_per_week": len(self._posts) / n_weeks,
+            "upvotes_per_week": sum(p.upvotes for p in self._posts) / n_weeks,
+            "comments_per_week": sum(p.n_comments for p in self._posts) / n_weeks,
+        }
+
+    def daily_counts(self) -> DailySeries:
+        series = DailySeries.zeros(self._config.span_start, self._config.span_end)
+        for post in self._posts:
+            series.add(post.date)
+        return series
+
+    # --- persistence ---------------------------------------------------
+
+    def to_jsonl(self, path) -> None:
+        """Write one JSON object per post (plus a header with the config)."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(json.dumps({
+                "_header": True,
+                "seed": self._config.seed,
+                "span_start": self._config.span_start.isoformat(),
+                "span_end": self._config.span_end.isoformat(),
+            }) + "\n")
+            for p in self._posts:
+                record = {
+                    "post_id": p.post_id,
+                    "created": p.created.isoformat(),
+                    "author": p.author,
+                    "title": p.title,
+                    "text": p.text,
+                    "upvotes": p.upvotes,
+                    "n_comments": p.n_comments,
+                    "topic": p.topic,
+                    "comment_texts": list(p.comment_texts),
+                    "speed_test": None if p.speed_test is None else {
+                        "provider": p.speed_test.provider,
+                        "download_mbps": p.speed_test.download_mbps,
+                        "upload_mbps": p.speed_test.upload_mbps,
+                        "latency_ms": p.speed_test.latency_ms,
+                    },
+                }
+                f.write(json.dumps(record) + "\n")
+
+    @classmethod
+    def from_jsonl(cls, path) -> "RedditCorpus":
+        import json
+
+        from repro.errors import SchemaError
+        from repro.social.schema import SpeedTestShare
+
+        posts: List[Post] = []
+        config: Optional[CorpusConfig] = None
+        with open(path, encoding="utf-8") as f:
+            for line_no, line in enumerate(f, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except ValueError as exc:
+                    raise SchemaError(f"{path}:{line_no}: bad JSON: {exc}") from exc
+                if record.get("_header"):
+                    config = CorpusConfig(
+                        seed=record["seed"],
+                        span_start=dt.date.fromisoformat(record["span_start"]),
+                        span_end=dt.date.fromisoformat(record["span_end"]),
+                    )
+                    continue
+                share = record.get("speed_test")
+                posts.append(Post(
+                    post_id=record["post_id"],
+                    created=dt.datetime.fromisoformat(record["created"]),
+                    author=record["author"],
+                    title=record["title"],
+                    text=record["text"],
+                    upvotes=record["upvotes"],
+                    n_comments=record["n_comments"],
+                    topic=record["topic"],
+                    comment_texts=tuple(record.get("comment_texts", ())),
+                    speed_test=None if share is None else SpeedTestShare(
+                        provider=share["provider"],
+                        download_mbps=share["download_mbps"],
+                        upload_mbps=share["upload_mbps"],
+                        latency_ms=share["latency_ms"],
+                    ),
+                ))
+        if config is None:
+            raise SchemaError(f"{path}: missing corpus header line")
+        return cls(posts, config)
+
+
+class CorpusGenerator:
+    """Deterministic corpus generation from a :class:`CorpusConfig`."""
+
+    def __init__(
+        self,
+        config: CorpusConfig = CorpusConfig(),
+        capacity: Optional[CapacityModel] = None,
+        perception: Optional[PerceptionModel] = None,
+        calendar: Optional[EventCalendar] = None,
+        outage_process: Optional[OutageProcess] = None,
+        footprint: Optional[Footprint] = None,
+    ) -> None:
+        self._config = config
+        self._capacity = capacity or CapacityModel()
+        self._perception = perception or PerceptionModel()
+        self._calendar = calendar or EventCalendar()
+        self._footprint = footprint or DEFAULT_FOOTPRINT
+        self._outages = outage_process or OutageProcess(
+            span_start=config.span_start,
+            span_end=config.span_end,
+            seed=config.seed,
+        )
+        self._textgen = TextGenerator()
+        self._speeds: MonthlySeries = self._capacity.median_downlink_mbps()
+        self._subscribers = SubscriberModel.reported().monthly()
+        # Adoption-weighted ("wheel of time") satisfaction: the community
+        # mood each month is the cohort mix's mood, not one shared track.
+        # ``conditioning_mode="single"`` is the DESIGN.md ablation: one
+        # shared expectation track for everyone, which loses the 2022 Pos
+        # recovery (new adopters are what pull sentiment back up).
+        if config.conditioning_mode == "cohort":
+            self._satisfaction: MonthlySeries = (
+                self._perception.cohort_satisfaction(
+                    self._speeds, self._subscribers
+                )
+            )
+        else:
+            self._satisfaction = self._perception.satisfaction(self._speeds)
+
+    # -- day-level ingredients -------------------------------------------
+
+    def _volume_shape(self, day: dt.date) -> float:
+        """Unnormalised base-volume shape.
+
+        The subreddit grows with the service, but far sub-linearly — the
+        early community was already large relative to the tiny subscriber
+        base (enthusiasts without hardware).  A 60/40 constant/sqrt blend
+        gives roughly 1.6x growth over the span.
+        """
+        month = month_of(day)
+        subs = self._subscribers.get(month)
+        if subs is None:
+            subs = min(self._subscribers.values())
+        max_subs = max(self._subscribers.values())
+        return 0.6 + 0.4 * float(np.sqrt(subs / max_subs))
+
+    def _base_daily_volume(self) -> Dict[dt.date, float]:
+        """Per-day base post counts normalised to the weekly target."""
+        days = []
+        current = self._config.span_start
+        one = dt.timedelta(days=1)
+        while current <= self._config.span_end:
+            days.append(current)
+            current += one
+        shape = np.array([self._volume_shape(d) for d in days])
+        target_total = self._config.posts_per_week * len(days) / 7.0
+        scale = target_total / shape.sum()
+        return {d: float(s * scale) for d, s in zip(days, shape)}
+
+    def _topic_weights(
+        self,
+        day: dt.date,
+        events: List[Event],
+        outages: List[Outage],
+    ) -> Dict[str, float]:
+        weights = {
+            "experience_report": 0.20,
+            "speed_test_share": 0.0,  # injected separately, see generate()
+            "outage_report": 0.02,
+            "question": 0.38,
+            "setup_story": 0.14,
+            "event_reaction": 0.0,
+            "roaming": 0.0,
+        }
+        for event in events:
+            intensity = event.intensity_on(day)
+            if event.kind == "outage":
+                weights["outage_report"] += 2.2 * intensity
+            elif event.key.startswith(("roaming", "portability")):
+                weights["roaming"] += 0.9 * intensity
+            else:
+                weights["event_reaction"] += 2.5 * intensity
+        for outage in outages:
+            if not outage.is_headline:
+                weights["outage_report"] += 2.5 * outage.severity
+        return weights
+
+    def _sentiment_target(
+        self,
+        rng: np.random.Generator,
+        author: Author,
+        topic: str,
+        day: dt.date,
+        events: List[Event],
+        outages: List[Outage],
+    ) -> float:
+        month = month_of(day)
+        sat = self._satisfaction[month] if month in self._satisfaction.months() else 0.5
+        if np.isnan(sat):
+            sat = 0.5
+        community = 1.6 * (sat - 0.5)
+        personal = 0.35 * author.optimism
+        noise = float(rng.normal(0, 0.22))
+        if topic == "outage_report":
+            severity = max((o.severity for o in outages), default=0.05)
+            base = -0.45 - 0.5 * min(1.0, severity * 1.2)
+            return float(np.clip(base + 0.15 * author.optimism + noise * 0.5, -1, 1))
+        if topic == "event_reaction":
+            reacting_to = _strongest_event(day, events)
+            base = reacting_to.sentiment if reacting_to else 0.0
+            if reacting_to and reacting_to.key == "delivery_delay_email":
+                # Waiting customers take it personally.
+                if author.waiting_preorder:
+                    base -= 0.25
+            return float(np.clip(base + personal + noise * 0.6, -1, 1))
+        if topic == "roaming":
+            return float(np.clip(0.55 + personal + noise, -1, 1))
+        if topic in ("question", "setup_story"):
+            return float(np.clip(0.05 + 0.3 * personal + noise * 0.5, -1, 1))
+        # experience_report
+        raw = community + personal + noise
+        # §6 bias: extreme-poster personalities amplify their feelings.
+        raw *= 1.0 + 0.6 * author.extremity
+        return float(np.clip(raw, -1, 1))
+
+    def _popularity(
+        self,
+        rng: np.random.Generator,
+        sentiment: float,
+        day_multiplier: float,
+    ) -> Tuple[int, int]:
+        heat = 1.0 + 0.8 * abs(sentiment) + 0.25 * (day_multiplier - 1.0)
+        upvotes = int(
+            rng.lognormal(np.log(self._config.upvotes_per_post * heat) - 0.5, 1.0)
+        )
+        comments = int(
+            rng.lognormal(np.log(self._config.comments_per_post * heat) - 0.6, 1.1)
+        )
+        return max(0, upvotes), max(0, comments)
+
+    # -- main loop ---------------------------------------------------------
+
+    def generate(self) -> RedditCorpus:
+        """Generate the full corpus (deterministic in the config)."""
+        rng = derive(self._config.seed, "social", "corpus")
+        pool = AuthorPool(
+            size=self._config.author_pool_size,
+            seed=self._config.seed,
+            span_start=self._config.span_start,
+            span_end=self._config.span_end,
+        )
+        outage_pool = self._outages.generate()
+        base_volume = self._base_daily_volume()
+        n_days = len(base_volume)
+        share_rate = self._config.speed_share_count / max(
+            1.0, self._config.posts_per_week * n_days / 7.0
+        )
+
+        posts: List[Post] = []
+        post_counter = 0
+        for day, base in base_volume.items():
+            events = self._calendar.active_on(day)
+            outages_today = [o for o in outage_pool if o.date == day]
+            multiplier = self._calendar.volume_multiplier(day)
+            for outage in outages_today:
+                if not outage.is_headline:
+                    multiplier += 2.0 * outage.severity
+            n_posts = int(rng.poisson(base * multiplier))
+            if n_posts == 0:
+                continue
+            authors = pool.sample(rng, day, n_posts)
+            weights = self._topic_weights(day, events, outages_today)
+            weights["speed_test_share"] = share_rate * sum(
+                v for k, v in weights.items() if k != "speed_test_share"
+            ) / max(1e-9, (1 - share_rate))
+            topic_names = list(weights)
+            topic_p = np.array([weights[t] for t in topic_names])
+            topic_p = topic_p / topic_p.sum()
+
+            def served(author: Author) -> bool:
+                return self._footprint.is_available(author.country, day)
+
+            for author in authors:
+                topic = str(rng.choice(topic_names, p=topic_p))
+                first_hand = author.is_subscriber and served(author)
+                if topic == "speed_test_share" and not first_hand:
+                    # Only hardware owners in served countries can run a
+                    # speed test; swap in one so share volume stays on
+                    # target.
+                    author = pool.sample_subscriber(rng, day, predicate=served)
+                if topic == "outage_report" and not first_hand:
+                    # You can't report an outage you aren't experiencing.
+                    author = pool.sample_subscriber(rng, day, predicate=served)
+                if topic == "experience_report" and not first_hand:
+                    topic = "question"
+                post_counter += 1
+                posts.append(
+                    self._make_post(
+                        rng, f"t3_{post_counter:07d}", day, author, topic,
+                        events, outages_today, multiplier,
+                    )
+                )
+        return RedditCorpus(posts, self._config)
+
+    def _make_post(
+        self,
+        rng: np.random.Generator,
+        post_id: str,
+        day: dt.date,
+        author: Author,
+        topic: str,
+        events: List[Event],
+        outages_today: List[Outage],
+        multiplier: float,
+    ) -> Post:
+        sentiment = self._sentiment_target(
+            rng, author, topic, day, events, outages_today
+        )
+        month = month_of(day)
+        context: Dict[str, object] = {"country": author.country}
+        speed_test: Optional[SpeedTestShare] = None
+
+        if topic == "speed_test_share":
+            median = self._speeds[month] if month in self._speeds.months() else 60.0
+            speed_test = sample_speed_test(rng, median)
+            sat = self._satisfaction[month]
+            if np.isnan(sat):
+                sat = 0.5
+            sentiment = share_sentiment(
+                speed_test.download_mbps, median, float(sat)
+            ) + 0.25 * author.optimism + float(rng.normal(0, 0.28))
+            sentiment = float(np.clip(sentiment, -1, 1))
+            context.update(
+                dl=speed_test.download_mbps,
+                ul=speed_test.upload_mbps,
+                lat=int(speed_test.latency_ms),
+                provider=speed_test.provider.replace("_", " ").title(),
+            )
+
+        vocabulary: Tuple[str, ...] = ()
+        if topic in ("event_reaction", "roaming"):
+            reacting_to = _strongest_event(day, events)
+            if reacting_to is not None:
+                vocabulary = reacting_to.vocabulary
+
+        title, text = self._textgen.generate(
+            rng, topic, sentiment, vocabulary=vocabulary, context=context
+        )
+        upvotes, n_comments = self._popularity(rng, sentiment, multiplier)
+
+        comment_texts: Tuple[str, ...] = ()
+        if topic == "outage_report" and outages_today:
+            outage = max(outages_today, key=lambda o: o.severity)
+            # Big outages draw a flood of me-too confirmations whose
+            # volume grows super-linearly with duration (people keep
+            # checking back and re-reporting while it stays down).
+            expected = outage.severity * outage.duration_h**2.0 * 1.2
+            n_confirm = int(rng.poisson(expected))
+            countries = _confirmation_countries(rng, outage, self._footprint)
+            comment_texts = tuple(
+                outage_comment(rng, countries[int(rng.integers(0, len(countries)))])
+                for _ in range(n_confirm)
+            )
+            n_comments = max(n_comments, len(comment_texts))
+
+        return Post(
+            post_id=post_id,
+            created=dt.datetime.combine(
+                day, dt.time(int(rng.integers(0, 24)), int(rng.integers(0, 60)))
+            ),
+            author=author.handle,
+            title=title,
+            text=text,
+            upvotes=upvotes,
+            n_comments=n_comments,
+            topic=topic,
+            speed_test=speed_test,
+            comment_texts=comment_texts,
+        )
+
+
+def _strongest_event(day: dt.date, events: List[Event]) -> Optional[Event]:
+    best, best_weight = None, 0.0
+    for event in events:
+        weight = event.volume_boost * event.intensity_on(day)
+        if weight > best_weight:
+            best, best_weight = event, weight
+    return best
+
+
+def _confirmation_countries(
+    rng: np.random.Generator,
+    outage: Outage,
+    footprint: Footprint,
+) -> List[str]:
+    """Countries able to confirm an outage: served ones on that day."""
+    served = footprint.available_countries(outage.date)
+    n = min(len(served), outage.countries_affected)
+    picked = list(rng.choice(served, size=n, replace=False)) if n else ["US"]
+    # US reports dominate (the paper counts ~190 from the US alone).
+    return ["US"] * max(1, n // 2) + [str(c) for c in picked]

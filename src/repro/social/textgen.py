@@ -1,0 +1,333 @@
+"""Template-based post text generation.
+
+Every post is written at a *target sentiment* — the author's actual
+feeling, produced by the world simulation — and the wording carries it:
+strong feelings pick emphatic templates and vocabulary, mild ones hedge,
+neutral posts are questions and logistics.  The sentiment analyzer then
+has to recover the feeling from the words alone, the same inverse problem
+the paper solves on real posts.
+
+Templates deliberately include noise the analyzer must survive: negated
+praise in complaints, mixed clauses, and posts whose topic vocabulary
+("outage") appears in non-negative contexts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+_PLACES = ("Montana", "rural Ohio", "northern Michigan", "Saskatchewan",
+           "the Scottish highlands", "Alberta", "east Texas", "Maine",
+           "rural Oregon", "the Ozarks")
+
+_STRONG_POS = ("amazing", "fantastic", "incredible", "excellent", "flawless")
+_MILD_POS = ("solid", "decent", "reliable", "smooth", "consistent")
+_STRONG_NEG = ("terrible", "horrible", "unusable", "awful", "pathetic")
+_MILD_NEG = ("spotty", "inconsistent", "sluggish", "unreliable", "choppy")
+_NEG_FEEL = ("frustrated", "disappointed", "annoyed", "upset")
+_NEG_NOUN = ("disconnects", "dropouts", "interruptions", "slowdowns")
+
+# (title_template, body_template) per band. Slots: {place} {pos} {mpos}
+# {neg} {mneg} {feel} {noun} {vocab} {country} {dl} {ul} {lat} {provider}
+_TEMPLATES: Dict[str, Dict[str, List[Tuple[str, str]]]] = {
+    "experience_report": {
+        "strong_pos": [
+            ("Starlink has been {pos}",
+             "Been on Starlink for a few months in {place} and it has been "
+             "absolutely {pos}. Speeds are {pos2} and video calls are "
+             "perfectly stable. Love it."),
+            ("So impressed with this service",
+             "Coming from DSL this is {pos}. Everything is fast, streaming "
+             "works perfectly, zero complaints. Best decision this year."),
+        ],
+        "mild_pos": [
+            ("Pretty happy so far",
+             "Service in {place} has been {mpos} overall. The occasional "
+             "blip but mostly it just works. Happy with it."),
+            ("A month in - {mpos} experience",
+             "Speeds are {mpos} and latency is fine for remote work. "
+             "Worth it for us."),
+        ],
+        "neutral": [
+            ("Monthly check-in from {place}",
+             "Still on the standard plan. Weather has been mixed, speeds "
+             "vary by time of day. Curious what others see."),
+            ("Two months with the dish",
+             "Mounted on a pole past the tree line. Usage is mostly "
+             "streaming and email. It does what it says."),
+        ],
+        "mild_neg": [
+            ("Service getting {mneg}",
+             "The last couple of weeks have been {mneg} in the evenings. "
+             "More {noun} than before, a bit {feel} honestly."),
+            ("Evening slowdowns",
+             "Not terrible but definitely {mneg} at peak hours now. "
+             "{noun} during video calls are getting annoying."),
+        ],
+        "strong_neg": [
+            ("This is getting {neg}",
+             "Service has become {neg} here. Constant {noun}, completely "
+             "{neg2} during peak hours. Really {feel} with it."),
+            ("Done with the {noun}",
+             "I am so {feel}. {noun} every single evening, the connection "
+             "is {neg}. Not what we paid for."),
+        ],
+    },
+    "speed_test_share": {
+        "strong_pos": [
+            ("Speed test: {dl} Mbps down!",
+             "Ran {provider} just now: {dl} Mbps down, {ul} up, {lat} ms "
+             "ping. These speeds are {pos}, truly {pos2}! So happy, love "
+             "this service!"),
+            ("{dl} Mbps - {pos}!",
+             "{provider}: {dl} down / {ul} up / {lat} ms. {pos}, "
+             "absolutely {pos2} numbers! Best speeds yet, so excited!"),
+        ],
+        "mild_pos": [
+            ("{dl} Mbps this morning",
+             "{provider} result: {dl} down / {ul} up, {lat} ms ping. "
+             "{mpos} numbers for where we live."),
+        ],
+        "neutral": [
+            ("Speed test result",
+             "{provider}: {dl} Mbps down, {ul} Mbps up, ping {lat} ms. "
+             "Taken around noon, clear sky."),
+        ],
+        "mild_neg": [
+            ("Speeds down to {dl}",
+             "{provider} says {dl} down / {ul} up, {lat} ms. Used to get "
+             "much better, feels {mneg} lately."),
+        ],
+        "strong_neg": [
+            ("{dl} Mbps... seriously?",
+             "Just ran {provider}: {dl} down, {ul} up, {lat} ms. This is "
+             "{neg} for the price, {neg2} really. So {feel} and angry "
+             "with these {noun}."),
+            ("Speeds have become {neg}",
+             "{provider}: {dl} down / {ul} up / {lat} ms. {neg}, honestly "
+             "{neg2}. Paying premium for this is ridiculous, very "
+             "{feel}."),
+        ],
+    },
+    "outage_report": {
+        "strong_neg": [
+            ("Starlink down in {country}?",
+             "Is Starlink down for anyone else? Completely offline here "
+             "in {country}, dish says no signal. Total outage, really "
+             "{feel}."),
+            ("Outage right now",
+             "Service just went down, no internet at all. Obstruction map "
+             "clear, router fine - looks like an outage. {neg} timing."),
+        ],
+        "mild_neg": [
+            ("Short outage tonight",
+             "Went offline for about twenty minutes in {country}, back "
+             "now. Second small outage this week, slightly {feel}."),
+            ("Brief disconnects this evening",
+             "Anyone else seeing short dropouts tonight? Mine "
+             "disconnected twice in {country}. Came back on its own."),
+        ],
+        "neutral": [
+            ("Was there an outage last night?",
+             "Noticed the connection dropped around 2am for a few "
+             "minutes. Checking whether it was an outage or just my "
+             "setup."),
+        ],
+    },
+    "question": {
+        "neutral": [
+            ("Question about mounting",
+             "Thinking about a roof mount versus a pole in the yard. Any "
+             "advice on clearing a tree line to the north?"),
+            ("Which router do people use?",
+             "Does bypassing the stock router change anything for "
+             "gaming? Looking at options."),
+            ("Shipping to {country}?",
+             "Anyone in {country} get a shipping notice recently? Trying "
+             "to estimate the wait."),
+        ],
+    },
+    "setup_story": {
+        "mild_pos": [
+            ("Setup day!",
+             "Dishy arrived and setup took fifteen minutes. First tests "
+             "look {mpos}. Nice packaging, easy app flow."),
+        ],
+        "neutral": [
+            ("Install notes",
+             "Mounted on the chimney with the long cable. Routed through "
+             "the attic. Will report speeds after a week."),
+        ],
+    },
+    "event_reaction": {
+        "strong_pos": [
+            ("{vocab} news - this is {pos}!",
+             "This is {pos} news, absolutely {pos2}! So excited and so "
+             "happy right now. Ordered immediately, best day in years!"),
+            ("{pos} news today!",
+             "Did everyone see the {vocab} news? {pos}, truly {pos2}! "
+             "So happy and excited, this is wonderful for all of us!"),
+        ],
+        "mild_pos": [
+            ("{vocab} update",
+             "The {vocab} news looks {mpos}. Cautiously optimistic about "
+             "what it means for coverage here."),
+        ],
+        "neutral": [
+            ("{vocab} - details?",
+             "Saw the {vocab} announcement. Anyone have details on "
+             "timelines or pricing?"),
+        ],
+        "mild_neg": [
+            ("Not thrilled about the {vocab} news",
+             "The {vocab} announcement feels {mneg}. More waiting, I "
+             "guess. A bit {feel}."),
+        ],
+        "strong_neg": [
+            ("{vocab} email... {neg}",
+             "Got the {vocab} email today. Delivery delayed again, "
+             "months more waiting. Absolutely {feel}, this is {neg} "
+             "communication."),
+            ("Seriously {feel} about the {vocab}",
+             "Another {vocab} pushback. We put the deposit down a year "
+             "ago. {neg} way to treat customers."),
+        ],
+    },
+    "roaming": {
+        "strong_pos": [
+            ("Roaming is working!",
+             "Took the dish {vocab} two counties over and roaming is "
+             "working perfectly. This is {pos}! Roaming enabled without "
+             "any address change."),
+            ("Roaming enabled?!",
+             "Tested roaming on a {vocab} trip - it works! Full speeds "
+             "away from the service address. {pos}!"),
+        ],
+        "mild_pos": [
+            ("Roaming experiment",
+             "Tried the dish at a {vocab} spot 100 miles out. Roaming "
+             "worked, speeds were {mpos}. Promising."),
+        ],
+        "neutral": [
+            ("Does roaming work across borders?",
+             "Has anyone tried roaming into another state or {country}? "
+             "Wondering where the limit is."),
+        ],
+    },
+}
+
+_BANDS = ("strong_neg", "mild_neg", "neutral", "mild_pos", "strong_pos")
+
+
+def band_for(sentiment: float) -> str:
+    """Map a target sentiment in [-1, 1] to a template band."""
+    if not -1 <= sentiment <= 1:
+        raise ConfigError(f"sentiment must be in [-1, 1], got {sentiment}")
+    if sentiment <= -0.45:
+        return "strong_neg"
+    if sentiment <= -0.15:
+        return "mild_neg"
+    if sentiment < 0.15:
+        return "neutral"
+    if sentiment < 0.45:
+        return "mild_pos"
+    return "strong_pos"
+
+
+class TextGenerator:
+    """Stateless template filler."""
+
+    def generate(
+        self,
+        rng: np.random.Generator,
+        topic: str,
+        sentiment: float,
+        vocabulary: Sequence[str] = (),
+        context: Optional[Dict[str, object]] = None,
+    ) -> Tuple[str, str]:
+        """Produce (title, body) for a post.
+
+        Falls back to the nearest available band when a topic lacks
+        templates at the requested intensity (e.g. there are no positive
+        outage reports).
+        """
+        if topic not in _TEMPLATES:
+            raise ConfigError(f"unknown topic {topic!r}")
+        bands = _TEMPLATES[topic]
+        band = band_for(sentiment)
+        if band not in bands:
+            band = _nearest_band(band, bands)
+        title_t, body_t = bands[band][int(rng.integers(0, len(bands[band])))]
+        slots = self._slots(rng, vocabulary, context or {})
+        return title_t.format(**slots), body_t.format(**slots)
+
+    def _slots(
+        self,
+        rng: np.random.Generator,
+        vocabulary: Sequence[str],
+        context: Dict[str, object],
+    ) -> Dict[str, object]:
+        def pick(options: Sequence[str]) -> str:
+            return str(options[int(rng.integers(0, len(options)))])
+
+        if vocabulary:
+            # Lead with the event's primary term most of the time so the
+            # day's word cloud is dominated by it, with spillover variety.
+            if rng.random() < 0.6:
+                vocab = str(vocabulary[0])
+            else:
+                vocab = pick(list(vocabulary))
+        else:
+            vocab = "update"
+        slots: Dict[str, object] = {
+            "place": pick(_PLACES),
+            "pos": pick(_STRONG_POS),
+            "pos2": pick(_STRONG_POS),
+            "mpos": pick(_MILD_POS),
+            "neg": pick(_STRONG_NEG),
+            "neg2": pick(_STRONG_NEG),
+            "mneg": pick(_MILD_NEG),
+            "feel": pick(_NEG_FEEL),
+            "noun": pick(_NEG_NOUN),
+            "vocab": vocab,
+            "country": context.get("country", "US"),
+            "dl": context.get("dl", 80),
+            "ul": context.get("ul", 12),
+            "lat": context.get("lat", 40),
+            "provider": context.get("provider", "Speedtest"),
+        }
+        return slots
+
+
+def _nearest_band(band: str, available: Dict[str, List]) -> str:
+    order = _BANDS.index(band)
+    best = None
+    best_distance = len(_BANDS)
+    for candidate in available:
+        distance = abs(_BANDS.index(candidate) - order)
+        if distance < best_distance:
+            best, best_distance = candidate, distance
+    if best is None:
+        raise ConfigError("topic has no templates at all")
+    return best
+
+
+OUTAGE_COMMENTS = (
+    "Down here too in {country}.",
+    "Same outage in {country}, no service since this morning.",
+    "Offline here as well, dish shows disconnected.",
+    "Dead in {country} too. No internet at all.",
+    "Confirmed down in {country}. Came back after an hour.",
+    "Service down here, totally offline.",
+    "Getting nothing here either, complete outage.",
+)
+
+
+def outage_comment(rng: np.random.Generator, country: str) -> str:
+    """A me-too confirmation comment for an outage thread."""
+    template = OUTAGE_COMMENTS[int(rng.integers(0, len(OUTAGE_COMMENTS)))]
+    return template.format(country=country)

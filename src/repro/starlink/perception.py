@@ -1,0 +1,147 @@
+"""Expectation adaptation: "the wheel of time" (§4.2).
+
+The paper's most interesting Fig. 7 observation is that sentiment is a
+function of *conditioning*, not of absolute speed: Dec '21 speeds beat
+Apr '21 speeds, yet sentiment was drastically lower, because users had
+been conditioned by the Sep '21 peak; conversely sentiment recovered over
+Mar–Dec '22 while speeds kept falling, because expectations fell faster.
+
+:class:`PerceptionModel` implements this with an exponentially weighted
+expectation: each month users compare the current median speed to what
+they have come to expect, and satisfaction is the log-ratio of the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.timeline import MonthlySeries
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class PerceptionModel:
+    """Expectation-relative satisfaction.
+
+    Attributes:
+        memory: EWMA retention per month in [0, 1); higher = longer
+            conditioning (slower-moving expectations).
+        sensitivity: how strongly the speed/expectation ratio moves
+            satisfaction.
+        optimism: additive satisfaction offset — early adopters carry a
+            baseline goodwill toward the service.
+    """
+
+    memory: float = 0.88
+    sensitivity: float = 9.0
+    optimism: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.memory < 1:
+            raise ConfigError(f"memory must be in [0, 1), got {self.memory}")
+        if self.sensitivity <= 0:
+            raise ConfigError("sensitivity must be positive")
+
+    def expectations(self, speeds: MonthlySeries) -> MonthlySeries:
+        """The conditioned expectation track for a speed series.
+
+        Expectation starts at the first observed speed and relaxes toward
+        the running experience with EWMA retention ``memory``.
+        """
+        values = speeds.values
+        if np.isnan(values).all():
+            raise ConfigError("speed series is all NaN")
+        expect = np.full(len(values), np.nan)
+        level = None
+        for i, speed in enumerate(values):
+            if np.isnan(speed):
+                expect[i] = level if level is not None else np.nan
+                continue
+            if level is None:
+                level = float(speed)
+            else:
+                level = self.memory * level + (1 - self.memory) * float(speed)
+            expect[i] = level
+        return MonthlySeries(start=speeds.start, end=speeds.end, values=expect)
+
+    def satisfaction(self, speeds: MonthlySeries) -> MonthlySeries:
+        """Monthly satisfaction in [0, 1]; 0.5 = speeds meet expectations.
+
+        Satisfaction compares this month's speed to the expectation built
+        from *previous* months (a month can't condition itself).
+        """
+        values = speeds.values
+        expect = self.expectations(speeds).values
+        sat = np.full(len(values), np.nan)
+        for i, speed in enumerate(values):
+            if np.isnan(speed):
+                continue
+            # Expectation entering this month = last month's track.
+            prior = expect[i - 1] if i > 0 and not np.isnan(expect[i - 1]) else speed
+            if prior <= 0:
+                continue
+            ratio = np.log(speed / prior)
+            sat[i] = 1.0 / (1.0 + np.exp(-(self.sensitivity * ratio + self.optimism)))
+        return MonthlySeries(start=speeds.start, end=speeds.end, values=sat)
+
+    def cohort_satisfaction(
+        self,
+        speeds: MonthlySeries,
+        subscribers: "dict[tuple, int]",
+    ) -> MonthlySeries:
+        """Adoption-weighted satisfaction across join cohorts.
+
+        The single-track :meth:`satisfaction` assumes one shared
+        expectation, but the §4.2 "wheel of time" is really a *population*
+        effect: a user who joined during the Sep '21 golden era carries
+        peak-conditioned expectations forever downward, while a user who
+        joined in late '22 never saw those speeds — their bar was set on
+        arrival.  As adoption accelerates, recent cohorts dominate and
+        community sentiment recovers even while speeds keep falling.
+
+        Each cohort's expectation starts at the median speed of its join
+        month and then relaxes with EWMA retention ``memory``; cohorts are
+        weighted by their size (new subscribers that month).
+
+        Args:
+            speeds: monthly median downlink.
+            subscribers: total subscribers per (year, month) — cohort
+                sizes are the month-over-month increments.
+        """
+        months = speeds.months()
+        values = speeds.values
+        if np.isnan(values).any():
+            raise ConfigError("cohort model needs a fully populated speed series")
+        counts = [subscribers.get(m) for m in months]
+        if any(c is None for c in counts):
+            raise ConfigError("subscribers must cover every speed month")
+
+        # Cohort sizes: initial base plus monthly increments.
+        cohort_sizes = [float(counts[0])]
+        for prev, cur in zip(counts, counts[1:]):
+            cohort_sizes.append(float(max(0, cur - prev)))
+
+        sat = np.full(len(months), np.nan)
+        # expectations[c] = cohort c's conditioned expectation so far.
+        expectations: list = []
+        for t, speed in enumerate(values):
+            # New cohort joins with its bar set by today's speeds.
+            expectations.append(float(speed))
+            weighted = 0.0
+            weight_total = 0.0
+            for c in range(t + 1):
+                prior = expectations[c]
+                ratio = np.log(speed / prior) if prior > 0 else 0.0
+                cohort_sat = 1.0 / (
+                    1.0 + np.exp(-(self.sensitivity * ratio + self.optimism))
+                )
+                weighted += cohort_sizes[c] * cohort_sat
+                weight_total += cohort_sizes[c]
+                # Conditioning: the cohort's bar relaxes toward experience.
+                expectations[c] = (
+                    self.memory * prior + (1 - self.memory) * float(speed)
+                )
+            sat[t] = weighted / weight_total if weight_total > 0 else np.nan
+        return MonthlySeries(start=speeds.start, end=speeds.end, values=sat)

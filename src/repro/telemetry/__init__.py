@@ -1,0 +1,43 @@
+"""Synthetic MS Teams-like call telemetry (the §3 substrate).
+
+The paper analyses ~150–200 million proprietary enterprise call records.
+This package generates a statistically comparable (if much smaller)
+dataset *mechanistically*: simulated meetings are populated with agents
+whose in-call actions — muting, turning the camera off, leaving — are
+decisions driven by the quality they experience on their simulated network
+path.  The engagement curves of Figs. 1–4 are therefore emergent, and the
+§3 analysis pipeline (:mod:`repro.engagement`) runs on these records the
+same way it would on the real thing.
+
+Entry point: :class:`CallDatasetGenerator` →
+:class:`~repro.telemetry.store.CallDataset`.
+"""
+
+from repro.telemetry.behavior import BehaviorModel, BehaviorParams, SessionOutcome
+from repro.telemetry.feedback import FeedbackModel
+from repro.telemetry.generator import CallDatasetGenerator, GeneratorConfig
+from repro.telemetry.meetings import Meeting, MeetingScheduler
+from repro.telemetry.network_profiles import ProfileSampler
+from repro.telemetry.platforms import PLATFORMS, Platform
+from repro.telemetry.schema import CallRecord, ParticipantRecord
+from repro.telemetry.store import CallDataset
+from repro.telemetry.users import User, UserPopulation
+
+__all__ = [
+    "BehaviorModel",
+    "BehaviorParams",
+    "CallDataset",
+    "CallDatasetGenerator",
+    "CallRecord",
+    "FeedbackModel",
+    "GeneratorConfig",
+    "Meeting",
+    "MeetingScheduler",
+    "PLATFORMS",
+    "ParticipantRecord",
+    "Platform",
+    "ProfileSampler",
+    "SessionOutcome",
+    "User",
+    "UserPopulation",
+]

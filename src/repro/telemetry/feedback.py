@@ -1,0 +1,83 @@
+"""Explicit end-of-call feedback: the sparse star ratings behind MOS.
+
+§3.1: *"MS Teams requests a subset of users to submit explicit feedback at
+the end of sessions — a rating between 1 (worst) and 5 (best). ... Such
+feedback is only provided for a small fraction (between 0.1% and 1%) of
+sessions."*
+
+The rating model is driven primarily by the quality the user actually
+experienced, with a personal leniency bias and response noise.  Users who
+were driven out of the call early carry their annoyance into the rating.
+Because engagement decisions (behavior.py) and ratings share the same
+underlying experienced quality, the Fig. 4 engagement↔MOS correlation is
+emergent rather than assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class FeedbackModel:
+    """End-of-session rating prompt and response model.
+
+    Attributes:
+        sample_rate: probability a session is prompted for feedback; the
+            paper reports 0.1–1 %.
+        response_rate: probability a prompted user actually answers rather
+            than dismissing the splash screen.
+        bias_sd: standard deviation of per-user leniency (rating points).
+        noise_sd: response noise (rating points).
+        drop_penalty: rating points removed when the user was driven to
+            leave early.
+    """
+
+    sample_rate: float = 0.005
+    response_rate: float = 0.5
+    bias_sd: float = 0.45
+    noise_sd: float = 0.55
+    drop_penalty: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.sample_rate <= 1:
+            raise ConfigError(f"sample_rate must be in [0, 1], got {self.sample_rate}")
+        if not 0 <= self.response_rate <= 1:
+            raise ConfigError("response_rate must be in [0, 1]")
+        for name in ("bias_sd", "noise_sd", "drop_penalty"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+    def maybe_rating(
+        self,
+        rng: np.random.Generator,
+        experienced_mos: float,
+        dropped_early: bool,
+    ) -> Optional[int]:
+        """Return a 1–5 rating, or None when not prompted / not answered.
+
+        Args:
+            experienced_mos: mean overall quality (1–5) over the intervals
+                the user attended.
+            dropped_early: whether the user was driven out early.
+        """
+        if not 1 <= experienced_mos <= 5:
+            raise ConfigError(
+                f"experienced_mos must be in [1, 5], got {experienced_mos}"
+            )
+        if rng.random() >= self.sample_rate:
+            return None
+        if rng.random() >= self.response_rate:
+            return None
+        raw = (
+            experienced_mos
+            + rng.normal(0, self.bias_sd)
+            + rng.normal(0, self.noise_sd)
+            - (self.drop_penalty if dropped_early else 0.0)
+        )
+        return int(np.clip(round(raw), 1, 5))

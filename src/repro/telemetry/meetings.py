@@ -1,0 +1,113 @@
+"""Meeting scheduling: when calls happen and who is in them.
+
+The paper's cohort (§3.1) is *enterprise calls during business hours
+(9 AM–8 PM EST) on weekdays with 3+ participants, all in the US*.  The
+scheduler generates a realistic superset — some weekend/evening calls,
+some tiny 1:1 calls, some international participants, some consumer
+tenants — so that the cohort filter in :mod:`repro.engagement.cohort`
+actually has something to remove.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+# Scheduled lengths in minutes with calendar-realistic weights.
+_DURATION_CHOICES_MIN = np.array([15, 30, 45, 60])
+_DURATION_WEIGHTS = np.array([0.30, 0.45, 0.15, 0.10])
+
+# Meeting size distribution: mostly small meetings, a tail of large ones.
+_SIZE_CHOICES = np.array([2, 3, 4, 5, 6, 8, 10, 15, 25])
+_SIZE_WEIGHTS = np.array([0.18, 0.20, 0.18, 0.14, 0.12, 0.08, 0.05, 0.03, 0.02])
+
+_COUNTRIES = np.array(["US", "US", "US", "US", "US", "US", "US", "IN", "GB", "DE"])
+
+
+@dataclass(frozen=True)
+class Meeting:
+    """A scheduled meeting before anyone joins."""
+
+    call_id: str
+    start: dt.datetime
+    scheduled_duration_s: float
+    size: int
+    is_enterprise: bool
+    countries: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ConfigError("meeting size must be >= 1")
+        if len(self.countries) != self.size:
+            raise ConfigError("one country per participant required")
+        if self.scheduled_duration_s <= 0:
+            raise ConfigError("scheduled_duration_s must be positive")
+
+
+class MeetingScheduler:
+    """Draws meetings over a date span with business-hours clustering."""
+
+    def __init__(
+        self,
+        span_start: dt.date = dt.date(2022, 1, 3),
+        span_end: dt.date = dt.date(2022, 4, 29),
+        enterprise_share: float = 0.85,
+        us_only_share: float = 0.80,
+    ) -> None:
+        if span_end < span_start:
+            raise ConfigError("span_end precedes span_start")
+        if not 0 <= enterprise_share <= 1:
+            raise ConfigError("enterprise_share must be in [0, 1]")
+        if not 0 <= us_only_share <= 1:
+            raise ConfigError("us_only_share must be in [0, 1]")
+        self._span_start = span_start
+        self._span_end = span_end
+        self._enterprise_share = enterprise_share
+        self._us_only_share = us_only_share
+
+    def _sample_start(self, rng: np.random.Generator) -> dt.datetime:
+        n_days = (self._span_end - self._span_start).days + 1
+        while True:
+            day = self._span_start + dt.timedelta(days=int(rng.integers(0, n_days)))
+            # Calls cluster on weekdays; ~7 % land on weekends anyway.
+            if day.weekday() >= 5 and rng.random() > 0.07:
+                continue
+            # Hours cluster in 9-20 local; ~10 % are off-hours.
+            if rng.random() < 0.90:
+                hour = int(rng.integers(9, 20))
+            else:
+                hour = int(rng.choice([7, 8, 20, 21, 22]))
+            minute = int(rng.choice([0, 15, 30, 45]))
+            return dt.datetime(day.year, day.month, day.day, hour, minute)
+
+    def sample(self, rng: np.random.Generator, call_id: str) -> Meeting:
+        """Draw one meeting."""
+        size = int(rng.choice(_SIZE_CHOICES, p=_SIZE_WEIGHTS / _SIZE_WEIGHTS.sum()))
+        duration_min = float(
+            rng.choice(_DURATION_CHOICES_MIN, p=_DURATION_WEIGHTS / _DURATION_WEIGHTS.sum())
+        )
+        if rng.random() < self._us_only_share:
+            countries = tuple(["US"] * size)
+        else:
+            countries = tuple(
+                str(c) for c in rng.choice(_COUNTRIES, size=size)
+            )
+        return Meeting(
+            call_id=call_id,
+            start=self._sample_start(rng),
+            scheduled_duration_s=duration_min * 60,
+            size=size,
+            is_enterprise=bool(rng.random() < self._enterprise_share),
+            countries=countries,
+        )
+
+    def sample_many(self, rng: np.random.Generator, n: int,
+                    id_prefix: str = "call") -> List[Meeting]:
+        if n < 0:
+            raise ConfigError("n must be non-negative")
+        return [self.sample(rng, f"{id_prefix}-{i:08d}") for i in range(n)]

@@ -1,0 +1,95 @@
+"""Per-participant network-condition sampling for call generation.
+
+Fig. 1's methodology needs *support everywhere*: to study latency while
+holding loss/jitter/bandwidth inside tight control windows, the call
+population must contain sessions with (say) 250 ms latency but pristine
+loss.  Real access networks provide exactly this diversity — a fibre user
+on a VPN through a distant gateway has high latency and zero loss, a
+nearby cable user in a congested neighbourhood has the opposite.
+
+The tier-based sampler in :mod:`repro.netsim.link` correlates the four
+metrics (bad tiers are bad at everything), so :class:`ProfileSampler`
+partially decorrelates them: each metric is independently redrawn from a
+wide log-uniform range with probability ``decorrelate``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.netsim.link import LinkProfile, sample_link_profile
+
+# Wide axis ranges covering each panel of Fig. 1 (plus headroom).
+_LATENCY_RANGE_MS = (4.0, 350.0)
+_LOSS_RANGE = (1e-4, 0.06)
+_JITTER_RANGE_MS = (0.4, 25.0)
+_BANDWIDTH_RANGE_MBPS = (0.4, 4.5)
+
+
+def _log_uniform(rng: np.random.Generator, low: float, high: float) -> float:
+    return float(np.exp(rng.uniform(np.log(low), np.log(high))))
+
+
+@dataclass(frozen=True)
+class ProfileSampler:
+    """Draws per-session link profiles with tunable metric independence.
+
+    Attributes:
+        decorrelate: per-metric probability of replacing the tier-derived
+            value with an independent wide-range draw.  0 reproduces the
+            realistic-but-correlated tier population; 1 gives a fully
+            independent population (maximum bin support, used by the
+            figure benchmarks).
+    """
+
+    decorrelate: float = 0.5
+    mobile_tier_affinity: float = 0.6
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.decorrelate <= 1:
+            raise ConfigError(f"decorrelate must be in [0, 1], got {self.decorrelate}")
+        if not 0 <= self.mobile_tier_affinity <= 1:
+            raise ConfigError(
+                f"mobile_tier_affinity must be in [0, 1], "
+                f"got {self.mobile_tier_affinity}"
+            )
+
+    def sample(
+        self,
+        rng: np.random.Generator,
+        is_mobile: bool = False,
+    ) -> LinkProfile:
+        """Draw a profile, optionally conditioned on device class.
+
+        Mobile participants draw from the cellular tiers with probability
+        ``mobile_tier_affinity`` — the realistic platform/network
+        correlation that makes §6's confounding question non-trivial (a
+        naive latency curve partly reflects *who* is on bad networks).
+        """
+        if is_mobile and rng.random() < self.mobile_tier_affinity:
+            tier = str(rng.choice(["mobile_lte", "weak_mobile"]))
+            base = sample_link_profile(rng, tier=tier)
+        else:
+            base = sample_link_profile(rng)
+        latency = base.base_latency_ms
+        loss = base.loss_rate
+        jitter = base.jitter_ms
+        bandwidth = base.bandwidth_mbps
+        if rng.random() < self.decorrelate:
+            latency = _log_uniform(rng, *_LATENCY_RANGE_MS)
+        if rng.random() < self.decorrelate:
+            loss = _log_uniform(rng, *_LOSS_RANGE)
+        if rng.random() < self.decorrelate:
+            jitter = _log_uniform(rng, *_JITTER_RANGE_MS)
+        if rng.random() < self.decorrelate:
+            bandwidth = _log_uniform(rng, *_BANDWIDTH_RANGE_MBPS)
+        return LinkProfile(
+            base_latency_ms=latency,
+            loss_rate=loss,
+            jitter_ms=jitter,
+            bandwidth_mbps=bandwidth,
+            burstiness=base.burstiness,
+        )

@@ -1,0 +1,46 @@
+"""Tests for peak annotation (word clouds + news)."""
+
+import datetime as dt
+
+import pytest
+
+from repro.analysis.peak_annotation import annotate_peak
+from repro.errors import AnalysisError
+from repro.social.events import EventCalendar, build_news_index
+
+
+@pytest.fixture(scope="module")
+def index():
+    return build_news_index(EventCalendar())
+
+
+class TestAnnotatePeak:
+    def test_preorder_peak_explained(self, full_corpus, index):
+        annotation = annotate_peak(full_corpus, index, dt.date(2021, 2, 9))
+        assert annotation.explained_by_news
+        assert "preorders" in annotation.headline.lower()
+
+    def test_delay_peak_explained(self, full_corpus, index):
+        annotation = annotate_peak(full_corpus, index, dt.date(2021, 11, 24))
+        assert annotation.explained_by_news
+
+    def test_april_outage_unexplained(self, full_corpus, index):
+        """The paper's negative result: a clear peak, no news."""
+        annotation = annotate_peak(full_corpus, index, dt.date(2022, 4, 22))
+        assert not annotation.explained_by_news
+        assert annotation.headline is None
+
+    def test_april_cloud_contains_outage_in_top3(self, full_corpus, index):
+        """Fig. 5b: 'outage' among the top cloud words on 22 Apr '22."""
+        annotation = annotate_peak(full_corpus, index, dt.date(2022, 4, 22))
+        assert "outage" in annotation.search_keywords
+
+    def test_keywords_are_top_cloud_unigrams(self, full_corpus, index):
+        annotation = annotate_peak(full_corpus, index, dt.date(2021, 2, 9))
+        top = [w for w, _ in annotation.cloud.top_unigrams(3)]
+        assert list(annotation.search_keywords) == top
+
+    def test_empty_day_raises(self, index, small_corpus):
+        with pytest.raises(AnalysisError):
+            # Day before the small corpus starts has no posts.
+            annotate_peak(small_corpus, index, dt.date(2021, 6, 1))

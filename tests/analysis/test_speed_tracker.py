@@ -1,0 +1,75 @@
+"""Tests for the Fig. 7 OCR speed-tracking pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.speed_tracker import track_speeds
+from repro.errors import AnalysisError
+from repro.ocr.noise import NoiseModel
+
+
+@pytest.fixture(scope="module")
+def track(full_corpus):
+    return track_speeds(full_corpus)
+
+
+class TestTrackSpeeds:
+    def test_funnel_counts(self, track):
+        assert track.n_shared > 1000
+        assert 0 < track.n_extracted <= track.n_shared
+        assert track.extraction_rate > 0.8
+
+    def test_monthly_medians_cover_span(self, track):
+        populated = sum(1 for _, v in track.median.items() if not np.isnan(v))
+        assert populated >= 20  # nearly all 24 months
+
+    def test_speeds_rise_then_fall(self, track):
+        assert track.median.slice((2021, 1), (2021, 9)).trend() > 0
+        assert track.median.slice((2021, 9), (2022, 12)).trend() < 0
+
+    def test_subsample_stability(self, track):
+        """§4.2: medians with 95%/90% of the data closely follow."""
+        assert set(track.subsampled) == {0.95, 0.90}
+        assert track.max_subsample_deviation() < 0.15
+
+    def test_extracted_medians_track_truth(self, track, full_corpus):
+        """OCR noise must not bias the medians (medians are robust)."""
+        truth = {}
+        for post in full_corpus.speed_shares():
+            month = (post.date.year, post.date.month)
+            truth.setdefault(month, []).append(post.speed_test.download_mbps)
+        for month, values in truth.items():
+            if len(values) < 20:
+                continue
+            measured = track.median[month]
+            if np.isnan(measured):
+                continue
+            assert measured == pytest.approx(float(np.median(values)), rel=0.15)
+
+    def test_provider_breakdown_present(self, track):
+        assert {"ookla", "starlink_app"} <= set(track.by_provider)
+
+    def test_providers_agree(self, track):
+        """Pooling across providers is sound: no provider's monthly
+        median strays far from the pooled one."""
+        assert track.provider_agreement() < 0.35
+
+    def test_provider_series_share_span(self, track):
+        for series in track.by_provider.values():
+            assert series.start == track.median.start
+            assert series.end == track.median.end
+
+    def test_clean_noise_model_higher_extraction(self, full_corpus, track):
+        clean = track_speeds(full_corpus, noise=NoiseModel.clean())
+        assert clean.extraction_rate >= track.extraction_rate
+
+    def test_rejects_corpus_without_shares(self, small_corpus):
+        class Empty:
+            config = small_corpus.config
+
+            @staticmethod
+            def speed_shares():
+                return []
+
+        with pytest.raises(AnalysisError):
+            track_speeds(Empty())

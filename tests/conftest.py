@@ -1,0 +1,51 @@
+"""Shared fixtures.
+
+The expensive artefacts (a call dataset, a social corpus) are generated
+once per session at reduced scale; individual tests that need different
+parameters build their own small instances.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+
+import pytest
+
+from repro.rng import derive
+from repro.social import CorpusConfig, CorpusGenerator
+from repro.telemetry import CallDatasetGenerator, GeneratorConfig
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return derive(1234, "tests")
+
+
+@pytest.fixture()
+def fresh_rng():
+    return derive(99, "tests", "fresh")
+
+
+@pytest.fixture(scope="session")
+def small_dataset():
+    """~150 calls with oversampled ratings (for MOS analyses)."""
+    config = GeneratorConfig(n_calls=150, seed=42, mos_sample_rate=0.3)
+    return CallDatasetGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def small_corpus():
+    """Six corpus months covering the 2022 headline outages and roaming."""
+    config = CorpusConfig(
+        seed=42,
+        span_start=dt.date(2022, 1, 1),
+        span_end=dt.date(2022, 6, 30),
+        author_pool_size=800,
+    )
+    return CorpusGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def full_corpus():
+    """The full two-year corpus (shared by the §4 pipeline tests)."""
+    return CorpusGenerator(CorpusConfig(seed=42, author_pool_size=1500)).generate()

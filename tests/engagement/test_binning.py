@@ -1,0 +1,68 @@
+"""Tests for engagement-curve binning."""
+
+import numpy as np
+import pytest
+
+from repro.engagement.binning import engagement_curve
+from repro.engagement.cohort import ConditionWindow
+from repro.errors import AnalysisError
+from tests.telemetry.test_schema import participant
+
+
+def participants_with_latency(values, presence=None):
+    out = []
+    for i, lat in enumerate(values):
+        p = participant()
+        network = {
+            m: {"mean": 1.0, "median": 1.0, "p95": 1.0}
+            for m in ("loss_pct", "jitter_ms", "bandwidth_mbps")
+        }
+        network["latency_ms"] = {"mean": lat, "median": lat, "p95": lat}
+        out.append(
+            type(p)(
+                call_id="c", user_id=f"u{i}", platform="windows_pc",
+                country="US", session_duration_s=600,
+                presence_pct=presence[i] if presence else 80.0,
+                cam_on_pct=50.0, mic_on_pct=40.0, dropped_early=False,
+                network=network,
+            )
+        )
+    return out
+
+
+class TestEngagementCurve:
+    def test_basic_binning(self):
+        pool = participants_with_latency(
+            [10, 20, 110, 120], presence=[90, 70, 50, 30]
+        )
+        curve = engagement_curve(pool, "latency_ms", "presence_pct",
+                                 edges=[0, 100, 200])
+        assert curve.stat[0] == pytest.approx(80.0)
+        assert curve.stat[1] == pytest.approx(40.0)
+
+    def test_dropped_early_metric(self):
+        pool = participants_with_latency([10, 20])
+        curve = engagement_curve(pool, "latency_ms", "dropped_early",
+                                 edges=[0, 100])
+        assert curve.stat[0] == 0.0  # nobody dropped
+
+    def test_control_windows_filter(self):
+        pool = participants_with_latency([10, 20])
+        tight = [ConditionWindow("loss_pct", 5, 10)]  # excludes everyone
+        with pytest.raises(AnalysisError):
+            engagement_curve(pool, "latency_ms", "presence_pct",
+                             edges=[0, 100], control_windows=tight)
+
+    def test_min_bin_count_masks(self):
+        pool = participants_with_latency([10, 20, 30, 150])
+        curve = engagement_curve(pool, "latency_ms", "presence_pct",
+                                 edges=[0, 100, 200], min_bin_count=2)
+        assert not np.isnan(curve.stat[0])
+        assert np.isnan(curve.stat[1])
+
+    def test_rejects_unknown_metrics(self):
+        pool = participants_with_latency([10])
+        with pytest.raises(AnalysisError):
+            engagement_curve(pool, "rtt", "presence_pct", edges=[0, 1])
+        with pytest.raises(AnalysisError):
+            engagement_curve(pool, "latency_ms", "smiles", edges=[0, 1])

@@ -1,0 +1,87 @@
+"""Tests for the Fig. 2 compound grid."""
+
+import numpy as np
+import pytest
+
+from repro.engagement.compound import CompoundGrid, compound_presence_grid
+from repro.errors import AnalysisError
+from tests.engagement.test_binning import participants_with_latency
+from tests.telemetry.test_schema import participant
+
+
+def participant_at(lat, loss, presence):
+    base = participant()
+    network = {
+        "latency_ms": {"mean": lat, "median": lat, "p95": lat},
+        "loss_pct": {"mean": loss, "median": loss, "p95": loss},
+        "jitter_ms": {"mean": 1.0, "median": 1.0, "p95": 1.0},
+        "bandwidth_mbps": {"mean": 3.5, "median": 3.5, "p95": 3.5},
+    }
+    return type(base)(
+        call_id="c", user_id="u", platform="windows_pc", country="US",
+        session_duration_s=600, presence_pct=presence, cam_on_pct=50,
+        mic_on_pct=40, dropped_early=False, network=network,
+    )
+
+
+class TestCompoundGrid:
+    def test_cells_populated_correctly(self):
+        pool = (
+            [participant_at(10, 0.1, 95)] * 5
+            + [participant_at(280, 4.0, 45)] * 5
+        )
+        grid = compound_presence_grid(pool, min_cell_count=3)
+        assert grid.best() == pytest.approx(95.0)
+        assert grid.worst() == pytest.approx(45.0)
+
+    def test_max_dip(self):
+        pool = (
+            [participant_at(10, 0.1, 100)] * 5
+            + [participant_at(280, 4.0, 50)] * 5
+        )
+        grid = compound_presence_grid(pool, min_cell_count=3)
+        assert grid.max_dip_pct() == pytest.approx(50.0)
+
+    def test_relative_grid(self):
+        pool = (
+            [participant_at(10, 0.1, 100)] * 5
+            + [participant_at(280, 4.0, 25)] * 5
+        )
+        rel = compound_presence_grid(pool, min_cell_count=3).relative()
+        finite = rel[~np.isnan(rel)]
+        assert finite.max() == pytest.approx(100.0)
+        assert finite.min() == pytest.approx(25.0)
+
+    def test_sparse_cells_stay_nan(self):
+        pool = [participant_at(10, 0.1, 90)] * 2
+        grid = compound_presence_grid(pool, min_cell_count=5)
+        assert np.isnan(grid.stat).all()
+        with pytest.raises(AnalysisError):
+            grid.best()
+
+    def test_counts_track_samples(self):
+        pool = [participant_at(10, 0.1, 90)] * 7
+        grid = compound_presence_grid(pool, min_cell_count=1)
+        assert grid.counts.sum() == 7
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(AnalysisError):
+            compound_presence_grid([])
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(AnalysisError):
+            compound_presence_grid(
+                [participant_at(10, 0.1, 90)], latency_edges=(5,)
+            )
+
+    def test_compounding_emerges_from_simulation(self, small_dataset):
+        """Joint degradation hurts more than the best cell by a wide margin."""
+        pool = list(small_dataset.participants())
+        grid = compound_presence_grid(
+            pool,
+            latency_edges=(0, 100, 300),
+            loss_edges=(0, 0.5, 5.0),
+            min_cell_count=5,
+        )
+        if not np.isnan(grid.stat).all():
+            assert grid.max_dip_pct() >= 0.0

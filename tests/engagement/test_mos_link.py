@@ -1,0 +1,41 @@
+"""Tests for the Fig. 4 engagement↔MOS analysis."""
+
+import numpy as np
+import pytest
+
+from repro.engagement.mos_link import mos_by_engagement
+from repro.errors import AnalysisError
+
+
+class TestMosByEngagement:
+    def test_curves_and_correlations(self, small_dataset):
+        result = mos_by_engagement(small_dataset.participants())
+        assert result.n_rated >= 20
+        assert set(result.curves) == {"presence_pct", "cam_on_pct", "mic_on_pct"}
+        assert set(result.correlations) == set(result.curves)
+
+    def test_engagement_positively_correlates_with_mos(self, small_dataset):
+        """§3.3: engagement metrics correlate well with MOS."""
+        result = mos_by_engagement(small_dataset.participants())
+        assert result.correlations["presence_pct"] > 0.1
+        assert all(r > -0.1 for r in result.correlations.values())
+
+    def test_all_correlations_meaningfully_positive(self, small_dataset):
+        """At this fixture's sample size (<100 rated) the *ranking* among
+        the three metrics is noise; the paper-faithful strict assertion
+        (Presence strongest) lives in the Fig. 4 benchmark, which runs on
+        >1000 rated sessions.  Here we assert the substantive part: every
+        engagement metric correlates positively and non-trivially."""
+        result = mos_by_engagement(small_dataset.participants())
+        assert all(r > 0.15 for r in result.correlations.values())
+
+    def test_curve_rises_with_engagement(self, small_dataset):
+        result = mos_by_engagement(small_dataset.participants())
+        curve = result.curves["presence_pct"]
+        finite = curve.stat[~np.isnan(curve.stat)]
+        if len(finite) >= 2:
+            assert finite[-1] >= finite[0]
+
+    def test_rejects_too_few_rated(self):
+        with pytest.raises(AnalysisError):
+            mos_by_engagement([])

@@ -1,0 +1,58 @@
+"""Tests for the Fig. 3 per-platform analysis."""
+
+import numpy as np
+import pytest
+
+from repro.engagement.platform import platform_curves, sensitivity_ranking
+from repro.errors import AnalysisError
+from repro.netsim.link import LinkProfile
+from repro.telemetry import CallDatasetGenerator, GeneratorConfig
+from repro.telemetry.generator import focal_participants
+
+
+@pytest.fixture(scope="module")
+def platform_sweep():
+    """Loss sweeps with the focal participant pinned to each platform."""
+    base = LinkProfile(base_latency_ms=25, loss_rate=0.001, jitter_ms=2,
+                       bandwidth_mbps=3.5)
+    pools = {}
+    for key in ("windows_pc", "android_mobile"):
+        gen = CallDatasetGenerator(GeneratorConfig(n_calls=0, seed=66))
+        ds = gen.generate_sweep(
+            base, "loss", [0.001, 0.02, 0.04], calls_per_value=35,
+            platform_key=key,
+        )
+        pools[key] = focal_participants(ds)
+    return pools
+
+
+class TestPlatformCurves:
+    def test_curves_per_platform(self, platform_sweep):
+        pool = platform_sweep["windows_pc"] + platform_sweep["android_mobile"]
+        curves = platform_curves(
+            pool, edges=np.linspace(0, 5, 6),
+            use_control_windows=False, min_bin_count=3,
+            min_platform_sessions=20,
+        )
+        assert "windows_pc" in curves
+        assert "android_mobile" in curves
+
+    def test_mobile_more_sensitive(self, platform_sweep):
+        pool = platform_sweep["windows_pc"] + platform_sweep["android_mobile"]
+        curves = platform_curves(
+            pool, edges=np.linspace(0, 5, 6),
+            use_control_windows=False, min_bin_count=3,
+            min_platform_sessions=20,
+        )
+        ranking = sensitivity_ranking(curves)
+        assert ranking["android_mobile"] > ranking["windows_pc"]
+
+    def test_small_platforms_omitted(self, platform_sweep):
+        pool = platform_sweep["windows_pc"][:5]
+        with pytest.raises(AnalysisError):
+            platform_curves(pool, min_platform_sessions=30,
+                            use_control_windows=False)
+
+    def test_rejects_empty(self):
+        with pytest.raises(AnalysisError):
+            platform_curves([])

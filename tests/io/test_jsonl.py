@@ -1,0 +1,48 @@
+"""Tests for JSONL helpers."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.errors import SchemaError
+from repro.io.jsonl import iter_jsonl, read_jsonl, write_jsonl
+
+
+class TestRoundTrip:
+    def test_basic(self, tmp_path):
+        path = tmp_path / "x.jsonl"
+        records = [{"a": 1}, {"b": [1, 2]}, "plain", 42]
+        assert write_jsonl(path, records) == 4
+        assert read_jsonl(path) == records
+
+    def test_dates_serialised(self, tmp_path):
+        path = tmp_path / "d.jsonl"
+        write_jsonl(path, [{"day": dt.date(2022, 4, 22)}])
+        assert read_jsonl(path) == [{"day": "2022-04-22"}]
+
+    def test_numpy_scalars_serialised(self, tmp_path):
+        path = tmp_path / "n.jsonl"
+        write_jsonl(path, [{"v": np.float64(1.5), "i": np.int64(3)}])
+        assert read_jsonl(path) == [{"v": 1.5, "i": 3}]
+
+    def test_unserialisable_raises(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        with pytest.raises(TypeError):
+            write_jsonl(path, [{"f": object()}])
+
+    def test_bad_line_reports_number(self, tmp_path):
+        path = tmp_path / "corrupt.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(SchemaError, match="2"):
+            read_jsonl(path)
+
+    def test_iter_streams(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        write_jsonl(path, [{"i": i} for i in range(5)])
+        assert sum(r["i"] for r in iter_jsonl(path)) == 10
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "b.jsonl"
+        path.write_text('{"a": 1}\n\n{"b": 2}\n')
+        assert len(read_jsonl(path)) == 2

@@ -1,0 +1,57 @@
+"""Tests for the jitter process."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim.jitter import JitterProcess
+from repro.rng import derive
+
+
+class TestJitterProcess:
+    def test_zero_scale_is_zero(self, fresh_rng):
+        j = JitterProcess(scale_ms=0.0)
+        assert j.sample_interval(fresh_rng) == 0.0
+
+    def test_mean_tracks_scale(self):
+        rng = derive(21, "jitter")
+        j = JitterProcess(scale_ms=5.0, spike_prob=0.0)
+        samples = [j.sample_interval(rng) for _ in range(2000)]
+        assert np.mean(samples) == pytest.approx(5.0, rel=0.15)
+
+    def test_samples_positive(self):
+        rng = derive(22, "jitter-pos")
+        j = JitterProcess(scale_ms=1.0)
+        assert all(j.sample_interval(rng) > 0 for _ in range(500))
+
+    def test_spikes_raise_tail(self):
+        base_rng = derive(23, "jitter-base")
+        spiky_rng = derive(23, "jitter-spiky")
+        calm = JitterProcess(scale_ms=5.0, spike_prob=0.0)
+        spiky = JitterProcess(scale_ms=5.0, spike_prob=0.3, spike_factor=4.0)
+        calm_p99 = np.percentile([calm.sample_interval(base_rng) for _ in range(2000)], 99)
+        spiky_p99 = np.percentile([spiky.sample_interval(spiky_rng) for _ in range(2000)], 99)
+        assert spiky_p99 > calm_p99
+
+    def test_temporal_correlation(self):
+        rng = derive(24, "jitter-corr")
+        j = JitterProcess(scale_ms=5.0, persistence=0.9, spike_prob=0.0)
+        samples = np.array([j.sample_interval(rng) for _ in range(3000)])
+        lag1 = np.corrcoef(samples[:-1], samples[1:])[0, 1]
+        assert lag1 > 0.5  # AR(1) with persistence 0.9 is strongly autocorrelated
+
+    def test_reset_forgets_state(self, fresh_rng):
+        j = JitterProcess(scale_ms=5.0)
+        j.sample_interval(fresh_rng)
+        j.reset()
+        assert not j._initialised
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(scale_ms=-1),
+        dict(scale_ms=1, persistence=1.0),
+        dict(scale_ms=1, spike_prob=2.0),
+        dict(scale_ms=1, spike_factor=0.5),
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            JitterProcess(**kwargs)

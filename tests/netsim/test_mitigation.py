@@ -1,0 +1,86 @@
+"""Tests for the application-layer mitigation stack."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim.mitigation import MitigationStack
+from repro.netsim.trace import ConditionSample
+
+
+def sample(lat=20, loss=0.0, jit=2.0, bw=3.0):
+    return ConditionSample(t_s=0, latency_ms=lat, loss_pct=loss,
+                           jitter_ms=jit, bandwidth_mbps=bw)
+
+
+class TestMitigationStack:
+    def test_fec_repairs_random_in_budget_loss(self):
+        stack = MitigationStack()
+        eff = stack.apply(sample(loss=1.5), burstiness=0.0)
+        # 1.5% raw loss, within budget, ~92% repaired + concealment.
+        assert eff.residual_audio_loss_pct < 0.1
+
+    def test_over_budget_loss_leaks_through(self):
+        stack = MitigationStack()
+        in_budget = stack.apply(sample(loss=2.0), burstiness=0.0)
+        over = stack.apply(sample(loss=4.0), burstiness=0.0)
+        leak = over.residual_audio_loss_pct - in_budget.residual_audio_loss_pct
+        # Everything beyond the 2% budget survives FEC (only concealment
+        # damps it): the knee the §3.2 drop-off observation rides on.
+        assert leak == pytest.approx(2.0 * (1 - stack.audio_concealment), rel=0.05)
+
+    def test_burstiness_degrades_fec(self):
+        stack = MitigationStack()
+        random_loss = stack.apply(sample(loss=1.5), burstiness=0.0)
+        bursty_loss = stack.apply(sample(loss=1.5), burstiness=0.9)
+        assert (
+            bursty_loss.residual_audio_loss_pct
+            > random_loss.residual_audio_loss_pct
+        )
+
+    def test_jitter_buffer_absorbs_small_jitter(self):
+        stack = MitigationStack(jitter_buffer_ms=4.0)
+        eff = stack.apply(sample(jit=3.0))
+        assert eff.residual_video_loss_pct == pytest.approx(0.0, abs=1e-9)
+
+    def test_excess_jitter_hits_video_hardest(self):
+        stack = MitigationStack()
+        eff = stack.apply(sample(jit=12.0))
+        assert eff.residual_video_loss_pct > eff.residual_audio_loss_pct
+
+    def test_buffer_adds_delay(self):
+        stack = MitigationStack(jitter_buffer_ms=4.0)
+        eff = stack.apply(sample(lat=50, jit=10))
+        assert eff.delay_ms == pytest.approx(50 + 4 + 4)
+
+    def test_bandwidth_shares(self):
+        stack = MitigationStack(video_target_mbps=1.0, audio_target_mbps=0.064)
+        eff = stack.apply(sample(bw=0.5))
+        assert eff.video_bitrate_share == 0.5
+        assert eff.audio_bitrate_share == 1.0  # audio needs almost nothing
+
+    def test_disabled_stack_passes_loss_through(self):
+        eff = MitigationStack.disabled().apply(
+            sample(loss=2.0, jit=0.0), burstiness=0.0
+        )
+        assert eff.residual_audio_loss_pct == pytest.approx(2.0)
+
+    def test_disabled_is_strictly_worse(self):
+        s = sample(loss=1.0, jit=8.0)
+        on = MitigationStack().apply(s, burstiness=0.3)
+        off = MitigationStack.disabled().apply(s, burstiness=0.3)
+        assert off.residual_audio_loss_pct > on.residual_audio_loss_pct
+        assert off.residual_video_loss_pct > on.residual_video_loss_pct
+
+    def test_rejects_bad_burstiness(self):
+        with pytest.raises(ConfigError):
+            MitigationStack().apply(sample(), burstiness=1.5)
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(fec_efficiency=1.5),
+        dict(jitter_buffer_ms=-1),
+        dict(audio_concealment=-0.1),
+        dict(video_target_mbps=0),
+    ])
+    def test_rejects_invalid_config(self, kwargs):
+        with pytest.raises(ConfigError):
+            MitigationStack(**kwargs)

@@ -1,0 +1,67 @@
+"""Tests for path composition."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim.link import LinkProfile
+from repro.netsim.path import NetworkPath, access_plus_backbone
+
+
+def profile(lat=10, loss=0.01, jit=3, bw=2.0, burst=0.3):
+    return LinkProfile(base_latency_ms=lat, loss_rate=loss, jitter_ms=jit,
+                       bandwidth_mbps=bw, burstiness=burst)
+
+
+class TestNetworkPath:
+    def test_latency_adds(self):
+        e2e = NetworkPath.of(profile(lat=10), profile(lat=25)).end_to_end()
+        assert e2e.base_latency_ms == 35
+
+    def test_loss_composes_multiplicatively(self):
+        e2e = NetworkPath.of(profile(loss=0.1), profile(loss=0.1)).end_to_end()
+        assert e2e.loss_rate == pytest.approx(1 - 0.9 * 0.9)
+
+    def test_jitter_adds_in_quadrature(self):
+        e2e = NetworkPath.of(profile(jit=3), profile(jit=4)).end_to_end()
+        assert e2e.jitter_ms == pytest.approx(5.0)
+
+    def test_bandwidth_is_bottleneck(self):
+        e2e = NetworkPath.of(profile(bw=2.0), profile(bw=0.8)).end_to_end()
+        assert e2e.bandwidth_mbps == 0.8
+
+    def test_burstiness_is_max(self):
+        e2e = NetworkPath.of(profile(burst=0.2), profile(burst=0.7)).end_to_end()
+        assert e2e.burstiness == 0.7
+
+    def test_single_segment_identity(self):
+        p = profile()
+        e2e = NetworkPath.of(p).end_to_end()
+        assert e2e.base_latency_ms == p.base_latency_ms
+        assert e2e.loss_rate == pytest.approx(p.loss_rate)
+        assert e2e.jitter_ms == pytest.approx(p.jitter_ms)
+        assert e2e.bandwidth_mbps == p.bandwidth_mbps
+
+    def test_rejects_empty_path(self):
+        with pytest.raises(ConfigError):
+            NetworkPath(segments=())
+
+    def test_rejects_non_profile_segment(self):
+        with pytest.raises(ConfigError):
+            NetworkPath(segments=("not a link",))
+
+    def test_len(self):
+        assert len(NetworkPath.of(profile(), profile())) == 2
+
+
+class TestAccessPlusBackbone:
+    def test_access_dominates_loss_and_bandwidth(self):
+        access = profile(loss=0.02, bw=1.5)
+        e2e = access_plus_backbone(access).end_to_end()
+        assert e2e.loss_rate == pytest.approx(0.02, rel=0.01)
+        assert e2e.bandwidth_mbps == 1.5
+
+    def test_backbone_adds_latency(self):
+        access = profile(lat=10)
+        e2e = access_plus_backbone(access, backbone_latency_ms=8).end_to_end()
+        assert e2e.base_latency_ms == pytest.approx(18)

@@ -1,0 +1,104 @@
+"""Tests for the QoE model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim.mitigation import EffectiveConditions
+from repro.netsim.qoe import QoeModel, QualityScores, _r_to_mos
+
+
+def eff(delay=30, audio_loss=0.0, video_loss=0.0, video_share=1.0, audio_share=1.0):
+    return EffectiveConditions(
+        delay_ms=delay,
+        residual_audio_loss_pct=audio_loss,
+        residual_video_loss_pct=video_loss,
+        video_bitrate_share=video_share,
+        audio_bitrate_share=audio_share,
+    )
+
+
+class TestRToMos:
+    def test_clean_channel_near_max(self):
+        assert _r_to_mos(93.2) > 4.3
+
+    def test_monotone(self):
+        values = [_r_to_mos(r) for r in (0, 20, 40, 60, 80, 100)]
+        assert values == sorted(values)
+
+    def test_bounds(self):
+        assert _r_to_mos(-10) == 1.0
+        assert _r_to_mos(150) == 4.5
+
+
+class TestQoeModel:
+    def test_clean_conditions_score_high(self):
+        scores = QoeModel().score(eff())
+        assert scores.audio_mos > 4.2
+        assert scores.video_mos > 4.7
+        assert scores.overall_mos > 4.3
+
+    def test_audio_mos_decreases_with_delay(self):
+        model = QoeModel()
+        values = [model.audio_mos(eff(delay=d)) for d in (20, 100, 200, 400)]
+        assert values == sorted(values, reverse=True)
+
+    def test_audio_mos_decreases_with_loss(self):
+        model = QoeModel()
+        values = [model.audio_mos(eff(audio_loss=l)) for l in (0, 1, 3, 8)]
+        assert values == sorted(values, reverse=True)
+
+    def test_video_mos_decreases_with_artefacts(self):
+        model = QoeModel()
+        values = [model.video_mos(eff(video_loss=l)) for l in (0, 2, 5, 15)]
+        assert values == sorted(values, reverse=True)
+
+    def test_video_bitrate_saturation(self):
+        """1 Mbps should be within a few percent of 4 Mbps (Fig. 1 right)."""
+        model = QoeModel()
+        at_quarter = model.video_mos(eff(video_share=1.0))  # 1.0 of 1 Mbps target
+        nearly_starved = model.video_mos(eff(video_share=0.25))
+        assert (at_quarter - nearly_starved) / at_quarter < 0.15
+
+    def test_interactivity_halves_at_halflife(self):
+        model = QoeModel(interactivity_halflife_ms=120)
+        assert model.interactivity(eff(delay=120)) == pytest.approx(0.5)
+
+    def test_interactivity_steeper_early(self):
+        """Most interactivity is lost by ~150 ms — the Mic On knee."""
+        model = QoeModel()
+        early_drop = model.interactivity(eff(delay=0)) - model.interactivity(eff(delay=150))
+        late_drop = model.interactivity(eff(delay=150)) - model.interactivity(eff(delay=300))
+        assert early_drop > late_drop
+
+    def test_overall_blend_bounded(self):
+        scores = QoeModel().score(eff(delay=500, audio_loss=50, video_loss=80,
+                                      video_share=0.1, audio_share=0.5))
+        assert 1.0 <= scores.overall_mos <= 5.0
+
+    def test_audio_starvation_catastrophic(self):
+        model = QoeModel()
+        starved = model.audio_mos(eff(audio_share=0.3))
+        fine = model.audio_mos(eff(audio_share=1.0))
+        assert starved < fine - 0.8
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(r_baseline=0),
+        dict(delay_knee_ms=-1),
+        dict(loss_impairment_scale=-1),
+        dict(interactivity_halflife_ms=0),
+    ])
+    def test_rejects_invalid_config(self, kwargs):
+        with pytest.raises(ConfigError):
+            QoeModel(**kwargs)
+
+
+class TestQualityScores:
+    def test_rejects_out_of_range_mos(self):
+        with pytest.raises(ConfigError):
+            QualityScores(audio_mos=0.5, video_mos=3, interactivity=0.5,
+                          overall_mos=3)
+
+    def test_rejects_bad_interactivity(self):
+        with pytest.raises(ConfigError):
+            QualityScores(audio_mos=3, video_mos=3, interactivity=1.5,
+                          overall_mos=3)

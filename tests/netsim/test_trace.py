@@ -1,0 +1,128 @@
+"""Tests for trace generation and aggregation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.netsim.link import LinkProfile
+from repro.netsim.trace import (
+    SAMPLE_INTERVAL_S,
+    ConditionSample,
+    ConditionTrace,
+    TraceGenerator,
+    generate_condition_arrays,
+)
+from repro.rng import derive
+
+
+def profile(lat=30, loss=0.005, jit=3, bw=3.0):
+    return LinkProfile(base_latency_ms=lat, loss_rate=loss, jitter_ms=jit,
+                       bandwidth_mbps=bw)
+
+
+def sample(t=0.0, lat=20, loss=0.5, jit=2, bw=3.0):
+    return ConditionSample(t_s=t, latency_ms=lat, loss_pct=loss,
+                           jitter_ms=jit, bandwidth_mbps=bw)
+
+
+class TestConditionSample:
+    def test_valid(self):
+        assert sample().latency_ms == 20
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ConfigError):
+            sample(lat=-1)
+
+    def test_rejects_loss_over_100(self):
+        with pytest.raises(ConfigError):
+            sample(loss=150)
+
+
+class TestConditionTrace:
+    def test_rejects_empty(self):
+        with pytest.raises(SimulationError):
+            ConditionTrace([])
+
+    def test_duration(self):
+        trace = ConditionTrace([sample(t=i * 5.0) for i in range(12)])
+        assert trace.duration_s == 60.0
+
+    def test_aggregate_stats(self):
+        trace = ConditionTrace([sample(lat=v) for v in (10, 20, 30)])
+        agg = trace.aggregate()
+        assert agg["latency_ms"]["mean"] == pytest.approx(20.0)
+        assert agg["latency_ms"]["median"] == pytest.approx(20.0)
+        assert set(agg) == {"latency_ms", "loss_pct", "jitter_ms", "bandwidth_mbps"}
+
+    def test_metric_rejects_unknown(self):
+        trace = ConditionTrace([sample()])
+        with pytest.raises(SimulationError):
+            trace.metric("rtt")
+
+    def test_truncated_prefix(self):
+        trace = ConditionTrace([sample(t=i * 5.0, lat=i) for i in range(10)])
+        prefix = trace.truncated(25.0)
+        assert len(prefix) == 5
+        assert prefix[4].latency_ms == 4
+
+
+class TestTraceGenerator:
+    def test_generates_expected_sample_count(self, fresh_rng):
+        trace = TraceGenerator(profile()).generate(fresh_rng, 600)
+        assert len(trace) == int(600 / SAMPLE_INTERVAL_S)
+
+    def test_rejects_nonpositive_duration(self, fresh_rng):
+        with pytest.raises(SimulationError):
+            TraceGenerator(profile()).generate(fresh_rng, 0)
+
+    def test_latency_anchored_to_profile(self):
+        rng = derive(31, "trace")
+        trace = TraceGenerator(profile(lat=100, jit=1)).generate(rng, 1800)
+        mean = trace.aggregate()["latency_ms"]["mean"]
+        assert 100 <= mean <= 115  # baseline plus queueing, never below
+
+    def test_loss_rate_tracks_profile(self):
+        rng = derive(32, "trace-loss")
+        trace = TraceGenerator(profile(loss=0.02)).generate(rng, 3600)
+        assert trace.aggregate()["loss_pct"]["mean"] == pytest.approx(2.0, abs=0.8)
+
+
+class TestGenerateConditionArrays:
+    def test_shapes_and_keys(self, fresh_rng):
+        arrays = generate_condition_arrays(profile(), fresh_rng, 100)
+        assert set(arrays) == {"latency_ms", "loss_pct", "jitter_ms", "bandwidth_mbps"}
+        assert all(v.shape == (100,) for v in arrays.values())
+
+    def test_rejects_zero_intervals(self, fresh_rng):
+        with pytest.raises(SimulationError):
+            generate_condition_arrays(profile(), fresh_rng, 0)
+
+    def test_statistics_match_scalar_generator(self):
+        """Fast path and scalar path agree on per-session aggregates."""
+        p = profile(lat=60, loss=0.01, jit=6, bw=2.0)
+        fast_rng = derive(33, "arrays")
+        slow_rng = derive(34, "scalar")
+        arrays = generate_condition_arrays(p, fast_rng, 720)
+        trace = TraceGenerator(p).generate(slow_rng, 720 * SAMPLE_INTERVAL_S)
+        agg = trace.aggregate()
+        assert arrays["latency_ms"].mean() == pytest.approx(
+            agg["latency_ms"]["mean"], rel=0.1
+        )
+        assert arrays["jitter_ms"].mean() == pytest.approx(
+            agg["jitter_ms"]["mean"], rel=0.3
+        )
+        assert arrays["loss_pct"].mean() == pytest.approx(
+            agg["loss_pct"]["mean"], abs=0.5
+        )
+
+    def test_bandwidth_clipped_to_band(self, fresh_rng):
+        arrays = generate_condition_arrays(profile(bw=2.0), fresh_rng, 500)
+        assert arrays["bandwidth_mbps"].min() >= 0.6 - 1e-9
+        assert arrays["bandwidth_mbps"].max() <= 3.0 + 1e-9
+
+    def test_zero_jitter_profile(self, fresh_rng):
+        p = LinkProfile(base_latency_ms=10, loss_rate=0.0, jitter_ms=0.0,
+                        bandwidth_mbps=1.0)
+        arrays = generate_condition_arrays(p, fresh_rng, 50)
+        assert (arrays["jitter_ms"] == 0).all()
+        assert (arrays["loss_pct"] == 0).all()

@@ -1,0 +1,83 @@
+"""Tests for per-cohort mitigation tuning (§6)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.netsim.link import LinkProfile
+from repro.netsim.mitigation import MitigationStack
+from repro.netsim.tuning import MitigationTuner, tuning_gain
+
+
+JITTERY = LinkProfile(base_latency_ms=15, loss_rate=0.003, jitter_ms=14,
+                      bandwidth_mbps=3.0, burstiness=0.4)
+HIGH_LATENCY = LinkProfile(base_latency_ms=150, loss_rate=0.002, jitter_ms=1.5,
+                           bandwidth_mbps=2.5, burstiness=0.3)
+LOSSY = LinkProfile(base_latency_ms=40, loss_rate=0.025, jitter_ms=5,
+                    bandwidth_mbps=1.5, burstiness=0.6)
+
+
+class TestMitigationTuner:
+    def test_recommendation_never_below_default(self):
+        tuner = MitigationTuner()
+        for profile in (JITTERY, HIGH_LATENCY, LOSSY):
+            result = tuner.tune(profile)
+            assert result.score >= result.default_score
+
+    def test_jittery_path_wants_deeper_buffer(self):
+        result = MitigationTuner().tune(JITTERY)
+        assert result.stack.jitter_buffer_ms > MitigationStack().jitter_buffer_ms
+        assert result.gain > 0.05
+
+    def test_interactivity_objective_prefers_shallow_buffer(self):
+        """Optimising turn-taking on a high-latency path must not burn
+        extra delay on buffering it doesn't need."""
+        deep_ok = MitigationTuner(objective="video").tune(JITTERY)
+        shallow = MitigationTuner(objective="interactivity").tune(HIGH_LATENCY)
+        assert shallow.stack.jitter_buffer_ms <= deep_ok.stack.jitter_buffer_ms
+
+    def test_lossy_path_wants_bigger_fec_budget(self):
+        tuner = MitigationTuner(fec_budgets_pct=(1.0, 2.0, 4.0, 6.0))
+        result = tuner.tune(LOSSY)
+        assert result.stack.fec_budget_pct >= 4.0
+
+    def test_deterministic(self):
+        a = MitigationTuner(seed=3).tune(JITTERY)
+        b = MitigationTuner(seed=3).tune(JITTERY)
+        assert a.stack == b.stack
+        assert a.score == b.score
+
+    def test_candidates_cartesian(self):
+        tuner = MitigationTuner(buffer_depths_ms=(0, 4), fec_budgets_pct=(1, 2))
+        assert len(tuner.candidates(MitigationStack())) == 4
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(buffer_depths_ms=()),
+        dict(buffer_depths_ms=(-1,)),
+        dict(objective="loudness"),
+        dict(n_intervals=5),
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            MitigationTuner(**kwargs)
+
+
+class TestTuningGain:
+    def test_per_cohort_results(self):
+        results = tuning_gain({"jittery": JITTERY, "latency": HIGH_LATENCY})
+        assert set(results) == {"jittery", "latency"}
+        assert all(r.gain >= 0 for r in results.values())
+
+    def test_different_cohorts_different_knobs(self):
+        """The §6 point: one-size-fits-all leaves engagement on the table."""
+        results = tuning_gain(
+            {"jittery": JITTERY, "latency": HIGH_LATENCY},
+            MitigationTuner(buffer_depths_ms=(0.0, 2.0, 4.0, 16.0, 32.0)),
+        )
+        assert (
+            results["jittery"].stack.jitter_buffer_ms
+            != results["latency"].stack.jitter_buffer_ms
+        )
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            tuning_gain({})

@@ -1,0 +1,109 @@
+"""Scalar and vector mitigation/QoE implementations must agree.
+
+This test is the contract that keeps the fast path honest: the telemetry
+generator runs exclusively on the vectorised code, so any change to the
+scalar models must be mirrored here or these assertions fail.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim.mitigation import MitigationStack
+from repro.netsim.qoe import QoeModel
+from repro.netsim.trace import ConditionSample
+from repro.netsim.vectorized import mitigate_arrays, qoe_arrays
+
+CONDITIONS = st.tuples(
+    st.floats(min_value=1, max_value=400),     # latency
+    st.floats(min_value=0, max_value=20),      # loss pct
+    st.floats(min_value=0, max_value=30),      # jitter
+    st.floats(min_value=0.3, max_value=5.0),   # bandwidth
+    st.floats(min_value=0, max_value=1),       # burstiness
+)
+
+
+def _scalar_and_vector(latency, loss, jitter, bw, burstiness, stack, model):
+    sample = ConditionSample(t_s=0, latency_ms=latency, loss_pct=loss,
+                             jitter_ms=jitter, bandwidth_mbps=bw)
+    scalar_eff = stack.apply(sample, burstiness)
+    scalar_scores = model.score(scalar_eff)
+    vector_eff = mitigate_arrays(
+        stack,
+        np.array([latency]), np.array([loss]),
+        np.array([jitter]), np.array([bw]),
+        burstiness,
+    )
+    vector_scores = qoe_arrays(model, vector_eff)
+    return scalar_eff, scalar_scores, vector_eff, vector_scores
+
+
+class TestScalarVectorParity:
+    @given(CONDITIONS)
+    @settings(max_examples=150, deadline=None)
+    def test_parity_default_stack(self, conditions):
+        latency, loss, jitter, bw, burstiness = conditions
+        stack, model = MitigationStack(), QoeModel()
+        s_eff, s_scores, v_eff, v_scores = _scalar_and_vector(
+            latency, loss, jitter, bw, burstiness, stack, model
+        )
+        assert v_eff.delay_ms[0] == pytest.approx(s_eff.delay_ms)
+        assert v_eff.residual_audio_loss_pct[0] == pytest.approx(
+            s_eff.residual_audio_loss_pct
+        )
+        assert v_eff.residual_video_loss_pct[0] == pytest.approx(
+            s_eff.residual_video_loss_pct
+        )
+        assert v_scores.audio_mos[0] == pytest.approx(s_scores.audio_mos, abs=1e-9)
+        assert v_scores.video_mos[0] == pytest.approx(s_scores.video_mos, abs=1e-9)
+        assert v_scores.interactivity[0] == pytest.approx(
+            s_scores.interactivity, abs=1e-9
+        )
+        assert v_scores.overall_mos[0] == pytest.approx(
+            s_scores.overall_mos, abs=1e-9
+        )
+
+    @given(CONDITIONS)
+    @settings(max_examples=60, deadline=None)
+    def test_parity_disabled_stack(self, conditions):
+        latency, loss, jitter, bw, burstiness = conditions
+        stack, model = MitigationStack.disabled(), QoeModel()
+        s_eff, s_scores, v_eff, v_scores = _scalar_and_vector(
+            latency, loss, jitter, bw, burstiness, stack, model
+        )
+        assert v_eff.residual_audio_loss_pct[0] == pytest.approx(
+            s_eff.residual_audio_loss_pct
+        )
+        assert v_scores.overall_mos[0] == pytest.approx(
+            s_scores.overall_mos, abs=1e-9
+        )
+
+    def test_vector_shapes_preserved(self):
+        stack, model = MitigationStack(), QoeModel()
+        n = 37
+        eff = mitigate_arrays(
+            stack,
+            np.linspace(10, 300, n), np.linspace(0, 5, n),
+            np.linspace(0, 15, n), np.linspace(0.5, 4, n),
+            0.3,
+        )
+        scores = qoe_arrays(model, eff)
+        for arr in (scores.audio_mos, scores.video_mos,
+                    scores.interactivity, scores.overall_mos):
+            assert arr.shape == (n,)
+            assert np.isfinite(arr).all()
+
+    def test_vector_bounds(self):
+        stack, model = MitigationStack(), QoeModel()
+        eff = mitigate_arrays(
+            stack,
+            np.array([1.0, 500.0]), np.array([0.0, 90.0]),
+            np.array([0.0, 60.0]), np.array([0.1, 5.0]),
+            1.0,
+        )
+        scores = qoe_arrays(model, eff)
+        assert (scores.audio_mos >= 1).all() and (scores.audio_mos <= 5).all()
+        assert (scores.video_mos >= 1).all() and (scores.video_mos <= 5).all()
+        assert (scores.interactivity >= 0).all() and (scores.interactivity <= 1).all()
+        assert (scores.overall_mos >= 1).all() and (scores.overall_mos <= 5).all()

@@ -1,0 +1,54 @@
+"""Tests for the sentiment lexicon's structural invariants."""
+
+from repro.nlp.lexicon import (
+    INTENSIFIERS,
+    NEGATIVE,
+    NEGATORS,
+    POSITIVE,
+    VALENCES,
+)
+
+
+class TestLexiconStructure:
+    def test_positive_values_positive(self):
+        assert all(v > 0 for v in POSITIVE.values())
+
+    def test_negative_values_negative(self):
+        assert all(v < 0 for v in NEGATIVE.values())
+
+    def test_no_word_in_both_polarities(self):
+        assert not set(POSITIVE) & set(NEGATIVE)
+
+    def test_merged_view_complete(self):
+        assert set(VALENCES) == set(POSITIVE) | set(NEGATIVE)
+
+    def test_all_lowercase_keys(self):
+        for word in VALENCES:
+            assert word == word.lower(), word
+
+    def test_negators_disjoint_from_valences(self):
+        """A negator must not itself carry valence — it would both flip
+        and score, double-counting."""
+        assert not NEGATORS & set(VALENCES)
+
+    def test_intensifiers_disjoint_from_valences(self):
+        assert not set(INTENSIFIERS) & set(VALENCES)
+
+    def test_intensifiers_bounded(self):
+        # Boosts are additive around 1.0; keep them from flipping signs.
+        assert all(-0.9 < v < 0.9 for v in INTENSIFIERS.values())
+
+    def test_reasonable_size(self):
+        """Enough coverage to score ISP talk; small enough to audit."""
+        assert 80 <= len(POSITIVE) <= 400
+        assert 80 <= len(NEGATIVE) <= 400
+
+    def test_outage_vocabulary_negative(self):
+        from repro.nlp.keywords import OUTAGE_KEYWORDS
+
+        covered = [
+            term for term in OUTAGE_KEYWORDS.unigrams
+            if term in VALENCES
+        ]
+        assert covered, "some outage keywords should carry valence"
+        assert all(VALENCES[t] < 0 for t in covered)

@@ -1,0 +1,87 @@
+"""Tests for the emerging-topic miner."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.nlp.trends import TrendMiner
+
+START = dt.date(2022, 1, 1)
+
+
+def records_with_breakout(term="roaming", breakout_day=40, span=80,
+                          base_weight=5.0, burst_weight=40.0):
+    """Background chatter plus a sudden popular topic."""
+    records = []
+    for offset in range(span):
+        day = START + dt.timedelta(days=offset)
+        records.append((day, "question about mounting and cables", base_weight))
+        if offset >= breakout_day:
+            records.append(
+                (day, f"the {term} feature is working great", burst_weight)
+            )
+    return records
+
+
+class TestTrendMiner:
+    def test_detects_breakout_near_onset(self):
+        miner = TrendMiner(min_window_weight=30)
+        topics = miner.mine(records_with_breakout(), terms_of_interest=["roaming"])
+        assert len(topics) == 1
+        detected = topics[0].first_detected
+        onset = START + dt.timedelta(days=40)
+        assert onset <= detected <= onset + dt.timedelta(days=7)
+
+    def test_no_breakout_no_detection(self):
+        miner = TrendMiner(min_window_weight=30)
+        records = [
+            (START + dt.timedelta(days=i), "mounting question", 5.0)
+            for i in range(60)
+        ]
+        assert miner.mine(records, terms_of_interest=["roaming"]) == []
+
+    def test_steady_topic_not_flagged(self):
+        """A term that was always popular has a baseline — no breakout."""
+        miner = TrendMiner(min_window_weight=30, ratio_threshold=4.0)
+        records = [
+            (START + dt.timedelta(days=i), "roaming works fine here", 20.0)
+            for i in range(90)
+        ]
+        topics = miner.mine(records, terms_of_interest=["roaming"])
+        if topics:  # the very first window has no history; allow early flag
+            assert topics[0].first_detected <= START + dt.timedelta(days=21)
+
+    def test_popularity_weighting_matters(self):
+        """The same posts with negligible popularity must not trigger."""
+        miner = TrendMiner(min_window_weight=30)
+        quiet = records_with_breakout(burst_weight=2.0)
+        assert miner.mine(quiet, terms_of_interest=["roaming"]) == []
+
+    def test_bigram_detection(self):
+        miner = TrendMiner(min_window_weight=30)
+        records = records_with_breakout(term="roaming enabled")
+        topics = miner.mine(records, terms_of_interest=["roaming enabled"])
+        assert topics and topics[0].term == "roaming enabled"
+
+    def test_full_scan_includes_breakout_term(self):
+        miner = TrendMiner(min_window_weight=30)
+        topics = miner.mine(records_with_breakout())
+        assert any(t.term == "roaming" for t in topics)
+
+    def test_rejects_empty_records(self):
+        with pytest.raises(AnalysisError):
+            TrendMiner().mine([])
+
+    def test_rejects_negative_weight(self):
+        with pytest.raises(AnalysisError):
+            TrendMiner().mine([(START, "text", -1.0)])
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(window_days=0),
+        dict(ratio_threshold=1.0),
+        dict(min_window_weight=0),
+    ])
+    def test_rejects_invalid_config(self, kwargs):
+        with pytest.raises(AnalysisError):
+            TrendMiner(**kwargs)

@@ -1,0 +1,53 @@
+"""Tests for speed-test sampling and share sentiment."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rng import derive
+from repro.social.reports import sample_provider, sample_speed_test, share_sentiment
+
+
+class TestSampleSpeedTest:
+    def test_valid_share(self, fresh_rng):
+        share = sample_speed_test(fresh_rng, 70.0)
+        assert share.download_mbps > 0
+        assert share.upload_mbps < share.download_mbps
+        assert 18 <= share.latency_ms <= 150
+
+    def test_median_tracks_network(self):
+        rng = derive(55, "reports")
+        downloads = [sample_speed_test(rng, 70.0).download_mbps for _ in range(800)]
+        assert np.median(downloads) == pytest.approx(70.0, rel=0.1)
+
+    def test_rejects_bad_median(self, fresh_rng):
+        with pytest.raises(ConfigError):
+            sample_speed_test(fresh_rng, 0.0)
+
+    def test_provider_mix(self):
+        rng = derive(56, "reports")
+        providers = {sample_provider(rng) for _ in range(200)}
+        assert {"ookla", "fast", "starlink_app"} <= providers
+
+
+class TestShareSentiment:
+    def test_community_satisfaction_drives_sign(self):
+        happy = share_sentiment(70, 70, 0.85)
+        unhappy = share_sentiment(70, 70, 0.15)
+        assert happy > 0.3
+        assert unhappy < -0.3
+
+    def test_personal_result_modulates(self):
+        above = share_sentiment(140, 70, 0.5)
+        below = share_sentiment(35, 70, 0.5)
+        assert above > 0 > below
+
+    def test_bounded(self):
+        assert -1 <= share_sentiment(1, 300, 0.0) <= 1
+        assert -1 <= share_sentiment(300, 1, 1.0) <= 1
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            share_sentiment(0, 70, 0.5)
+        with pytest.raises(ConfigError):
+            share_sentiment(70, 70, 1.5)

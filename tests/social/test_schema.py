@@ -1,0 +1,72 @@
+"""Tests for the social schema."""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.social.schema import Post, SpeedTestShare
+
+
+def post(**overrides):
+    defaults = dict(
+        post_id="t3_1",
+        created=dt.datetime(2022, 4, 22, 9, 30),
+        author="redditor_1",
+        title="Outage?",
+        text="Is it down for anyone else?",
+        upvotes=10,
+        n_comments=4,
+        topic="outage_report",
+    )
+    defaults.update(overrides)
+    return Post(**defaults)
+
+
+class TestSpeedTestShare:
+    def test_valid(self):
+        share = SpeedTestShare(provider="ookla", download_mbps=90,
+                               upload_mbps=12, latency_ms=40)
+        assert share.download_mbps == 90
+
+    def test_rejects_unknown_provider(self):
+        with pytest.raises(SchemaError):
+            SpeedTestShare(provider="dialup", download_mbps=1,
+                           upload_mbps=1, latency_ms=1)
+
+    def test_rejects_nonpositive_values(self):
+        with pytest.raises(SchemaError):
+            SpeedTestShare(provider="ookla", download_mbps=0,
+                           upload_mbps=1, latency_ms=1)
+
+
+class TestPost:
+    def test_valid(self):
+        p = post()
+        assert p.date == dt.date(2022, 4, 22)
+        assert p.popularity == 14.0
+
+    def test_rejects_unknown_topic(self):
+        with pytest.raises(SchemaError):
+            post(topic="memes")
+
+    def test_rejects_negative_popularity(self):
+        with pytest.raises(SchemaError):
+            post(upvotes=-1)
+
+    def test_rejects_excess_comment_texts(self):
+        with pytest.raises(SchemaError):
+            post(n_comments=1, comment_texts=("a", "b"))
+
+    def test_rejects_empty_content(self):
+        with pytest.raises(SchemaError):
+            post(title="", text="")
+
+    def test_full_text_joins_title_and_body(self):
+        p = post()
+        assert "Outage?" in p.full_text
+        assert "anyone else" in p.full_text
+
+    def test_thread_text_includes_comments(self):
+        p = post(n_comments=2, comment_texts=("Down here too.",))
+        assert "Down here too." in p.thread_text

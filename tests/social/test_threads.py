@@ -1,0 +1,100 @@
+"""Tests for comment-thread expansion."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.nlp.sentiment import SentimentAnalyzer
+from repro.social.threads import ThreadExpander, thread_polarity
+
+
+@pytest.fixture(scope="module")
+def expanded(small_corpus):
+    return ThreadExpander(seed=3).expand(small_corpus)
+
+
+class TestThreadExpander:
+    def test_busy_threads_gain_bodies(self, small_corpus, expanded):
+        before = sum(
+            1 for p in small_corpus
+            if p.comment_texts or p.n_comments < 10
+        )
+        gained = [
+            p for p in expanded
+            if p.comment_texts and p.n_comments >= 10
+        ]
+        assert gained
+        assert len(gained) > 50
+
+    def test_comment_counts_preserved(self, small_corpus, expanded):
+        by_id = {p.post_id: p for p in expanded}
+        for post in small_corpus:
+            assert by_id[post.post_id].n_comments == post.n_comments
+            assert by_id[post.post_id].upvotes == post.upvotes
+
+    def test_outage_confirmations_untouched(self, small_corpus, expanded):
+        by_id = {p.post_id: p for p in expanded}
+        for post in small_corpus:
+            if post.comment_texts:
+                assert by_id[post.post_id].comment_texts == post.comment_texts
+
+    def test_bodies_never_exceed_count(self, expanded):
+        for post in expanded:
+            assert len(post.comment_texts) <= post.n_comments
+
+    def test_deterministic(self, small_corpus):
+        a = ThreadExpander(seed=3).expand(small_corpus)
+        b = ThreadExpander(seed=3).expand(small_corpus)
+        assert [p.comment_texts for p in a] == [p.comment_texts for p in b]
+
+    def test_agreement_dominates(self, expanded):
+        """Comments on strongly polarised posts mostly share its sign."""
+        analyzer = SentimentAnalyzer()
+        agree = disagree = 0
+        for post in expanded:
+            if not post.comment_texts:
+                continue
+            post_polarity = analyzer.score(post.full_text).polarity
+            if abs(post_polarity) < 0.3:
+                continue
+            for comment in post.comment_texts:
+                comment_polarity = analyzer.score(comment).polarity
+                if abs(comment_polarity) < 0.05:
+                    continue
+                if np.sign(comment_polarity) == np.sign(post_polarity):
+                    agree += 1
+                else:
+                    disagree += 1
+        assert agree > disagree
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(min_comments=0),
+        dict(max_bodies=0),
+        dict(agreement=1.5),
+        dict(neutral_share=-0.1),
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            ThreadExpander(**kwargs)
+
+
+class TestThreadPolarity:
+    def test_crowd_pulls_polarity(self, expanded):
+        analyzer = SentimentAnalyzer()
+        for post in expanded:
+            if len(post.comment_texts) >= 4:
+                whole = thread_polarity(post, analyzer)
+                assert -1 <= whole <= 1
+                return
+        pytest.skip("no thread with enough comments")
+
+    def test_fig6_benefits_from_expansion(self, small_corpus, expanded):
+        """Expanded threads carry at least as much outage-keyword mass."""
+        from repro.nlp.keywords import OUTAGE_KEYWORDS
+
+        def mass(corpus):
+            return sum(
+                OUTAGE_KEYWORDS.count_matches(p.thread_text) for p in corpus
+            )
+
+        assert mass(expanded) >= mass(small_corpus)

@@ -1,0 +1,89 @@
+"""Tests for the capacity model (the Fig. 7 speed curve mechanics)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.starlink.capacity import CapacityModel
+
+
+@pytest.fixture(scope="module")
+def speeds():
+    return CapacityModel().median_downlink_mbps()
+
+
+class TestFig7Shape:
+    def test_rises_jan_to_sep_21(self, speeds):
+        assert speeds.slice((2021, 1), (2021, 9)).trend() > 0
+
+    def test_falls_sep21_to_dec22(self, speeds):
+        assert speeds.slice((2021, 9), (2022, 12)).trend() < 0
+
+    def test_jun_aug_21_dip(self, speeds):
+        """Launch gap + 21 K new users → speeds sag."""
+        assert speeds[(2021, 8)] < speeds[(2021, 6)]
+
+    def test_dec21_beats_apr21(self, speeds):
+        """Precondition of the §4.2 conditioning exception."""
+        assert speeds[(2021, 12)] > speeds[(2021, 4)]
+
+    def test_all_months_populated(self, speeds):
+        assert not np.isnan(speeds.values).any()
+
+    def test_plausible_magnitudes(self, speeds):
+        assert 20 <= speeds.values.min()
+        assert speeds.values.max() <= 250
+
+
+class TestMechanics:
+    def test_serving_lags_launches(self):
+        model = CapacityModel(ramp_months=2)
+        serving = model.serving_satellites()
+        months = model.catalog.months()
+        cumulative = model.catalog.cumulative_satellites(model.initial_satellites)
+        assert serving[months[5]] == cumulative[months[3]]
+
+    def test_coverage_ceiling_saturates(self):
+        model = CapacityModel()
+        small = model.coverage_ceiling(500)
+        big = model.coverage_ceiling(50_000)
+        assert small < big <= model.terminal_cap_mbps
+
+    def test_capacity_share_decreases_with_users(self):
+        model = CapacityModel()
+        assert model.capacity_share(2000, 1_000_000) < model.capacity_share(
+            2000, 10_000
+        )
+
+    def test_soft_min_below_both(self):
+        model = CapacityModel()
+        assert model._soft_min(50, 60) < 50
+
+    def test_more_satellites_never_hurt(self):
+        fewer = CapacityModel(initial_satellites=500).median_downlink_mbps()
+        more = CapacityModel(initial_satellites=2000).median_downlink_mbps()
+        assert (more.values >= fewer.values - 1e-9).all()
+
+    def test_utilisation_grows_over_span(self):
+        utilisation = CapacityModel().utilisation()
+        assert utilisation[(2022, 12)] > utilisation[(2021, 2)]
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(terminal_cap_mbps=0),
+        dict(coverage_k=-1),
+        dict(share_scale=0),
+        dict(demand_exponent=0),
+        dict(softmin_p=0.5),
+        dict(ramp_months=-1),
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            CapacityModel(**kwargs)
+
+    def test_coverage_ceiling_rejects_zero_sats(self):
+        with pytest.raises(ConfigError):
+            CapacityModel().coverage_ceiling(0)
+
+    def test_capacity_share_rejects_zero_users(self):
+        with pytest.raises(ConfigError):
+            CapacityModel().capacity_share(1000, 0)

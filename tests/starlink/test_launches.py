@@ -1,0 +1,55 @@
+"""Tests for the launch catalog (pinned to the paper's numbers)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.starlink.launches import LAUNCH_CATALOG, LaunchCatalog
+
+
+class TestPaperNumbers:
+    def test_fourteen_launches_jan_to_sep_2021(self):
+        assert LAUNCH_CATALOG.launches_between((2021, 1), (2021, 9)) == 14
+
+    def test_thirtyseven_launches_sep21_to_dec22(self):
+        assert LAUNCH_CATALOG.launches_between((2021, 9), (2022, 12)) == 37
+
+    def test_no_launches_jun_to_aug_2021(self):
+        assert LAUNCH_CATALOG.launches_between((2021, 6), (2021, 8)) == 0
+
+    def test_roughly_sixty_sats_per_2021_launch(self):
+        months_2021 = [
+            m for m in LAUNCH_CATALOG.months()
+            if m[0] == 2021 and LAUNCH_CATALOG.launches_in(m) > 0
+        ]
+        per_launch = [
+            LAUNCH_CATALOG.satellites_in(m) / LAUNCH_CATALOG.launches_in(m)
+            for m in months_2021
+        ]
+        assert all(50 <= x <= 62 for x in per_launch)
+
+
+class TestCatalogMechanics:
+    def test_cumulative_monotone(self):
+        cumulative = LAUNCH_CATALOG.cumulative_satellites()
+        values = [cumulative[m] for m in LAUNCH_CATALOG.months()]
+        assert values == sorted(values)
+
+    def test_cumulative_starts_from_initial(self):
+        cumulative = LAUNCH_CATALOG.cumulative_satellites(initial=900)
+        first = LAUNCH_CATALOG.months()[0]
+        assert cumulative[first] == 900 + LAUNCH_CATALOG.satellites_in(first)
+
+    def test_missing_month_counts_zero(self):
+        assert LAUNCH_CATALOG.launches_in((2030, 1)) == 0
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ConfigError):
+            LaunchCatalog(monthly={(2021, 1): (-1, 60)})
+
+    def test_rejects_launches_without_satellites(self):
+        with pytest.raises(ConfigError):
+            LaunchCatalog(monthly={(2021, 1): (2, 0)})
+
+    def test_span_bounds(self):
+        assert LAUNCH_CATALOG.start == (2021, 1)
+        assert LAUNCH_CATALOG.end == (2022, 12)

@@ -1,0 +1,119 @@
+"""Tests for the conditioning / perception model."""
+
+import numpy as np
+import pytest
+
+from repro.core.timeline import MonthlySeries
+from repro.errors import ConfigError
+from repro.starlink.capacity import CapacityModel
+from repro.starlink.perception import PerceptionModel
+
+
+def series(values, start=(2021, 1)):
+    mapping = {}
+    year, month = start
+    for v in values:
+        mapping[(year, month)] = float(v)
+        month += 1
+        if month == 13:
+            year, month = year + 1, 1
+    return MonthlySeries.from_mapping(mapping)
+
+
+class TestExpectations:
+    def test_tracks_constant_series(self):
+        speeds = series([100] * 6)
+        expect = PerceptionModel().expectations(speeds)
+        assert np.allclose(expect.values, 100.0)
+
+    def test_lags_a_step_change(self):
+        speeds = series([100, 100, 100, 200, 200, 200])
+        expect = PerceptionModel(memory=0.8).expectations(speeds)
+        assert 100 < expect[(2021, 4)] < 200
+        assert expect[(2021, 6)] > expect[(2021, 4)]
+
+    def test_rejects_all_nan(self):
+        empty = MonthlySeries.zeros((2021, 1), (2021, 3))
+        with pytest.raises(ConfigError):
+            PerceptionModel().expectations(empty)
+
+
+class TestSatisfaction:
+    def test_rising_speeds_please(self):
+        sat = PerceptionModel().satisfaction(series([50, 60, 72, 86, 100]))
+        assert sat.values[-1] > 0.5
+
+    def test_falling_speeds_disappoint(self):
+        sat = PerceptionModel().satisfaction(series([100, 85, 72, 60, 50]))
+        assert sat.values[-1] < 0.5
+
+    def test_same_speed_different_history_different_feeling(self):
+        """The core of "the wheel of time": 70 Mbps feels great after 50
+        and terrible after 100."""
+        model = PerceptionModel()
+        after_worse = model.satisfaction(series([50, 55, 60, 70]))
+        after_better = model.satisfaction(series([100, 90, 80, 70]))
+        assert after_worse.values[-1] > after_better.values[-1]
+
+    def test_plateau_recovers_sentiment(self):
+        """Decline that stops → users acclimatize → satisfaction rises."""
+        sat = PerceptionModel().satisfaction(
+            series([100, 80, 64, 60, 60, 60, 60])
+        )
+        assert sat.values[-1] > sat.values[2]
+
+    def test_bounded(self):
+        sat = PerceptionModel().satisfaction(series([10, 1000, 1, 500]))
+        finite = sat.values[~np.isnan(sat.values)]
+        assert (finite >= 0).all() and (finite <= 1).all()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(memory=1.0),
+        dict(memory=-0.1),
+        dict(sensitivity=0),
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            PerceptionModel(**kwargs)
+
+
+class TestCohortSatisfaction:
+    @pytest.fixture(scope="class")
+    def world(self):
+        from repro.starlink.subscribers import SubscriberModel
+
+        speeds = CapacityModel().median_downlink_mbps()
+        subs = SubscriberModel.reported().monthly()
+        sat = PerceptionModel().cohort_satisfaction(speeds, subs)
+        return speeds, sat
+
+    def test_bounded(self, world):
+        _, sat = world
+        assert (sat.values >= 0).all() and (sat.values <= 1).all()
+
+    def test_full_pipeline_exceptions(self, world):
+        """The two §4.2 exceptions hold on the capacity model's output."""
+        speeds, sat = world
+        assert speeds[(2021, 12)] > speeds[(2021, 4)]
+        assert sat[(2021, 12)] < sat[(2021, 4)] - 0.1
+        assert speeds.slice((2022, 3), (2022, 12)).trend() < 0
+        assert sat.slice((2022, 3), (2022, 12)).trend() > 0
+
+    def test_new_cohorts_dilute_disappointment(self):
+        """With adoption frozen, late-2022 satisfaction must be lower
+        than with real (fast) adoption — recent joiners are the ones
+        holding the average up."""
+        from repro.starlink.subscribers import SubscriberModel
+
+        speeds = CapacityModel().median_downlink_mbps()
+        real = SubscriberModel.reported().monthly()
+        frozen = {m: 100_000 for m in real}
+        pm = PerceptionModel()
+        with_adoption = pm.cohort_satisfaction(speeds, real)
+        without = pm.cohort_satisfaction(speeds, frozen)
+        assert with_adoption[(2022, 12)] > without[(2022, 12)]
+
+    def test_rejects_missing_months(self):
+        speeds = CapacityModel().median_downlink_mbps()
+        with pytest.raises(ConfigError):
+            PerceptionModel().cohort_satisfaction(speeds, {(2021, 1): 1000})

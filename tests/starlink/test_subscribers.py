@@ -1,0 +1,49 @@
+"""Tests for the subscriber model (pinned to the paper's milestones)."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.starlink.subscribers import SUBSCRIBER_MILESTONES, SubscriberModel
+
+
+class TestPaperMilestones:
+    def test_ten_k_feb_21(self):
+        assert SubscriberModel.reported().at((2021, 2)) == 10_000
+
+    def test_ninety_k_aug_21(self):
+        assert SubscriberModel.reported().at((2021, 8)) == 90_000
+
+    def test_million_plus_dec_22(self):
+        assert SubscriberModel.reported().at((2022, 12)) >= 1_000_000
+
+    def test_jun_aug_21_growth_about_21k(self):
+        """§4.2: "21K new users started using Starlink" Jun–Aug '21."""
+        growth = SubscriberModel.reported().growth((2021, 6), (2021, 8))
+        assert growth == pytest.approx(21_000, abs=2_000)
+
+
+class TestInterpolation:
+    def test_monthly_covers_every_month(self):
+        monthly = SubscriberModel.reported().monthly()
+        assert len(monthly) == 24
+
+    def test_monotone_growth(self):
+        monthly = SubscriberModel.reported().monthly()
+        values = [monthly[m] for m in sorted(monthly)]
+        assert values == sorted(values)
+
+    def test_geometric_between_anchors(self):
+        model = SubscriberModel(milestones={(2021, 1): 100, (2021, 3): 400})
+        assert model.at((2021, 2)) == pytest.approx(200, rel=0.01)
+
+    def test_out_of_span_raises(self):
+        with pytest.raises(ConfigError):
+            SubscriberModel.reported().at((2030, 1))
+
+    def test_rejects_single_milestone(self):
+        with pytest.raises(ConfigError):
+            SubscriberModel(milestones={(2021, 1): 100})
+
+    def test_rejects_nonpositive_counts(self):
+        with pytest.raises(ConfigError):
+            SubscriberModel(milestones={(2021, 1): 0, (2021, 2): 10})

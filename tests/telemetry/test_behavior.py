@@ -1,0 +1,154 @@
+"""Tests for the behaviour engine — the §3 causal mechanism."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError, SimulationError
+from repro.netsim.mitigation import MitigationStack
+from repro.netsim.qoe import QoeModel
+from repro.netsim.vectorized import mitigate_arrays, qoe_arrays
+from repro.rng import derive
+from repro.telemetry.behavior import BehaviorModel, BehaviorParams, SessionOutcome
+from repro.telemetry.platforms import PLATFORMS
+
+
+def quality_for(latency=20.0, loss=0.0, jitter=2.0, bw=3.5, n=240):
+    """Constant-condition quality/effective arrays for n intervals."""
+    stack, model = MitigationStack(), QoeModel()
+    eff = mitigate_arrays(
+        stack,
+        np.full(n, latency), np.full(n, loss),
+        np.full(n, jitter), np.full(n, bw),
+        0.3,
+    )
+    return qoe_arrays(model, eff), eff
+
+
+def run_sessions(model, platform, n_sessions=60, conditioning=0.8, size=5,
+                 **conditions):
+    quality, eff = quality_for(**conditions)
+    outcomes = []
+    for i in range(n_sessions):
+        rng = derive(900 + i, "behavior")
+        outcomes.append(
+            model.simulate_session(rng, quality, eff, platform, size, conditioning)
+        )
+    return outcomes
+
+
+class TestBehaviorParams:
+    def test_defaults_valid(self):
+        BehaviorParams()
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(mic_floor=1.5),
+        dict(base_leave_hazard=-0.1),
+        dict(cam_floor=0.5, cam_video_weight=0.5, cam_inter_weight=0.5),
+        dict(early_leave_share=-0.1),
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigError):
+            BehaviorParams(**kwargs)
+
+
+class TestSessionOutcome:
+    def test_rejects_zero_attendance(self):
+        with pytest.raises(SimulationError):
+            SessionOutcome(attended_intervals=0, mic_on_frac=0.5,
+                           cam_on_frac=0.5, dropped_early=False)
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(SimulationError):
+            SessionOutcome(attended_intervals=10, mic_on_frac=1.5,
+                           cam_on_frac=0.5, dropped_early=False)
+
+
+class TestBehaviorModel:
+    def test_outcome_shape(self):
+        model = BehaviorModel()
+        outcomes = run_sessions(model, PLATFORMS["windows_pc"], n_sessions=5)
+        for o in outcomes:
+            assert 1 <= o.attended_intervals <= 240
+            assert 0 <= o.mic_on_frac <= 1
+            assert 0 <= o.cam_on_frac <= 1
+
+    def test_latency_suppresses_mic(self):
+        model = BehaviorModel()
+        platform = PLATFORMS["windows_pc"]
+        clean = run_sessions(model, platform, latency=15.0)
+        laggy = run_sessions(model, platform, latency=300.0)
+        assert np.mean([o.mic_on_frac for o in laggy]) < np.mean(
+            [o.mic_on_frac for o in clean]
+        ) * 0.9
+
+    def test_jitter_suppresses_camera(self):
+        model = BehaviorModel()
+        platform = PLATFORMS["windows_pc"]
+        clean = run_sessions(model, platform, jitter=1.0)
+        jittery = run_sessions(model, platform, jitter=12.0)
+        assert np.mean([o.cam_on_frac for o in jittery]) < np.mean(
+            [o.cam_on_frac for o in clean]
+        ) * 0.92
+
+    def test_heavy_loss_drives_drop_off(self):
+        model = BehaviorModel()
+        platform = PLATFORMS["windows_pc"]
+        clean = run_sessions(model, platform, loss=0.05)
+        lossy = run_sessions(model, platform, loss=4.0)
+        clean_drop = np.mean([o.dropped_early for o in clean])
+        lossy_drop = np.mean([o.dropped_early for o in lossy])
+        assert lossy_drop > clean_drop + 0.10  # §3.2: >10 points at 3%+
+
+    def test_in_budget_loss_barely_matters(self):
+        """Loss within the FEC budget costs <10% engagement (Fig. 1)."""
+        model = BehaviorModel()
+        platform = PLATFORMS["windows_pc"]
+        clean = run_sessions(model, platform, loss=0.05)
+        mild = run_sessions(model, platform, loss=1.5)
+        for metric in ("mic_on_frac", "cam_on_frac"):
+            clean_mean = np.mean([getattr(o, metric) for o in clean])
+            mild_mean = np.mean([getattr(o, metric) for o in mild])
+            assert mild_mean > clean_mean * 0.90
+
+    def test_mobile_drops_sooner_than_pc(self):
+        model = BehaviorModel()
+        pc = run_sessions(model, PLATFORMS["windows_pc"], latency=250.0, loss=2.5)
+        mobile = run_sessions(model, PLATFORMS["android_mobile"], latency=250.0, loss=2.5)
+        assert np.mean([o.dropped_early for o in mobile]) > np.mean(
+            [o.dropped_early for o in pc]
+        )
+
+    def test_meeting_size_raises_mute_rate(self):
+        model = BehaviorModel()
+        platform = PLATFORMS["windows_pc"]
+        small = run_sessions(model, platform, size=3)
+        large = run_sessions(model, platform, size=25)
+        assert np.mean([o.mic_on_frac for o in large]) < np.mean(
+            [o.mic_on_frac for o in small]
+        )
+
+    def test_conditioning_damps_reaction(self):
+        """Users accustomed to bad networks react less (§6, weak effect)."""
+        model = BehaviorModel()
+        platform = PLATFORMS["windows_pc"]
+        sensitive = run_sessions(model, platform, conditioning=1.0, latency=280.0)
+        hardened = run_sessions(model, platform, conditioning=0.0, latency=280.0)
+        assert np.mean([o.mic_on_frac for o in hardened]) > np.mean(
+            [o.mic_on_frac for o in sensitive]
+        )
+
+    def test_rejects_bad_conditioning(self):
+        model = BehaviorModel()
+        quality, eff = quality_for(n=10)
+        with pytest.raises(ConfigError):
+            model.simulate_session(
+                derive(1, "x"), quality, eff, PLATFORMS["windows_pc"], 3, 2.0
+            )
+
+    def test_rejects_bad_meeting_size(self):
+        model = BehaviorModel()
+        quality, eff = quality_for(n=10)
+        with pytest.raises(ConfigError):
+            model.simulate_session(
+                derive(1, "x"), quality, eff, PLATFORMS["windows_pc"], 0, 0.5
+            )

@@ -1,0 +1,58 @@
+"""Tests for the star-rating feedback model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rng import derive
+from repro.telemetry.feedback import FeedbackModel
+
+
+class TestFeedbackModel:
+    def test_sampling_rate_respected(self):
+        rng = derive(41, "fb")
+        model = FeedbackModel(sample_rate=0.02, response_rate=1.0)
+        ratings = [
+            model.maybe_rating(rng, 4.0, False) for _ in range(20000)
+        ]
+        rate = np.mean([r is not None for r in ratings])
+        assert rate == pytest.approx(0.02, abs=0.005)
+
+    def test_always_sampled_when_rate_one(self):
+        rng = derive(42, "fb")
+        model = FeedbackModel(sample_rate=1.0, response_rate=1.0)
+        assert all(
+            model.maybe_rating(rng, 4.0, False) is not None for _ in range(50)
+        )
+
+    def test_ratings_in_range(self):
+        rng = derive(43, "fb")
+        model = FeedbackModel(sample_rate=1.0, response_rate=1.0)
+        for mos in (1.0, 2.5, 4.9):
+            for _ in range(100):
+                rating = model.maybe_rating(rng, mos, False)
+                assert rating in (1, 2, 3, 4, 5)
+
+    def test_good_calls_rate_higher(self):
+        rng = derive(44, "fb")
+        model = FeedbackModel(sample_rate=1.0, response_rate=1.0)
+        good = np.mean([model.maybe_rating(rng, 4.6, False) for _ in range(400)])
+        bad = np.mean([model.maybe_rating(rng, 1.8, False) for _ in range(400)])
+        assert good > bad + 1.0
+
+    def test_drop_penalty_lowers_rating(self):
+        rng_a = derive(45, "fb-a")
+        rng_b = derive(45, "fb-b")
+        model = FeedbackModel(sample_rate=1.0, response_rate=1.0)
+        stayed = np.mean([model.maybe_rating(rng_a, 3.5, False) for _ in range(500)])
+        dropped = np.mean([model.maybe_rating(rng_b, 3.5, True) for _ in range(500)])
+        assert dropped < stayed
+
+    def test_rejects_out_of_range_mos(self):
+        model = FeedbackModel()
+        with pytest.raises(ConfigError):
+            model.maybe_rating(derive(1, "x"), 0.5, False)
+
+    def test_rejects_bad_sample_rate(self):
+        with pytest.raises(ConfigError):
+            FeedbackModel(sample_rate=2.0)

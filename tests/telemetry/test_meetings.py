@@ -1,0 +1,72 @@
+"""Tests for the meeting scheduler."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rng import derive
+from repro.telemetry.meetings import Meeting, MeetingScheduler
+
+
+class TestMeeting:
+    def test_rejects_country_mismatch(self):
+        with pytest.raises(ConfigError):
+            Meeting(
+                call_id="c", start=dt.datetime(2022, 1, 3, 10),
+                scheduled_duration_s=600, size=3, is_enterprise=True,
+                countries=("US", "US"),
+            )
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigError):
+            Meeting(
+                call_id="c", start=dt.datetime(2022, 1, 3, 10),
+                scheduled_duration_s=600, size=0, is_enterprise=True,
+                countries=(),
+            )
+
+
+class TestMeetingScheduler:
+    def test_deterministic(self):
+        a = MeetingScheduler().sample_many(derive(3, "m"), 10)
+        b = MeetingScheduler().sample_many(derive(3, "m"), 10)
+        assert [m.start for m in a] == [m.start for m in b]
+
+    def test_count_and_ids(self):
+        meetings = MeetingScheduler().sample_many(derive(4, "m"), 25, id_prefix="x")
+        assert len(meetings) == 25
+        assert len({m.call_id for m in meetings}) == 25
+        assert meetings[0].call_id.startswith("x-")
+
+    def test_mostly_weekday_business_hours(self):
+        meetings = MeetingScheduler().sample_many(derive(5, "m"), 400)
+        weekday = np.mean([m.start.weekday() < 5 for m in meetings])
+        business = np.mean([9 <= m.start.hour < 20 for m in meetings])
+        assert weekday > 0.85
+        assert business > 0.80
+
+    def test_some_off_cohort_meetings_exist(self):
+        """The cohort filter needs something to remove."""
+        meetings = MeetingScheduler().sample_many(derive(6, "m"), 600)
+        assert any(m.start.weekday() >= 5 for m in meetings)
+        assert any(not m.is_enterprise for m in meetings)
+        assert any(m.size < 3 for m in meetings)
+        assert any(set(m.countries) != {"US"} for m in meetings)
+
+    def test_spans_respected(self):
+        start, end = dt.date(2022, 2, 1), dt.date(2022, 2, 28)
+        scheduler = MeetingScheduler(span_start=start, span_end=end)
+        meetings = scheduler.sample_many(derive(7, "m"), 100)
+        assert all(start <= m.start.date() <= end for m in meetings)
+
+    def test_rejects_reversed_span(self):
+        with pytest.raises(ConfigError):
+            MeetingScheduler(
+                span_start=dt.date(2022, 2, 1), span_end=dt.date(2022, 1, 1)
+            )
+
+    def test_rejects_negative_count(self):
+        with pytest.raises(ConfigError):
+            MeetingScheduler().sample_many(derive(8, "m"), -1)

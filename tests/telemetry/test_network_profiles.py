@@ -1,0 +1,52 @@
+"""Tests for the decorrelating profile sampler."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.rng import derive
+from repro.telemetry.network_profiles import ProfileSampler
+
+
+class TestProfileSampler:
+    def test_rejects_bad_decorrelate(self):
+        with pytest.raises(ConfigError):
+            ProfileSampler(decorrelate=1.5)
+
+    def test_deterministic(self):
+        a = ProfileSampler(0.5).sample(derive(9, "p"))
+        b = ProfileSampler(0.5).sample(derive(9, "p"))
+        assert a == b
+
+    def test_profiles_valid(self):
+        rng = derive(10, "p")
+        sampler = ProfileSampler(0.5)
+        for _ in range(200):
+            p = sampler.sample(rng)
+            assert p.base_latency_ms > 0
+            assert 0 <= p.loss_rate <= 0.2
+            assert p.bandwidth_mbps > 0
+
+    def test_full_decorrelation_reduces_metric_correlation(self):
+        """decorrelate=1 must give (near) independent metrics."""
+        def corr(decorrelate, seed_key):
+            rng = derive(11, seed_key)
+            sampler = ProfileSampler(decorrelate)
+            profiles = [sampler.sample(rng) for _ in range(800)]
+            lat = np.log([p.base_latency_ms for p in profiles])
+            loss = np.log([p.loss_rate for p in profiles])
+            return abs(np.corrcoef(lat, loss)[0, 1])
+
+        assert corr(1.0, "ind") < corr(0.0, "tier")
+
+    def test_full_decorrelation_covers_axes(self):
+        """Wide support: high-latency + low-loss sessions must exist."""
+        rng = derive(12, "p")
+        sampler = ProfileSampler(1.0)
+        profiles = [sampler.sample(rng) for _ in range(1500)]
+        assert any(
+            p.base_latency_ms > 200 and p.loss_rate < 0.002 for p in profiles
+        )
+        assert any(
+            p.base_latency_ms < 40 and p.loss_rate > 0.02 for p in profiles
+        )

@@ -1,0 +1,62 @@
+"""Tests for the call dataset store and persistence."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.telemetry.store import CallDataset
+
+
+class TestCallDataset:
+    def test_len_and_iteration(self, small_dataset):
+        assert len(small_dataset) == 150
+        assert sum(1 for _ in small_dataset) == 150
+
+    def test_participants_count(self, small_dataset):
+        assert small_dataset.n_participants == sum(
+            c.size for c in small_dataset
+        )
+
+    def test_append_rejects_non_call(self):
+        with pytest.raises(SchemaError):
+            CallDataset().append("nope")
+
+    def test_filter_calls(self, small_dataset):
+        big = small_dataset.filter_calls(lambda c: c.size >= 5)
+        assert all(c.size >= 5 for c in big)
+        assert len(big) < len(small_dataset)
+
+    def test_rated_participants_all_have_ratings(self, small_dataset):
+        assert all(
+            p.rating is not None for p in small_dataset.rated_participants()
+        )
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip_preserves_everything(self, small_dataset, tmp_path):
+        path = tmp_path / "calls.jsonl"
+        small_dataset.to_jsonl(path)
+        loaded = CallDataset.from_jsonl(path)
+        assert len(loaded) == len(small_dataset)
+        for a, b in zip(small_dataset, loaded):
+            assert a.call_id == b.call_id
+            assert a.start == b.start
+            assert a.is_enterprise == b.is_enterprise
+            for pa, pb in zip(a.participants, b.participants):
+                assert pa.user_id == pb.user_id
+                assert pa.presence_pct == pb.presence_pct
+                assert pa.network == pb.network
+                assert pa.rating == pb.rating
+
+    def test_bad_json_reports_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"call_id": "x"\n')
+        with pytest.raises(SchemaError, match="1"):
+            CallDataset.from_jsonl(path)
+
+    def test_blank_lines_skipped(self, small_dataset, tmp_path):
+        path = tmp_path / "gaps.jsonl"
+        small_dataset.to_jsonl(path)
+        content = path.read_text()
+        path.write_text("\n" + content + "\n\n")
+        loaded = CallDataset.from_jsonl(path)
+        assert len(loaded) == len(small_dataset)

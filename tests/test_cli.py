@@ -1,0 +1,118 @@
+"""Tests for the command-line interface."""
+
+import datetime as dt
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture(scope="module")
+def calls_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "calls.jsonl"
+    code = main([
+        "generate-calls", "--n-calls", "60", "--seed", "5",
+        "--mos-sample-rate", "0.3", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+@pytest.fixture(scope="module")
+def posts_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("cli") / "posts.jsonl"
+    code = main([
+        "generate-corpus", "--seed", "5", "--start", "2022-01-01",
+        "--end", "2022-02-28", "--authors", "300", "--out", str(path),
+    ])
+    assert code == 0
+    return path
+
+
+class TestGenerate:
+    def test_calls_file_loadable(self, calls_path):
+        from repro.telemetry.store import CallDataset
+
+        dataset = CallDataset.from_jsonl(calls_path)
+        assert len(dataset) == 60
+
+    def test_corpus_file_loadable(self, posts_path):
+        from repro.social.corpus import RedditCorpus
+
+        corpus = RedditCorpus.from_jsonl(posts_path)
+        assert len(corpus) > 100
+        assert corpus.config.span_start == dt.date(2022, 1, 1)
+
+    def test_corpus_roundtrip_preserves_posts(self, posts_path):
+        from repro.social.corpus import RedditCorpus
+
+        corpus = RedditCorpus.from_jsonl(posts_path)
+        shares = corpus.speed_shares()
+        assert shares and shares[0].speed_test.download_mbps > 0
+
+
+class TestAnalyze:
+    def test_analyze_teams_runs(self, calls_path, capsys):
+        code = main(["analyze-teams", "--calls", str(calls_path),
+                     "--no-controls", "--min-bin-count", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "engagement drop" in out
+        assert "latency_ms" in out
+
+    def test_analyze_starlink_runs(self, posts_path, capsys):
+        code = main(["analyze-starlink", "--posts", str(posts_path),
+                     "--peaks", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "top sentiment peaks" in out
+        assert "outage-keyword spikes" in out
+
+    def test_analyze_teams_report_mode(self, calls_path, capsys):
+        code = main(["analyze-teams", "--calls", str(calls_path),
+                     "--min-bin-count", "3", "--report"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Implicit user signals" in out
+
+    def test_analyze_starlink_report_mode(self, posts_path, capsys):
+        code = main(["analyze-starlink", "--posts", str(posts_path),
+                     "--peaks", "2", "--report"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Explicit user signals" in out
+
+    def test_usaas_runs(self, calls_path, posts_path, capsys):
+        code = main([
+            "usaas", "--calls", str(calls_path), "--posts", str(posts_path),
+            "--network", "starlink",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "USaaS digest for starlink" in out
+
+
+class TestPlanningCommands:
+    def test_plan_launches(self, capsys):
+        code = main(["plan-launches", "--budget", "1",
+                     "--candidates", "2021-7,2022-2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "planned" in out
+
+    def test_tune_mitigation(self, capsys):
+        code = main(["tune-mitigation", "--jitter", "14", "--latency", "15"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommendation" in out
+        assert "jitter buffer" in out
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,182 @@
+"""Failure-injection tests: the library must fail loudly and precisely.
+
+Every injected fault — truncated files, hostile text, impossible
+parameters, dead OCR input — must surface as the documented library
+exception (never a silent wrong answer, never a raw KeyError/IndexError
+leaking implementation details).
+"""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.errors import (
+    AnalysisError,
+    ExtractionError,
+    PrivacyError,
+    QueryError,
+    ReproError,
+    SchemaError,
+)
+
+
+class TestCorruptPersistence:
+    def test_truncated_call_record(self, small_dataset, tmp_path):
+        from repro.telemetry.store import CallDataset
+
+        path = tmp_path / "calls.jsonl"
+        small_dataset.to_jsonl(path)
+        content = path.read_text().splitlines()
+        path.write_text("\n".join(content[:2]) + "\n" + content[2][: len(content[2]) // 2])
+        with pytest.raises(SchemaError):
+            CallDataset.from_jsonl(path)
+
+    def test_valid_json_wrong_schema(self, tmp_path):
+        from repro.telemetry.store import CallDataset
+
+        path = tmp_path / "calls.jsonl"
+        path.write_text('{"call_id": "x", "unexpected": true}\n')
+        with pytest.raises(SchemaError):
+            CallDataset.from_jsonl(path)
+
+    def test_corpus_without_header(self, small_corpus, tmp_path):
+        from repro.social.corpus import RedditCorpus
+
+        path = tmp_path / "posts.jsonl"
+        small_corpus.to_jsonl(path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[1:]))  # drop the header
+        with pytest.raises(SchemaError):
+            RedditCorpus.from_jsonl(path)
+
+    def test_corpus_with_bad_post(self, small_corpus, tmp_path):
+        from repro.social.corpus import RedditCorpus
+
+        path = tmp_path / "posts.jsonl"
+        small_corpus.to_jsonl(path)
+        with open(path, "a", encoding="utf-8") as f:
+            f.write("{broken\n")
+        with pytest.raises(SchemaError):
+            RedditCorpus.from_jsonl(path)
+
+
+class TestHostileText:
+    @pytest.mark.parametrize("text", [
+        "",
+        " " * 10_000,
+        "!" * 500,
+        "\x00\x01\x02",
+        "🚀" * 100,
+        "a" * 50_000,
+        "no no no no not never none outage" * 50,
+    ])
+    def test_sentiment_never_crashes(self, text):
+        from repro.nlp.sentiment import SentimentAnalyzer
+
+        scores = SentimentAnalyzer().score(text)
+        assert scores.positive + scores.negative + scores.neutral == (
+            pytest.approx(1.0)
+        )
+
+    def test_wordcloud_on_garbage(self):
+        from repro.nlp.wordcloud import build_wordcloud
+
+        cloud = build_wordcloud(["\x00", "", "!!!", "🚀🚀"])
+        assert cloud.n_texts == 4
+
+    def test_trend_miner_single_day(self):
+        from repro.nlp.trends import TrendMiner
+
+        records = [(dt.date(2022, 1, 1), "roaming works", 100.0)]
+        topics = TrendMiner().mine(records)
+        assert topics == []  # no window can form; must not crash
+
+
+class TestDeadOcrInput:
+    def test_all_tokens_lost(self):
+        from repro.ocr.engine import OcrEngine
+        from repro.ocr.render import Screenshot
+
+        with pytest.raises(ExtractionError):
+            OcrEngine().extract(Screenshot(width=10, height=10, tokens=()))
+
+    def test_only_garbage_tokens(self):
+        from repro.ocr.engine import OcrEngine
+        from repro.ocr.render import PlacedToken, Screenshot
+
+        shot = Screenshot(width=100, height=100, tokens=(
+            PlacedToken("▯▯▯", 0, 0), PlacedToken("????", 10, 10),
+        ))
+        with pytest.raises(ExtractionError):
+            OcrEngine().extract(shot)
+
+    def test_total_token_loss_noise(self, fresh_rng):
+        from repro.ocr.noise import NoiseModel
+        from repro.ocr.render import render_screenshot
+        from repro.social.schema import SpeedTestShare
+
+        share = SpeedTestShare(provider="ookla", download_mbps=90,
+                               upload_mbps=10, latency_ms=40)
+        vaporiser = NoiseModel(confusion_rate=0, dropout_rate=0,
+                               token_loss_rate=1.0)
+        noisy = vaporiser.apply(fresh_rng, render_screenshot(share))
+        assert len(noisy.tokens) == 0
+
+
+class TestServiceFaults:
+    def test_raising_source_propagates(self, small_dataset):
+        from repro.core.usaas import UsaasQuery, UsaasService
+
+        service = UsaasService()
+
+        def broken_source():
+            raise RuntimeError("upstream export failed")
+
+        service.register_source("broken", broken_source)
+        with pytest.raises(RuntimeError, match="upstream export failed"):
+            service.answer(UsaasQuery(network="x"))
+
+    def test_detector_rejects_nan(self):
+        from repro.engagement.early_warning import DriftDetector
+
+        with pytest.raises(AnalysisError):
+            DriftDetector().observe([1.0, float("nan")])
+
+    def test_all_errors_share_root(self):
+        for exc in (AnalysisError, ExtractionError, PrivacyError,
+                    QueryError, SchemaError):
+            assert issubclass(exc, ReproError)
+
+
+class TestDegenerateWorkloads:
+    def test_single_day_corpus(self):
+        from repro.social import CorpusConfig, CorpusGenerator
+
+        corpus = CorpusGenerator(CorpusConfig(
+            seed=3,
+            span_start=dt.date(2022, 3, 16),
+            span_end=dt.date(2022, 3, 16),
+            author_pool_size=100,
+        )).generate()
+        assert len(corpus) > 0
+        assert all(p.date == dt.date(2022, 3, 16) for p in corpus)
+
+    def test_zero_call_dataset(self):
+        from repro.telemetry import CallDatasetGenerator, GeneratorConfig
+
+        dataset = CallDatasetGenerator(GeneratorConfig(n_calls=0)).generate()
+        assert len(dataset) == 0
+        from repro.engagement import fig1_curves
+
+        with pytest.raises(AnalysisError):
+            fig1_curves(list(dataset.participants()))
+
+    def test_speed_tracker_all_extractions_fail(self, small_corpus):
+        from repro.analysis.speed_tracker import track_speeds
+        from repro.ocr.noise import NoiseModel
+
+        vaporiser = NoiseModel(confusion_rate=0, dropout_rate=0,
+                               token_loss_rate=1.0)
+        with pytest.raises(AnalysisError):
+            track_speeds(small_corpus, noise=vaporiser)

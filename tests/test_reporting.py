@@ -1,0 +1,54 @@
+"""Tests for the study-report generator."""
+
+import pytest
+
+from repro.errors import AnalysisError
+from repro.reporting import full_report, starlink_report, teams_report
+
+
+class TestTeamsReport:
+    def test_contains_all_sections(self, small_dataset):
+        text = teams_report(small_dataset)
+        assert "Implicit user signals" in text
+        assert "Fig. 1" in text
+        assert "Fig. 2" in text
+        assert "Fig. 4" in text
+        assert "spearman" in text
+
+    def test_rejects_empty(self):
+        from repro.telemetry.store import CallDataset
+
+        with pytest.raises(AnalysisError):
+            teams_report(CallDataset())
+
+
+class TestStarlinkReport:
+    def test_contains_all_sections(self, small_corpus):
+        text = starlink_report(small_corpus, n_peaks=2)
+        assert "Explicit user signals" in text
+        assert "sentiment peaks" in text
+        assert "Outage-keyword monitor" in text
+        assert "downlink speeds" in text
+
+    def test_rejects_empty(self):
+        from repro.social.corpus import CorpusConfig, RedditCorpus
+
+        with pytest.raises(AnalysisError):
+            starlink_report(RedditCorpus([], CorpusConfig()))
+
+
+class TestFullReport:
+    def test_both_halves_plus_digest(self, small_dataset, small_corpus):
+        text = full_report(dataset=small_dataset, corpus=small_corpus)
+        assert "Implicit user signals" in text
+        assert "Explicit user signals" in text
+        assert "USaaS digest" in text
+
+    def test_corpus_only(self, small_corpus):
+        text = full_report(corpus=small_corpus)
+        assert "Implicit user signals" not in text
+        assert "USaaS digest" in text
+
+    def test_requires_some_input(self):
+        with pytest.raises(AnalysisError):
+            full_report()

@@ -1,0 +1,75 @@
+"""Tests for the social-bias corrector."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.signals import ExplicitSignal, SignalSeries
+from repro.core.usaas.bias import BiasCorrector
+from repro.errors import ConfigError
+
+TS = dt.datetime(2022, 1, 1, 12)
+
+
+def signal(user="a", hour=12, weight=1.0, value=0.5):
+    return ExplicitSignal(
+        TS.replace(hour=hour), "net", "sentiment_polarity", value,
+        weight=weight, user=user,
+    )
+
+
+class TestBiasCorrector:
+    def test_author_daily_cap(self):
+        series = SignalSeries([signal(hour=h) for h in range(10)])
+        corrected = BiasCorrector(per_author_daily_cap=3,
+                                  weight_cap_quantile=1.0).apply(series)
+        assert len(corrected) == 3
+
+    def test_cap_is_per_author(self):
+        series = SignalSeries(
+            [signal(user="a", hour=h) for h in range(5)]
+            + [signal(user="b", hour=h) for h in range(5)]
+        )
+        corrected = BiasCorrector(per_author_daily_cap=2,
+                                  weight_cap_quantile=1.0).apply(series)
+        assert len(corrected) == 4
+
+    def test_cap_zero_disables(self):
+        series = SignalSeries([signal(hour=h) for h in range(5)])
+        corrected = BiasCorrector(per_author_daily_cap=0,
+                                  weight_cap_quantile=1.0).apply(series)
+        assert len(corrected) == 5
+
+    def test_weight_winsorised(self):
+        series = SignalSeries(
+            [signal(user=f"u{i}", weight=1.0) for i in range(19)]
+            + [signal(user="viral", weight=10_000.0)]
+        )
+        corrected = BiasCorrector(per_author_daily_cap=0,
+                                  weight_cap_quantile=0.9).apply(series)
+        max_weight = max(s.weight for s in corrected)
+        assert max_weight < 10_000.0
+
+    def test_viral_thread_influence_bounded(self):
+        """A single viral negative thread shouldn't flip the mean."""
+        series = SignalSeries(
+            [signal(user=f"u{i}", value=0.5, weight=2.0) for i in range(20)]
+            + [signal(user="viral", value=-1.0, weight=5_000.0)]
+        )
+        raw_mean = series.weighted_mean()
+        corrected = BiasCorrector().apply(series)
+        assert corrected.weighted_mean() > raw_mean
+
+    def test_values_untouched(self):
+        series = SignalSeries([signal(value=0.42, weight=100.0)])
+        corrected = BiasCorrector().apply(series)
+        assert list(corrected)[0].value == 0.42
+
+    def test_empty_series(self):
+        assert len(BiasCorrector().apply(SignalSeries())) == 0
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigError):
+            BiasCorrector(per_author_daily_cap=-1)
+        with pytest.raises(ConfigError):
+            BiasCorrector(weight_cap_quantile=0.0)

@@ -1,0 +1,115 @@
+"""Tests for USaaS breakdown queries and A-vs-B comparison."""
+
+import pytest
+
+from repro.core.usaas import (
+    UsaasQuery,
+    UsaasService,
+    telemetry_signals,
+)
+from repro.errors import AnalysisError, PrivacyError, QueryError
+from repro.netsim.link import LinkProfile
+from repro.telemetry import CallDatasetGenerator, GeneratorConfig
+
+
+@pytest.fixture(scope="module")
+def two_network_service():
+    gen = CallDatasetGenerator(GeneratorConfig(n_calls=0, seed=17))
+    degraded = LinkProfile(base_latency_ms=260, loss_rate=0.02,
+                           jitter_ms=10, bandwidth_mbps=1.5, burstiness=0.5)
+    clean = LinkProfile(base_latency_ms=12, loss_rate=0.0004,
+                        jitter_ms=1, bandwidth_mbps=4.0, burstiness=0.1)
+    bad_calls = gen.generate_sweep(degraded, "latency", [260.0],
+                                   calls_per_value=60, focal_only=False)
+    good_calls = gen.generate_sweep(clean, "latency", [12.0],
+                                    calls_per_value=60, focal_only=False)
+    service = UsaasService()
+    service.register_source(
+        "bad", lambda: telemetry_signals(bad_calls, network="degraded-isp")
+    )
+    service.register_source(
+        "good", lambda: telemetry_signals(good_calls, network="clean-isp")
+    )
+    return service
+
+
+class TestBreakdown:
+    def test_breakdown_adds_per_group_levels(self, two_network_service):
+        report = two_network_service.answer(UsaasQuery(
+            network="degraded-isp", service="teams", breakdown="platform",
+        ))
+        breakdown_levels = [
+            i for i in report.insights
+            if i.kind == "level" and "platform=" in i.statement
+        ]
+        assert len(breakdown_levels) >= 2
+        platforms = {i.statement.split("platform=")[1].split()[0]
+                     for i in breakdown_levels}
+        assert "windows_pc" in platforms
+
+    def test_no_breakdown_no_group_levels(self, two_network_service):
+        report = two_network_service.answer(UsaasQuery(
+            network="degraded-isp", service="teams",
+        ))
+        assert not any("platform=" in i.statement for i in report.insights)
+
+    def test_small_groups_suppressed(self, two_network_service):
+        """The privacy-minded size floor hides thin groups."""
+        report = two_network_service.answer(UsaasQuery(
+            network="degraded-isp", service="teams", breakdown="user",
+        ))
+        # Every 'user' group has exactly 1 session — all suppressed.
+        assert not any("user=" in i.statement for i in report.insights)
+
+
+class TestCompare:
+    def test_degraded_network_trails_everywhere(self, two_network_service):
+        comparison = two_network_service.compare(
+            "degraded-isp", "clean-isp", service="teams"
+        )
+        assert len(comparison.metrics) == 3
+        for metric in comparison.metrics:
+            assert metric.mean_a < metric.mean_b, metric.metric
+            assert metric.effect_size < 0
+
+    def test_worst_gap_identified(self, two_network_service):
+        comparison = two_network_service.compare(
+            "degraded-isp", "clean-isp", service="teams"
+        )
+        worst = comparison.worst_gap()
+        assert worst.effect_size == min(
+            m.effect_size for m in comparison.metrics
+        )
+
+    def test_summary_readable(self, two_network_service):
+        comparison = two_network_service.compare(
+            "degraded-isp", "clean-isp", service="teams"
+        )
+        text = comparison.summary()
+        assert "degraded-isp vs clean-isp" in text
+        assert "behind" in text
+
+    def test_magnitude_labels(self, two_network_service):
+        comparison = two_network_service.compare(
+            "degraded-isp", "clean-isp", service="teams"
+        )
+        assert all(
+            m.magnitude in ("negligible", "small", "medium", "large")
+            for m in comparison.metrics
+        )
+
+    def test_rejects_same_network(self, two_network_service):
+        with pytest.raises(QueryError):
+            two_network_service.compare("clean-isp", "clean-isp")
+
+    def test_unknown_network_hits_privacy_floor(self, two_network_service):
+        with pytest.raises(PrivacyError):
+            two_network_service.compare("clean-isp", "no-such-isp")
+
+    def test_symmetric_effect_sizes(self, two_network_service):
+        ab = two_network_service.compare("degraded-isp", "clean-isp",
+                                         service="teams")
+        ba = two_network_service.compare("clean-isp", "degraded-isp",
+                                         service="teams")
+        for m_ab, m_ba in zip(ab.metrics, ba.metrics):
+            assert m_ab.effect_size == pytest.approx(-m_ba.effect_size)

@@ -1,0 +1,76 @@
+"""Tests for the cross-signal correlator."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.core.signals import ExplicitSignal, ImplicitSignal, SignalSeries
+from repro.core.usaas.correlator import correlate_series
+from repro.errors import AnalysisError
+
+START = dt.datetime(2022, 1, 1, 12)
+
+
+def daily_series(values, metric, explicit=False, start=START):
+    ctor = ExplicitSignal if explicit else ImplicitSignal
+    return SignalSeries(
+        ctor(start + dt.timedelta(days=i), "net", metric, float(v))
+        for i, v in enumerate(values)
+    )
+
+
+class TestCorrelateSeries:
+    def test_perfect_correlation(self):
+        xs = list(range(30))
+        a = daily_series(xs, "presence")
+        b = daily_series([2 * x for x in xs], "sentiment", explicit=True)
+        finding = correlate_series(a, b, "presence", "sentiment")
+        assert finding.correlation == pytest.approx(1.0)
+        assert finding.best_lag_days == 0
+        assert finding.strength == "strong"
+
+    def test_lag_detected(self):
+        rng = np.random.default_rng(4)
+        xs = rng.normal(size=40)
+        a = daily_series(xs, "presence")
+        # Explicit feedback shifted 2 days later.
+        b = daily_series(xs, "sentiment", explicit=True,
+                         start=START + dt.timedelta(days=2))
+        finding = correlate_series(a, b, "presence", "sentiment",
+                                   max_lag_days=3)
+        assert finding.best_lag_days == 2
+        assert finding.correlation == pytest.approx(1.0)
+
+    def test_anticorrelation(self):
+        xs = list(range(30))
+        a = daily_series(xs, "presence")
+        b = daily_series([-x for x in xs], "sentiment", explicit=True)
+        finding = correlate_series(a, b, "presence", "sentiment")
+        assert finding.correlation == pytest.approx(-1.0)
+
+    def test_insufficient_overlap_raises(self):
+        a = daily_series([1, 2, 3], "presence")
+        b = daily_series([1, 2, 3], "sentiment", explicit=True)
+        with pytest.raises(AnalysisError):
+            correlate_series(a, b, "presence", "sentiment",
+                             min_overlap_days=10)
+
+    def test_missing_metric_raises(self):
+        a = daily_series([1, 2], "presence")
+        with pytest.raises(AnalysisError):
+            correlate_series(a, a, "presence", "nonexistent")
+
+    def test_strength_labels(self):
+        xs = list(range(30))
+        a = daily_series(xs, "presence")
+        rng = np.random.default_rng(5)
+        noisy = [x + rng.normal(0, 30) for x in xs]
+        b = daily_series(noisy, "sentiment", explicit=True)
+        finding = correlate_series(a, b, "presence", "sentiment")
+        assert finding.strength in ("negligible", "weak", "moderate", "strong")
+
+    def test_rejects_negative_lag_window(self):
+        a = daily_series([1] * 20, "presence")
+        with pytest.raises(AnalysisError):
+            correlate_series(a, a, "presence", "presence", max_lag_days=-1)

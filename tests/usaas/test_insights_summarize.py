@@ -1,0 +1,77 @@
+"""Tests for insights and the summariser."""
+
+import pytest
+
+from repro.core.usaas.insights import Insight, confidence_from
+from repro.core.usaas.summarize import summarize_insights
+from repro.errors import AnalysisError
+
+
+def insight(statement="presence tracks sentiment", confidence=0.7,
+            kind="correlation"):
+    return Insight(kind=kind, statement=statement, confidence=confidence,
+                   evidence=(("r", 0.6),))
+
+
+class TestInsight:
+    def test_valid(self):
+        i = insight()
+        assert i.evidence_dict() == {"r": 0.6}
+
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(AnalysisError):
+            insight(kind="vibes")
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(AnalysisError):
+            insight(confidence=1.5)
+
+    def test_rejects_empty_statement(self):
+        with pytest.raises(AnalysisError):
+            insight(statement="")
+
+
+class TestConfidenceFrom:
+    def test_grows_with_samples(self):
+        assert confidence_from(1000, 0.5) > confidence_from(10, 0.5)
+
+    def test_grows_with_effect(self):
+        assert confidence_from(100, 0.9) > confidence_from(100, 0.1)
+
+    def test_bounded(self):
+        assert confidence_from(10**9, 1.0) <= 0.95
+        assert confidence_from(0, 0.0) >= 0.2
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(AnalysisError):
+            confidence_from(-1, 0.5)
+
+
+class TestSummarize:
+    def test_empty_insights(self):
+        text = summarize_insights([], "starlink")
+        assert "no findings" in text
+
+    def test_ranked_by_confidence(self):
+        insights = [
+            insight("weak finding", 0.3),
+            insight("strong finding", 0.9),
+        ]
+        text = summarize_insights(insights, "starlink")
+        assert text.index("strong finding") < text.index("weak finding")
+
+    def test_max_items_and_withheld_note(self):
+        insights = [insight(f"finding {i}", 0.5) for i in range(8)]
+        text = summarize_insights(insights, "starlink", max_items=3)
+        assert "+5 lower-confidence" in text
+        assert text.count("finding") == 3 + 1  # 3 shown + the note word...
+
+    def test_confidence_words(self):
+        text = summarize_insights([insight(confidence=0.9)], "x")
+        assert "high-confidence" in text
+        text = summarize_insights([insight(confidence=0.3)], "x")
+        assert "preliminary" in text
+
+    def test_rejects_bad_max_items(self):
+        with pytest.raises(AnalysisError):
+            summarize_insights([insight()], "x", max_items=0)

@@ -1,0 +1,65 @@
+"""Tests for PII scrubbing and aggregation floors."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.signals import ImplicitSignal, SignalSeries
+from repro.core.usaas.privacy import PrivacyGuard, is_scrubbed, scrub_author
+from repro.errors import PrivacyError
+
+TS = dt.datetime(2022, 1, 1, 12)
+
+
+def series_with_users(n):
+    return SignalSeries(
+        ImplicitSignal(TS, "net", "m", 1.0, user=scrub_author(f"user{i}"))
+        for i in range(n)
+    )
+
+
+class TestScrubAuthor:
+    def test_deterministic(self):
+        assert scrub_author("alice") == scrub_author("alice")
+
+    def test_distinct_users_distinct_hashes(self):
+        assert scrub_author("alice") != scrub_author("bob")
+
+    def test_not_reversible_looking(self):
+        scrubbed = scrub_author("alice")
+        assert "alice" not in scrubbed
+        assert is_scrubbed(scrubbed)
+
+    def test_rejects_empty(self):
+        with pytest.raises(PrivacyError):
+            scrub_author("")
+
+
+class TestPrivacyGuard:
+    def test_floor_enforced(self):
+        guard = PrivacyGuard(min_users=10)
+        with pytest.raises(PrivacyError):
+            guard.check(series_with_users(9))
+        guard.check(series_with_users(10))  # exactly at the floor is fine
+
+    def test_distinct_users_counted_not_signals(self):
+        guard = PrivacyGuard(min_users=2)
+        one_user_many_signals = SignalSeries(
+            ImplicitSignal(TS, "net", "m", float(i), user=scrub_author("a"))
+            for i in range(50)
+        )
+        with pytest.raises(PrivacyError):
+            guard.check(one_user_many_signals)
+
+    def test_assert_scrubbed_catches_raw_ids(self):
+        guard = PrivacyGuard()
+        raw = SignalSeries([ImplicitSignal(TS, "net", "m", 1.0, user="alice")])
+        with pytest.raises(PrivacyError):
+            guard.assert_scrubbed(raw)
+
+    def test_assert_scrubbed_passes_clean(self):
+        PrivacyGuard().assert_scrubbed(series_with_users(3))
+
+    def test_rejects_bad_floor(self):
+        with pytest.raises(PrivacyError):
+            PrivacyGuard(min_users=0)

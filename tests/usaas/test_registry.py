@@ -1,0 +1,65 @@
+"""Tests for the signal-source registry."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.signals import ImplicitSignal, SignalSeries
+from repro.core.usaas.registry import SignalSourceRegistry
+from repro.errors import QueryError
+
+TS = dt.datetime(2022, 1, 1)
+
+
+def make_source(counter):
+    def source():
+        counter["calls"] += 1
+        return SignalSeries([ImplicitSignal(TS, "net", "m", 1.0)])
+    return source
+
+
+class TestRegistry:
+    def test_register_and_fetch(self):
+        registry = SignalSourceRegistry()
+        counter = {"calls": 0}
+        registry.register("teams", make_source(counter))
+        assert "teams" in registry
+        assert len(registry.series("teams")) == 1
+
+    def test_lazy_and_cached(self):
+        registry = SignalSourceRegistry()
+        counter = {"calls": 0}
+        registry.register("teams", make_source(counter))
+        assert counter["calls"] == 0  # lazy
+        registry.series("teams")
+        registry.series("teams")
+        assert counter["calls"] == 1  # cached
+
+    def test_duplicate_name_rejected(self):
+        registry = SignalSourceRegistry()
+        registry.register("x", lambda: SignalSeries())
+        with pytest.raises(QueryError):
+            registry.register("x", lambda: SignalSeries())
+
+    def test_unknown_source_rejected(self):
+        with pytest.raises(QueryError):
+            SignalSourceRegistry().series("ghost")
+
+    def test_unregister(self):
+        registry = SignalSourceRegistry()
+        registry.register("x", lambda: SignalSeries())
+        registry.unregister("x")
+        assert "x" not in registry
+        with pytest.raises(QueryError):
+            registry.unregister("x")
+
+    def test_non_callable_rejected(self):
+        with pytest.raises(QueryError):
+            SignalSourceRegistry().register("x", SignalSeries())
+
+    def test_all_series_sorted(self):
+        registry = SignalSourceRegistry()
+        registry.register("b", lambda: SignalSeries())
+        registry.register("a", lambda: SignalSeries())
+        names = [name for name, _ in registry.all_series()]
+        assert names == ["a", "b"]

@@ -1,0 +1,88 @@
+"""Tests for the USaaS facade."""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.usaas import (
+    UsaasQuery,
+    UsaasService,
+    social_signals,
+    telemetry_signals,
+)
+from repro.core.usaas.privacy import PrivacyGuard
+from repro.errors import PrivacyError, QueryError
+
+
+@pytest.fixture(scope="module")
+def service(small_dataset, small_corpus):
+    svc = UsaasService()
+    svc.register_source(
+        "teams", lambda: telemetry_signals(small_dataset, network="starlink")
+    )
+    svc.register_source("reddit", lambda: social_signals(small_corpus))
+    return svc
+
+
+class TestUsaasQuery:
+    def test_requires_network(self):
+        with pytest.raises(QueryError):
+            UsaasQuery(network="")
+
+    def test_requires_metrics(self):
+        with pytest.raises(QueryError):
+            UsaasQuery(network="x", implicit_metrics=(), explicit_metrics=())
+
+    def test_rejects_reversed_range(self):
+        with pytest.raises(QueryError):
+            UsaasQuery(
+                network="x",
+                start=dt.datetime(2022, 2, 1),
+                end=dt.datetime(2022, 1, 1),
+            )
+
+
+class TestUsaasService:
+    def test_answer_produces_report(self, service):
+        report = service.answer(UsaasQuery(network="starlink", service="teams"))
+        assert report.n_implicit > 0
+        assert report.n_explicit > 0
+        assert report.insights
+        assert "USaaS digest" in report.summary
+
+    def test_level_insights_per_metric(self, service):
+        report = service.answer(UsaasQuery(network="starlink", service="teams"))
+        levels = [i for i in report.insights if i.kind == "level"]
+        covered = {i.statement.split()[0] for i in levels}
+        assert {"presence", "cam_on", "mic_on"} <= covered
+
+    def test_anomaly_flags_outage_day(self, service):
+        """The 22 Apr '22 sentiment crater must surface as an anomaly."""
+        report = service.answer(UsaasQuery(network="starlink"))
+        anomalies = [i for i in report.insights if i.kind == "anomaly"]
+        assert anomalies
+        assert any("2022-04-22" in i.statement for i in anomalies)
+
+    def test_unknown_network_hits_privacy_floor(self, service):
+        with pytest.raises(PrivacyError):
+            service.answer(UsaasQuery(network="carrier-pigeon"))
+
+    def test_no_sources_rejected(self):
+        svc = UsaasService()
+        with pytest.raises(QueryError):
+            svc.answer(UsaasQuery(network="x"))
+
+    def test_min_users_override(self, service):
+        with pytest.raises(PrivacyError):
+            service.answer(
+                UsaasQuery(network="starlink", min_users=10**9)
+            )
+
+    def test_time_range_filter(self, service, small_corpus):
+        start = dt.datetime(2022, 4, 1)
+        end = dt.datetime(2022, 4, 30)
+        report = service.answer(
+            UsaasQuery(network="starlink", start=start, end=end)
+        )
+        full = service.answer(UsaasQuery(network="starlink"))
+        assert report.n_explicit < full.n_explicit
