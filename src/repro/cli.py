@@ -140,27 +140,44 @@ def _cmd_usaas(args: argparse.Namespace) -> int:
         social_signals,
         telemetry_signals,
     )
+    from repro.errors import DegradedServiceError
+    from repro.resilience import ResilienceConfig
     from repro.social.corpus import RedditCorpus
     from repro.telemetry.store import CallDataset
 
-    service = UsaasService()
+    config = ResilienceConfig(min_sources=args.min_sources, strict=args.strict)
+    service = UsaasService(resilience=config)
     if args.calls:
-        dataset = CallDataset.from_jsonl(args.calls)
         service.register_source(
             "telemetry",
-            lambda: telemetry_signals(dataset, network=args.network),
+            lambda: telemetry_signals(
+                CallDataset.from_jsonl(args.calls), network=args.network
+            ),
         )
     if args.posts:
-        corpus = RedditCorpus.from_jsonl(args.posts)
         service.register_source(
-            "social", lambda: social_signals(corpus, network=args.network)
+            "social",
+            lambda: social_signals(
+                RedditCorpus.from_jsonl(args.posts), network=args.network
+            ),
         )
-    report = service.answer(
-        UsaasQuery(network=args.network, service=args.service)
-    )
+    try:
+        report = service.answer(
+            UsaasQuery(network=args.network, service=args.service)
+        )
+    except DegradedServiceError as exc:
+        # Hard degradation: too few sources survived to answer at all.
+        print(f"degraded service: {exc}", file=sys.stderr)
+        from repro.resilience import health_table
+
+        print(health_table(iter(service.source_health())), file=sys.stderr)
+        return 2
     print(report.summary)
     print(f"\n({report.n_implicit} implicit + {report.n_explicit} explicit "
           f"signals)")
+    if report.source_health:
+        print("\nsource health:")
+        print(report.health_table())
     return 0
 
 
@@ -273,6 +290,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--posts", help="corpus JSONL (explicit signals)")
     p.add_argument("--network", default="starlink")
     p.add_argument("--service", default=None)
+    p.add_argument("--min-sources", type=int, default=1,
+                   help="fewest surviving sources before the query "
+                        "hard-fails (exit 2)")
+    p.add_argument("--strict", action="store_true",
+                   help="treat any source failure as hard degradation")
     p.set_defaults(fn=_cmd_usaas)
     return parser
 

@@ -13,10 +13,58 @@ from typing import Callable, Dict, Optional
 
 from repro.core.signals import ExplicitSignal, ImplicitSignal, Signal, SignalSeries
 from repro.core.usaas.privacy import scrub_author
-from repro.errors import QueryError
+from repro.errors import QueryError, SchemaError
 from repro.nlp.sentiment import SentimentAnalyzer, SentimentScores
+from repro.resilience.policy import Fallback
 from repro.social.corpus import RedditCorpus
 from repro.telemetry.store import CallDataset
+
+
+class FallbackSentimentChain:
+    """Sentiment scoring with graceful degradation.
+
+    A real deployment scores posts with a hosted service (an Azure-style
+    text-analytics API); when that dependency is down the pipeline must
+    keep producing polarity signals rather than dropping the whole
+    social feed.  This chain tries each ``(name, scorer)`` in order and
+    always ends at the offline lexicon
+    :class:`~repro.nlp.sentiment.SentimentAnalyzer`, which cannot fail
+    on valid text.  It is a drop-in for the ``analyzer=`` argument of
+    :func:`social_signals` (only ``.score`` is required).
+
+        chain = FallbackSentimentChain(("azure", azure_scorer))
+        series = social_signals(corpus, analyzer=chain)
+        chain.served_by  # {"azure": 812, "offline-lexicon": 44}
+    """
+
+    OFFLINE = "offline-lexicon"
+
+    def __init__(self, *scorers, offline: Optional[SentimentAnalyzer] = None):
+        offline = offline or SentimentAnalyzer()
+        links = tuple(scorers) + ((self.OFFLINE, offline.score),)
+        self._chain = Fallback(*links)
+        self.fallback_calls = 0
+
+    @property
+    def served_by(self) -> Dict[str, int]:
+        """How many calls each link answered."""
+        return dict(self._chain.served_by)
+
+    @property
+    def degraded(self) -> bool:
+        """True once any call was served by a non-primary link."""
+        return self.fallback_calls > 0
+
+    def score(self, text: str) -> SentimentScores:
+        result = self._chain.call(text)
+        if not isinstance(result.value, SentimentScores):
+            raise SchemaError(
+                f"sentiment scorer {result.used!r} returned "
+                f"{type(result.value).__name__}, expected SentimentScores"
+            )
+        if result.degraded:
+            self.fallback_calls += 1
+        return result.value
 
 
 def telemetry_signals(

@@ -26,12 +26,25 @@ from repro.core.usaas.privacy import PrivacyGuard
 from repro.core.usaas.query import UsaasQuery
 from repro.core.usaas.registry import SignalSourceRegistry
 from repro.core.usaas.summarize import summarize_insights
-from repro.errors import AnalysisError, PrivacyError, QueryError
+from repro.errors import (
+    AnalysisError,
+    DegradedServiceError,
+    PrivacyError,
+    QueryError,
+)
+from repro.resilience.clock import Clock
+from repro.resilience.executor import ResilienceConfig, SourceExecutor
+from repro.resilience.health import SourceHealth
 
 
 @dataclass(frozen=True)
 class UsaasReport:
-    """Everything returned for one query."""
+    """Everything returned for one query.
+
+    ``source_health`` is a point-in-time snapshot per registered source;
+    ``degraded`` is True when at least one source failed or was served
+    stale — the insights then cover only the surviving feeds.
+    """
 
     query: UsaasQuery
     insights: Tuple[Insight, ...]
@@ -39,39 +52,106 @@ class UsaasReport:
     summary: str
     n_implicit: int
     n_explicit: int
+    source_health: Tuple[SourceHealth, ...] = ()
+    degraded: bool = False
+
+    def health_table(self) -> str:
+        """Fixed-width per-source health table (CLI / log friendly)."""
+        from repro.resilience.health import health_table
+
+        return health_table(iter(self.source_health))
+
+
+@dataclass(frozen=True)
+class GatherResult:
+    """Guarded-gather outcome: merged pool + per-source accounting."""
+
+    pool: SignalSeries
+    health: Tuple[SourceHealth, ...]
+    degraded: bool
+    survivors: Tuple[str, ...]
+    failed: Tuple[str, ...]
+    stale: Tuple[str, ...]
 
 
 class UsaasService:
-    """Registry + privacy + bias + correlation, behind one ``answer()``."""
+    """Registry + privacy + bias + correlation, behind one ``answer()``.
+
+    Ingestion is fault-isolated: each registered source runs behind a
+    retry policy and circuit breaker (see :mod:`repro.resilience`), so
+    one raising or hanging feed degrades the answer instead of aborting
+    it.  ``resilience`` tunes that behaviour; ``clock`` injects time for
+    deterministic tests.
+    """
 
     def __init__(
         self,
         privacy: Optional[PrivacyGuard] = None,
         bias: Optional[BiasCorrector] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         self._registry = SignalSourceRegistry()
         self._privacy = privacy or PrivacyGuard()
         self._bias = bias or BiasCorrector()
+        self._executor = SourceExecutor(resilience or ResilienceConfig(), clock)
 
     @property
     def registry(self) -> SignalSourceRegistry:
         return self._registry
+
+    @property
+    def executor(self) -> SourceExecutor:
+        return self._executor
+
+    def source_health(self) -> Tuple[SourceHealth, ...]:
+        """Current per-source health snapshot (accumulated across queries)."""
+        return self._executor.ledger.snapshot()
 
     def register_source(self, name: str, source) -> None:
         self._registry.register(name, source)
 
     # -- query execution -------------------------------------------------
 
-    def _gather(self, query: UsaasQuery) -> SignalSeries:
+    def _gather(self, query: UsaasQuery) -> GatherResult:
+        """Pull every source through the guard stack; never raises for a
+        failing source — degradation is decided by the caller's config."""
         merged = SignalSeries()
-        for _, series in self._registry.all_series():
-            subset = series.filter(
-                network=query.network,
-                start=query.start,
-                end=query.end,
+        survivors: List[str] = []
+        failed: List[str] = []
+        stale: List[str] = []
+        for name in self._registry.names():
+            outcome = self._executor.fetch(self._registry, name)
+            if outcome.usable:
+                survivors.append(name)
+                if outcome.stale:
+                    stale.append(name)
+                merged.extend(outcome.series.filter(
+                    network=query.network,
+                    start=query.start,
+                    end=query.end,
+                ))
+            else:
+                failed.append(name)
+        config = self._executor.config
+        if failed and config.strict:
+            raise DegradedServiceError(
+                f"strict mode: source(s) failed: {', '.join(failed)}"
             )
-            merged.extend(subset)
-        return merged
+        if len(survivors) < config.min_sources:
+            raise DegradedServiceError(
+                f"only {len(survivors)} of {len(self._registry)} sources "
+                f"survived (min_sources={config.min_sources}); "
+                f"failed: {', '.join(failed) or 'none'}"
+            )
+        return GatherResult(
+            pool=merged,
+            health=self._executor.ledger.snapshot(),
+            degraded=bool(failed or stale),
+            survivors=tuple(survivors),
+            failed=tuple(failed),
+            stale=tuple(stale),
+        )
 
     def answer(self, query: UsaasQuery) -> UsaasReport:
         """Run a query end to end.
@@ -79,10 +159,13 @@ class UsaasService:
         Raises:
             QueryError: no sources registered.
             PrivacyError: the matching population is below the floor.
+            DegradedServiceError: fewer than ``min_sources`` sources
+                survived ingestion (or any failed under ``strict``).
         """
         if len(self._registry) == 0:
             raise QueryError("no signal sources registered")
-        pool = self._gather(query)
+        gathered = self._gather(query)
+        pool = gathered.pool
         guard = (
             PrivacyGuard(query.min_users)
             if query.min_users is not None
@@ -180,6 +263,17 @@ class UsaasService:
                     )
 
         summary = summarize_insights(insights, query.network)
+        if gathered.degraded:
+            notes = []
+            if gathered.failed:
+                notes.append(f"failed: {', '.join(gathered.failed)}")
+            if gathered.stale:
+                notes.append(f"stale: {', '.join(gathered.stale)}")
+            summary += (
+                f"\n[degraded] {len(gathered.survivors)}/"
+                f"{len(self._registry)} sources served this answer "
+                f"({'; '.join(notes)})"
+            )
         return UsaasReport(
             query=query,
             insights=tuple(insights),
@@ -187,6 +281,8 @@ class UsaasService:
             summary=summary,
             n_implicit=len(implicit),
             n_explicit=len(explicit),
+            source_health=gathered.health,
+            degraded=gathered.degraded,
         )
 
     def _breakdown_insights(
@@ -239,7 +335,7 @@ class UsaasService:
         for network in (network_a, network_b):
             query = UsaasQuery(network=network, service=service,
                                implicit_metrics=metrics)
-            pool = self._gather(query)
+            pool = self._gather(query).pool
             self._privacy.assert_scrubbed(pool)
             self._privacy.check(pool, context=f"compare({network})")
             pools[network] = self._bias.apply(pool).filter(

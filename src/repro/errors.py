@@ -38,3 +38,15 @@ class ExtractionError(ReproError):
 
 class PrivacyError(ReproError):
     """An operation would have violated an aggregation/privacy floor."""
+
+
+class SourceUnavailableError(ReproError):
+    """A signal source failed (raised, timed out) after all retries."""
+
+
+class CircuitOpenError(SourceUnavailableError):
+    """A circuit breaker is open: calls are being shed, not attempted."""
+
+
+class DegradedServiceError(ReproError):
+    """Too few signal sources survived to answer the query."""

@@ -1,6 +1,22 @@
 """Persistence and report-rendering helpers."""
 
-from repro.io.jsonl import read_jsonl, write_jsonl
+from repro.io.jsonl import (
+    SalvageResult,
+    atomic_writer,
+    iter_jsonl,
+    read_jsonl,
+    salvage_jsonl,
+    write_jsonl,
+)
 from repro.io.tables import format_series, format_table
 
-__all__ = ["format_series", "format_table", "read_jsonl", "write_jsonl"]
+__all__ = [
+    "SalvageResult",
+    "atomic_writer",
+    "format_series",
+    "format_table",
+    "iter_jsonl",
+    "read_jsonl",
+    "salvage_jsonl",
+    "write_jsonl",
+]

@@ -1,10 +1,19 @@
-"""Line-delimited JSON helpers used by dataset stores and benchmarks."""
+"""Line-delimited JSON helpers used by dataset stores and benchmarks.
+
+Writes are crash-safe: records land in a ``.tmp`` sibling which is
+``os.replace``\\ d into place, so an interrupted export can never leave a
+truncated file behind.  Reads are strict by default; :func:`salvage_jsonl`
+is the opt-in lenient path that quarantines bad lines with counts
+instead of aborting the whole file.
+"""
 
 from __future__ import annotations
 
 import json
+import os
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Iterable, Iterator, List, Union
+from typing import Any, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import SchemaError
 
@@ -12,28 +21,54 @@ PathLike = Union[str, Path]
 
 
 def write_jsonl(path: PathLike, records: Iterable[Any]) -> int:
-    """Write one JSON value per line; returns the record count."""
+    """Atomically write one JSON value per line; returns the record count.
+
+    The file appears at ``path`` only after every record has been
+    written and flushed — a crash mid-export leaves the previous file
+    (or nothing) in place, never a truncated one.
+    """
     count = 0
-    with open(path, "w", encoding="utf-8") as f:
+    with atomic_writer(path) as f:
         for record in records:
             f.write(json.dumps(record, default=_default) + "\n")
             count += 1
     return count
 
 
+class atomic_writer:
+    """Context manager: write to ``<path>.tmp``, replace on clean exit.
+
+    On an exception the temporary file is removed and the destination is
+    untouched.  Usable by any text export, not just JSONL.
+    """
+
+    def __init__(self, path: PathLike, encoding: str = "utf-8") -> None:
+        self._path = Path(path)
+        self._tmp = self._path.with_name(self._path.name + ".tmp")
+        self._encoding = encoding
+        self._handle = None
+
+    def __enter__(self):
+        self._handle = open(self._tmp, "w", encoding=self._encoding)
+        return self._handle
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._handle.close()
+        if exc_type is None:
+            os.replace(self._tmp, self._path)
+        else:
+            try:
+                os.unlink(self._tmp)
+            except OSError:
+                pass  # destination untouched; a stray .tmp is harmless
+        return False
+
+
 def read_jsonl(path: PathLike) -> List[Any]:
     """Read all records; raises SchemaError with line numbers on bad JSON."""
-    out: List[Any] = []
-    with open(path, encoding="utf-8") as f:
-        for line_no, line in enumerate(f, 1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                out.append(json.loads(line))
-            except ValueError as exc:
-                raise SchemaError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
-    return out
+    return list(iter_jsonl(path))
 
 
 def iter_jsonl(path: PathLike) -> Iterator[Any]:
@@ -47,6 +82,77 @@ def iter_jsonl(path: PathLike) -> Iterator[Any]:
                 yield json.loads(line)
             except ValueError as exc:
                 raise SchemaError(f"{path}:{line_no}: invalid JSON: {exc}") from exc
+
+
+@dataclass(frozen=True)
+class SalvageResult:
+    """Outcome of a lenient read.
+
+    Attributes:
+        records: every record that parsed.
+        n_bad: how many lines were quarantined.
+        bad_lines: ``(line_no, error)`` per quarantined line.
+        quarantine_path: where the raw bad lines were written (if asked).
+    """
+
+    records: Tuple[Any, ...]
+    n_bad: int
+    bad_lines: Tuple[Tuple[int, str], ...]
+    quarantine_path: Optional[str] = None
+
+    @property
+    def clean(self) -> bool:
+        return self.n_bad == 0
+
+
+def salvage_jsonl(
+    path: PathLike,
+    quarantine: Optional[PathLike] = None,
+    max_bad_fraction: float = 1.0,
+) -> SalvageResult:
+    """Lenient JSONL read: keep good lines, quarantine bad ones.
+
+    Args:
+        quarantine: optional path; raw bad lines are written there
+            (atomically) for later inspection.
+        max_bad_fraction: abort with SchemaError when more than this
+            fraction of non-empty lines is bad — a file that is mostly
+            garbage is a wrong file, not a damaged one.
+    """
+    if not 0.0 <= max_bad_fraction <= 1.0:
+        raise SchemaError("max_bad_fraction must be in [0, 1]")
+    records: List[Any] = []
+    bad: List[Tuple[int, str]] = []
+    raw_bad: List[str] = []
+    n_lines = 0
+    with open(path, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, 1):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            n_lines += 1
+            try:
+                records.append(json.loads(stripped))
+            except ValueError as exc:
+                bad.append((line_no, f"invalid JSON: {exc}"))
+                raw_bad.append(line.rstrip("\n"))
+    if n_lines and len(bad) / n_lines > max_bad_fraction:
+        raise SchemaError(
+            f"{path}: {len(bad)}/{n_lines} lines are bad "
+            f"(over the {max_bad_fraction:.0%} salvage ceiling)"
+        )
+    quarantine_path: Optional[str] = None
+    if quarantine is not None and raw_bad:
+        with atomic_writer(quarantine) as f:
+            for line in raw_bad:
+                f.write(line + "\n")
+        quarantine_path = str(quarantine)
+    return SalvageResult(
+        records=tuple(records),
+        n_bad=len(bad),
+        bad_lines=tuple(bad),
+        quarantine_path=quarantine_path,
+    )
 
 
 def _default(value: Any) -> Any:

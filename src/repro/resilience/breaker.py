@@ -1,0 +1,148 @@
+"""Circuit breaker: stop hammering a source that keeps failing.
+
+Classic three-state machine over a rolling outcome window:
+
+* **closed** — calls flow; outcomes are recorded.  When the window holds
+  at least ``min_calls`` outcomes and the failure rate reaches
+  ``failure_rate_threshold``, the breaker opens.
+* **open** — calls are shed with :class:`~repro.errors.CircuitOpenError`
+  until ``recovery_s`` has elapsed on the injected clock.
+* **half-open** — up to ``half_open_max_calls`` probe calls are let
+  through; any failure reopens, enough successes close and reset.
+
+Time comes from an injectable :class:`~repro.resilience.clock.Clock`,
+so tests drive the cool-down with a :class:`ManualClock` and never sleep.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Deque, Optional
+
+from repro.errors import CircuitOpenError, ConfigError
+from repro.resilience.clock import Clock, MonotonicClock
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Per-source failure-rate breaker with injectable time."""
+
+    def __init__(
+        self,
+        window: int = 10,
+        failure_rate_threshold: float = 0.5,
+        min_calls: int = 4,
+        recovery_s: float = 30.0,
+        half_open_max_calls: int = 1,
+        clock: Optional[Clock] = None,
+        name: str = "",
+    ) -> None:
+        if window < 1:
+            raise ConfigError("window must be >= 1")
+        if not 0.0 < failure_rate_threshold <= 1.0:
+            raise ConfigError("failure_rate_threshold must be in (0, 1]")
+        if min_calls < 1 or min_calls > window:
+            raise ConfigError("min_calls must be in [1, window]")
+        if recovery_s < 0:
+            raise ConfigError("recovery_s must be non-negative")
+        if half_open_max_calls < 1:
+            raise ConfigError("half_open_max_calls must be >= 1")
+        self.name = name
+        self._window: Deque[bool] = deque(maxlen=window)
+        self._failure_rate_threshold = failure_rate_threshold
+        self._min_calls = min_calls
+        self._recovery_s = recovery_s
+        self._half_open_max_calls = half_open_max_calls
+        self._clock = clock or MonotonicClock()
+        self._state = BreakerState.CLOSED
+        self._opened_at: Optional[float] = None
+        self._half_open_in_flight = 0
+        self._half_open_successes = 0
+
+    # -- state ------------------------------------------------------------
+
+    @property
+    def state(self) -> BreakerState:
+        self._maybe_half_open()
+        return self._state
+
+    @property
+    def failure_rate(self) -> float:
+        if not self._window:
+            return 0.0
+        return sum(1 for ok in self._window if not ok) / len(self._window)
+
+    def _maybe_half_open(self) -> None:
+        if (
+            self._state is BreakerState.OPEN
+            and self._opened_at is not None
+            and self._clock.now() - self._opened_at >= self._recovery_s
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._half_open_in_flight = 0
+            self._half_open_successes = 0
+
+    # -- call gating ------------------------------------------------------
+
+    def allow(self) -> bool:
+        """Would a call be admitted right now? (No state mutation.)"""
+        state = self.state
+        if state is BreakerState.CLOSED:
+            return True
+        if state is BreakerState.OPEN:
+            return False
+        return self._half_open_in_flight < self._half_open_max_calls
+
+    def acquire(self) -> None:
+        """Admit one call or raise :class:`CircuitOpenError`."""
+        state = self.state
+        if state is BreakerState.OPEN:
+            raise CircuitOpenError(
+                f"circuit {self.name or '?'} is open "
+                f"(failure rate {self.failure_rate:.0%})"
+            )
+        if state is BreakerState.HALF_OPEN:
+            if self._half_open_in_flight >= self._half_open_max_calls:
+                raise CircuitOpenError(
+                    f"circuit {self.name or '?'} is half-open and saturated"
+                )
+            self._half_open_in_flight += 1
+
+    def record_success(self) -> None:
+        if self._state is BreakerState.HALF_OPEN:
+            self._half_open_successes += 1
+            if self._half_open_successes >= self._half_open_max_calls:
+                self._reset()
+            return
+        self._window.append(True)
+
+    def record_failure(self) -> None:
+        if self._state is BreakerState.HALF_OPEN:
+            self._trip()
+            return
+        self._window.append(False)
+        if (
+            self._state is BreakerState.CLOSED
+            and len(self._window) >= self._min_calls
+            and self.failure_rate >= self._failure_rate_threshold
+        ):
+            self._trip()
+
+    def _trip(self) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock.now()
+        self._half_open_in_flight = 0
+        self._half_open_successes = 0
+
+    def _reset(self) -> None:
+        self._state = BreakerState.CLOSED
+        self._window.clear()
+        self._opened_at = None
+        self._half_open_in_flight = 0
+        self._half_open_successes = 0

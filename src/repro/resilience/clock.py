@@ -1,0 +1,61 @@
+"""Injectable time for the resilience stack.
+
+Retry backoff, breaker cool-downs and timeout budgets all need a notion
+of "now" and "wait".  Production code uses :class:`MonotonicClock`;
+every test uses :class:`ManualClock`, whose ``sleep`` merely advances an
+internal counter — so no resilience test ever blocks on wall-clock time
+and every schedule is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """Minimal time interface: a monotonic ``now`` and a ``sleep``."""
+
+    def now(self) -> float:
+        raise NotImplementedError
+
+    def sleep(self, seconds: float) -> None:
+        raise NotImplementedError
+
+
+class MonotonicClock(Clock):
+    """Real time, for production use."""
+
+    def now(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+
+class ManualClock(Clock):
+    """Simulated time: ``sleep`` and ``advance`` move ``now`` instantly.
+
+    >>> clock = ManualClock()
+    >>> clock.sleep(2.5); clock.now()
+    2.5
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+        self.sleeps: list = []
+
+    def now(self) -> float:
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("cannot sleep a negative duration")
+        self.sleeps.append(float(seconds))
+        self._now += float(seconds)
+
+    def advance(self, seconds: float) -> None:
+        """Move time forward without recording a sleep."""
+        if seconds < 0:
+            raise ValueError("cannot advance time backwards")
+        self._now += float(seconds)

@@ -1,0 +1,149 @@
+"""Deterministic chaos: seeded fault injection for sources and records.
+
+A :class:`FaultPlan` wraps any source callable (or record stream) so that
+calls fail, stall, or yield corrupt records on a schedule derived from
+``repro.rng`` — the same seed always produces the same fault sequence,
+which is what lets the chaos suite assert byte-identical health records
+across runs.  Simulated slowness advances a
+:class:`~repro.resilience.clock.ManualClock` instead of sleeping, so a
+"30-second hang" costs the test suite nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Tuple
+
+from repro import rng as rng_mod
+from repro.errors import ConfigError, ReproError
+from repro.resilience.clock import ManualClock
+
+
+class InjectedFault(ReproError):
+    """The exception a fault plan raises for an injected failure."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """How one wrapped source should misbehave.
+
+    Per call, one uniform draw picks the action: ``fail`` with
+    probability ``fail_rate``, else ``slow`` with probability
+    ``slow_rate``, else the call proceeds normally.  ``corrupt_rate``
+    applies per *record* when wrapping a record stream.
+    """
+
+    fail_rate: float = 0.0
+    slow_rate: float = 0.0
+    slow_s: float = 0.0
+    corrupt_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("fail_rate", "slow_rate", "corrupt_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1]")
+        if self.fail_rate + self.slow_rate > 1.0:
+            raise ConfigError("fail_rate + slow_rate must be <= 1")
+        if self.slow_s < 0:
+            raise ConfigError("slow_s must be non-negative")
+
+
+ALWAYS_FAIL = FaultSpec(fail_rate=1.0)
+
+
+def always_slow(slow_s: float) -> FaultSpec:
+    """A spec that stalls every call for ``slow_s`` simulated seconds."""
+    return FaultSpec(slow_rate=1.0, slow_s=slow_s)
+
+
+class FaultPlan:
+    """Seeded fault schedules for any number of named targets.
+
+    >>> clock = ManualClock()
+    >>> plan = FaultPlan(seed=7, clock=clock)
+    >>> flaky = plan.wrap_source("feed", lambda: 42,
+    ...                          FaultSpec(fail_rate=0.5))
+    """
+
+    def __init__(self, seed: int, clock: Optional[ManualClock] = None) -> None:
+        self.seed = int(seed)
+        self.clock = clock or ManualClock()
+        self.log: List[Tuple[str, str]] = []
+        self._streams: dict = {}
+
+    def _stream(self, name: str):
+        if name not in self._streams:
+            self._streams[name] = rng_mod.derive(
+                self.seed, "resilience.faults", name
+            )
+        return self._streams[name]
+
+    def _action(self, name: str, spec: FaultSpec) -> str:
+        u = float(self._stream(name).random())
+        if u < spec.fail_rate:
+            return "fail"
+        if u < spec.fail_rate + spec.slow_rate:
+            return "slow"
+        return "ok"
+
+    def wrap_source(
+        self,
+        name: str,
+        fn: Callable[[], Any],
+        spec: FaultSpec,
+    ) -> Callable[[], Any]:
+        """Wrap a source callable with this plan's schedule for ``name``."""
+
+        def wrapped() -> Any:
+            action = self._action(name, spec)
+            self.log.append((name, action))
+            if action == "fail":
+                raise InjectedFault(f"injected failure in source {name!r}")
+            if action == "slow":
+                self.clock.advance(spec.slow_s)
+            return fn()
+
+        return wrapped
+
+    def wrap_records(
+        self,
+        name: str,
+        records: Iterable[Any],
+        spec: FaultSpec,
+        corrupt: Optional[Callable[[Any], Any]] = None,
+    ) -> Iterator[Any]:
+        """Yield ``records`` with some deterministically corrupted.
+
+        ``corrupt`` maps a clean record to its corrupted form; the
+        default replaces it with a sentinel string no schema accepts.
+        """
+        stream = self._stream(name + "#records")
+        for record in records:
+            if float(stream.random()) < spec.corrupt_rate:
+                self.log.append((name, "corrupt"))
+                yield corrupt(record) if corrupt else "\x00corrupt\x00"
+            else:
+                yield record
+
+    def corrupt_jsonl_lines(
+        self, name: str, lines: Iterable[str], spec: FaultSpec
+    ) -> Iterator[str]:
+        """Deterministically truncate JSONL lines (for salvage tests)."""
+        stream = self._stream(name + "#lines")
+        for line in lines:
+            if float(stream.random()) < spec.corrupt_rate and line.strip():
+                self.log.append((name, "corrupt"))
+                yield line[: max(1, len(line) // 2)]
+            else:
+                yield line
+
+    def actions(self, name: str, spec: FaultSpec, n: int) -> Tuple[str, ...]:
+        """Preview the next ``n`` actions for a *fresh* target name.
+
+        Uses the same derivation as :meth:`wrap_source`, so a plan with
+        the same seed reports the same sequence — the determinism the
+        test suite pins down.
+        """
+        preview = FaultPlan(self.seed)
+        return tuple(preview._action(name, spec) for _ in range(n))

@@ -114,10 +114,16 @@ class RedditCorpus:
     # --- persistence ---------------------------------------------------
 
     def to_jsonl(self, path) -> None:
-        """Write one JSON object per post (plus a header with the config)."""
+        """Write one JSON object per post (plus a header with the config).
+
+        The write is atomic (tmp sibling + ``os.replace``), so a crashed
+        export cannot leave a truncated corpus behind.
+        """
         import json
 
-        with open(path, "w", encoding="utf-8") as f:
+        from repro.io.jsonl import atomic_writer
+
+        with atomic_writer(path) as f:
             f.write(json.dumps({
                 "_header": True,
                 "seed": self._config.seed,

@@ -56,8 +56,15 @@ class CallDataset:
     # --- persistence ---------------------------------------------------
 
     def to_jsonl(self, path: Union[str, Path]) -> None:
-        """Write one JSON object per call."""
-        with open(path, "w", encoding="utf-8") as f:
+        """Write one JSON object per call (atomically: tmp + replace).
+
+        An interrupted export can never leave a truncated file that
+        later fails :meth:`from_jsonl` — the destination only appears
+        once every record is on disk.
+        """
+        from repro.io.jsonl import atomic_writer
+
+        with atomic_writer(path) as f:
             for call in self._calls:
                 f.write(json.dumps(_call_to_dict(call)) + "\n")
 

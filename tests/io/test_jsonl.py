@@ -46,3 +46,95 @@ class TestRoundTrip:
         path = tmp_path / "b.jsonl"
         path.write_text('{"a": 1}\n\n{"b": 2}\n')
         assert len(read_jsonl(path)) == 2
+
+
+class TestSalvage:
+    def _mixed_file(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            '{"ok": 1}\n'
+            'not json at all\n'
+            '{"ok": 2}\n'
+            '{"truncated": \n'
+            '\n'
+            '{"ok": 3}\n'
+        )
+        return path
+
+    def test_strict_read_still_aborts(self, tmp_path):
+        from repro.io.jsonl import read_jsonl
+
+        with pytest.raises(SchemaError, match="2"):
+            read_jsonl(self._mixed_file(tmp_path))
+
+    def test_salvage_keeps_good_lines_and_counts_bad(self, tmp_path):
+        from repro.io.jsonl import salvage_jsonl
+
+        result = salvage_jsonl(self._mixed_file(tmp_path))
+        assert result.records == ({"ok": 1}, {"ok": 2}, {"ok": 3})
+        assert result.n_bad == 2
+        assert [line for line, _ in result.bad_lines] == [2, 4]
+        assert not result.clean
+
+    def test_salvage_quarantines_raw_lines(self, tmp_path):
+        from repro.io.jsonl import salvage_jsonl
+
+        quarantine = tmp_path / "bad.quarantine"
+        result = salvage_jsonl(self._mixed_file(tmp_path), quarantine=quarantine)
+        assert result.quarantine_path == str(quarantine)
+        assert quarantine.read_text().splitlines() == [
+            "not json at all",
+            '{"truncated": ',
+        ]
+
+    def test_salvage_clean_file(self, tmp_path):
+        from repro.io.jsonl import salvage_jsonl, write_jsonl
+
+        path = tmp_path / "clean.jsonl"
+        write_jsonl(path, [{"i": i} for i in range(3)])
+        result = salvage_jsonl(path, quarantine=tmp_path / "q")
+        assert result.clean
+        assert result.quarantine_path is None
+        assert not (tmp_path / "q").exists()
+
+    def test_salvage_ceiling_rejects_garbage_files(self, tmp_path):
+        from repro.io.jsonl import salvage_jsonl
+
+        path = tmp_path / "garbage.jsonl"
+        path.write_text("junk\nmore junk\n{\"ok\": 1}\n")
+        with pytest.raises(SchemaError, match="ceiling"):
+            salvage_jsonl(path, max_bad_fraction=0.5)
+
+    def test_salvage_of_fault_injected_export(self, tmp_path):
+        """End-to-end: chaos-corrupted JSONL -> salvage recovers the rest."""
+        from repro.io.jsonl import salvage_jsonl, write_jsonl
+        from repro.resilience import FaultPlan, FaultSpec
+
+        path = tmp_path / "export.jsonl"
+        write_jsonl(path, [{"i": i, "pad": "x" * 40} for i in range(40)])
+        plan = FaultPlan(seed=21)
+        corrupted = plan.corrupt_jsonl_lines(
+            "export", path.read_text().splitlines(),
+            FaultSpec(corrupt_rate=0.25),
+        )
+        path.write_text("\n".join(corrupted) + "\n")
+
+        result = salvage_jsonl(path)
+        assert 0 < result.n_bad < 40
+        assert len(result.records) == 40 - result.n_bad
+        # Determinism: the same seed corrupts the same lines.
+        assert result.n_bad == len(
+            [a for a in plan.log if a == ("export", "corrupt")]
+        )
+
+
+class TestAtomicWrite:
+    def test_write_jsonl_is_atomic(self, tmp_path):
+        from repro.io.jsonl import write_jsonl
+
+        path = tmp_path / "out.jsonl"
+        write_jsonl(path, [{"a": 1}])
+        with pytest.raises(TypeError):
+            write_jsonl(path, [{"a": 1}, {"bad": object()}])
+        assert read_jsonl(path) == [{"a": 1}]
+        assert not (tmp_path / "out.jsonl.tmp").exists()

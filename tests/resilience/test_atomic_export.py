@@ -1,0 +1,93 @@
+"""Crash-safe exports: an interrupted write never truncates the file."""
+
+import json
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.io.jsonl import atomic_writer
+
+
+class TestAtomicWriter:
+    def test_success_replaces(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old\n")
+        with atomic_writer(path) as f:
+            f.write("new\n")
+        assert path.read_text() == "new\n"
+        assert not (tmp_path / "out.txt.tmp").exists()
+
+    def test_failure_preserves_previous_file(self, tmp_path):
+        path = tmp_path / "out.txt"
+        path.write_text("old\n")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path) as f:
+                f.write("partial")
+                raise RuntimeError("crash mid-export")
+        assert path.read_text() == "old\n"
+        assert not (tmp_path / "out.txt.tmp").exists()
+
+    def test_failure_with_no_previous_file_leaves_nothing(self, tmp_path):
+        path = tmp_path / "fresh.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_writer(path) as f:
+                f.write("partial")
+                raise RuntimeError("crash")
+        assert not path.exists()
+
+
+class TestDatasetExports:
+    def test_call_dataset_interrupted_export_keeps_old_file(
+        self, small_dataset, tmp_path, monkeypatch
+    ):
+        from repro.telemetry import store
+
+        path = tmp_path / "calls.jsonl"
+        small_dataset.to_jsonl(path)
+        good = path.read_bytes()
+
+        calls = {"n": 0}
+        original = store._call_to_dict
+
+        def failing(call):
+            calls["n"] += 1
+            if calls["n"] > 2:
+                raise OSError("disk died mid-export")
+            return original(call)
+
+        monkeypatch.setattr(store, "_call_to_dict", failing)
+        with pytest.raises(OSError):
+            small_dataset.to_jsonl(path)
+        # The old, complete file is still there and still loads.
+        assert path.read_bytes() == good
+        assert len(store.CallDataset.from_jsonl(path)) == len(small_dataset)
+
+    def test_corpus_interrupted_export_keeps_old_file(
+        self, small_corpus, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "posts.jsonl"
+        small_corpus.to_jsonl(path)
+        good = path.read_bytes()
+
+        state = {"n": 0}
+        original = json.dumps
+
+        def failing(obj, *args, **kwargs):
+            state["n"] += 1
+            if state["n"] > 3:
+                raise OSError("disk died mid-export")
+            return original(obj, *args, **kwargs)
+
+        monkeypatch.setattr(json, "dumps", failing)
+        with pytest.raises(OSError):
+            small_corpus.to_jsonl(path)
+        monkeypatch.undo()
+        assert path.read_bytes() == good
+
+    def test_round_trip_still_works(self, small_dataset, tmp_path):
+        from repro.telemetry.store import CallDataset
+
+        path = tmp_path / "calls.jsonl"
+        small_dataset.to_jsonl(path)
+        loaded = CallDataset.from_jsonl(path)
+        assert len(loaded) == len(small_dataset)

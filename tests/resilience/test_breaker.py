@@ -1,0 +1,132 @@
+"""CircuitBreaker state-machine tests — no real time, ever."""
+
+import pytest
+
+from repro.errors import CircuitOpenError, ConfigError
+from repro.resilience import BreakerState, CircuitBreaker, ManualClock
+
+
+def make_breaker(clock, **overrides):
+    params = dict(
+        window=10,
+        failure_rate_threshold=0.5,
+        min_calls=4,
+        recovery_s=30.0,
+        half_open_max_calls=1,
+        clock=clock,
+        name="feed",
+    )
+    params.update(overrides)
+    return CircuitBreaker(**params)
+
+
+class TestClosed:
+    def test_starts_closed_and_allows(self):
+        breaker = make_breaker(ManualClock())
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.allow()
+        breaker.acquire()  # must not raise
+
+    def test_failures_below_min_calls_keep_it_closed(self):
+        breaker = make_breaker(ManualClock())
+        for _ in range(3):  # min_calls is 4
+            breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_opens_at_failure_rate(self):
+        breaker = make_breaker(ManualClock())
+        breaker.record_success()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.CLOSED
+        breaker.record_failure()  # 2/4 failed = 50% >= threshold
+        assert breaker.state is BreakerState.OPEN
+
+    def test_successes_age_out_of_window(self):
+        breaker = make_breaker(ManualClock(), window=4, min_calls=4)
+        for _ in range(4):
+            breaker.record_success()
+        for _ in range(2):
+            breaker.record_failure()
+        # window now holds [ok, ok, fail, fail] -> 50% -> open
+        assert breaker.state is BreakerState.OPEN
+
+
+class TestOpen:
+    def test_open_sheds_calls(self):
+        clock = ManualClock()
+        breaker = make_breaker(clock)
+        for _ in range(4):
+            breaker.record_failure()
+        assert not breaker.allow()
+        with pytest.raises(CircuitOpenError):
+            breaker.acquire()
+
+    def test_recovery_moves_to_half_open(self):
+        clock = ManualClock()
+        breaker = make_breaker(clock, recovery_s=30.0)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(29.9)
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(0.2)
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert breaker.allow()
+
+
+class TestHalfOpen:
+    def _half_open_breaker(self, **overrides):
+        clock = ManualClock()
+        breaker = make_breaker(clock, **overrides)
+        for _ in range(4):
+            breaker.record_failure()
+        clock.advance(30.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        return breaker
+
+    def test_probe_success_closes_and_resets(self):
+        breaker = self._half_open_breaker()
+        breaker.acquire()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+        assert breaker.failure_rate == 0.0  # window cleared on reset
+
+    def test_probe_failure_reopens(self):
+        breaker = self._half_open_breaker()
+        breaker.acquire()
+        breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+
+    def test_half_open_saturates(self):
+        breaker = self._half_open_breaker(half_open_max_calls=1)
+        breaker.acquire()
+        with pytest.raises(CircuitOpenError):
+            breaker.acquire()
+
+    def test_full_cycle_closed_open_half_open_closed(self):
+        clock = ManualClock()
+        breaker = make_breaker(clock)
+        assert breaker.state is BreakerState.CLOSED
+        for _ in range(4):
+            breaker.record_failure()
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(30.0)
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.acquire()
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(window=0),
+        dict(failure_rate_threshold=0.0),
+        dict(failure_rate_threshold=1.5),
+        dict(min_calls=0),
+        dict(min_calls=99),
+        dict(recovery_s=-1.0),
+        dict(half_open_max_calls=0),
+    ])
+    def test_bad_parameters_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            make_breaker(ManualClock(), **kwargs)

@@ -1,0 +1,285 @@
+"""Chaos acceptance tests: graceful degradation of the USaaS stack.
+
+Every test here uses the fault harness and a ManualClock — there is no
+wall-clock dependence and no real sleep anywhere, which is what makes
+the byte-identity assertions possible.
+"""
+
+import datetime as dt
+import json
+
+import pytest
+
+from repro.core.signals import ExplicitSignal, ImplicitSignal, SignalSeries
+from repro.core.usaas import UsaasQuery, UsaasService
+from repro.core.usaas.privacy import scrub_author
+from repro.errors import DegradedServiceError
+from repro.resilience import (
+    FaultPlan,
+    ManualClock,
+    ResilienceConfig,
+    RetryPolicy,
+)
+from repro.resilience.faults import ALWAYS_FAIL, always_slow
+
+pytestmark = pytest.mark.chaos
+
+SEED = 1337
+DAY0 = dt.datetime(2022, 4, 1, 12, 0)
+
+
+def implicit_series() -> SignalSeries:
+    """10 days x 12 users of presence/cam_on signals on starlink/teams."""
+    series = SignalSeries()
+    for day in range(10):
+        ts = DAY0 + dt.timedelta(days=day)
+        for u in range(12):
+            user = scrub_author(f"user-{u}")
+            series.append(ImplicitSignal(
+                ts, "starlink", "presence", 80.0 + u - day,
+                service="teams", user=user,
+            ))
+            series.append(ImplicitSignal(
+                ts, "starlink", "cam_on", 60.0 + (u % 5),
+                service="teams", user=user,
+            ))
+    return series
+
+
+def explicit_series() -> SignalSeries:
+    series = SignalSeries()
+    for day in range(10):
+        ts = DAY0 + dt.timedelta(days=day)
+        for u in range(12):
+            series.append(ExplicitSignal(
+                ts, "starlink", "sentiment_polarity",
+                0.4 - 0.05 * day, user=scrub_author(f"poster-{u}"),
+            ))
+    return series
+
+
+def build_degraded_service(seed=SEED):
+    """4 sources; 2 fault-injected (1 always raising, 1 over budget)."""
+    clock = ManualClock()
+    plan = FaultPlan(seed=seed, clock=clock)
+    config = ResilienceConfig(
+        retry=RetryPolicy(
+            max_attempts=2, base_delay_s=0.1, jitter=0.2,
+            attempt_timeout_s=1.0, seed=seed,
+        ),
+        min_sources=1,
+    )
+    service = UsaasService(resilience=config, clock=clock)
+    service.register_source("telemetry", implicit_series)
+    service.register_source("social", explicit_series)
+    service.register_source(
+        "flaky", plan.wrap_source("flaky", implicit_series, ALWAYS_FAIL)
+    )
+    service.register_source(
+        "hanging", plan.wrap_source("hanging", implicit_series,
+                                    always_slow(30.0))
+    )
+    return service, plan, clock
+
+
+def health_bytes(report) -> bytes:
+    return json.dumps(
+        [h.as_dict() for h in report.source_health], sort_keys=True
+    ).encode()
+
+
+class TestGracefulDegradation:
+    def test_two_of_four_sources_down_still_answers(self):
+        service, _, _ = build_degraded_service()
+        report = service.answer(
+            UsaasQuery(network="starlink", service="teams")
+        )
+        assert report.degraded
+        assert report.n_implicit > 0
+        assert report.n_explicit > 0
+        assert report.insights  # computed from the two survivors
+        assert "[degraded]" in report.summary
+        assert "flaky" in report.summary and "hanging" in report.summary
+
+    def test_per_source_health_is_accurate(self):
+        service, _, _ = build_degraded_service()
+        report = service.answer(UsaasQuery(network="starlink"))
+        health = {h.name: h for h in report.source_health}
+        assert set(health) == {"telemetry", "social", "flaky", "hanging"}
+
+        for good in ("telemetry", "social"):
+            assert health[good].status == "ok"
+            assert health[good].attempts == 1
+            assert health[good].failures == 0
+
+        flaky = health["flaky"]
+        assert flaky.status == "failed"
+        assert flaky.attempts == 2  # retried once, then gave up
+        assert flaky.failures == 2
+        assert "InjectedFault" in flaky.last_error
+
+        hanging = health["hanging"]
+        assert hanging.status == "failed"
+        assert hanging.attempts == 2
+        assert hanging.failures == 2
+        assert "budget" in hanging.last_error
+        assert hanging.last_elapsed_s == pytest.approx(30.0)  # simulated
+
+    def test_insights_come_from_survivors_only(self):
+        service, _, _ = build_degraded_service()
+        report = service.answer(
+            UsaasQuery(network="starlink", service="teams")
+        )
+        # The two surviving sources contribute exactly their own signals:
+        # 10 days x 12 users x 2 implicit metrics, 10 x 12 explicit.
+        assert report.n_implicit == 240
+        assert report.n_explicit == 120
+
+    def test_same_seed_byte_identical_health(self):
+        service_a, _, _ = build_degraded_service()
+        service_b, _, _ = build_degraded_service()
+        report_a = service_a.answer(UsaasQuery(network="starlink"))
+        report_b = service_b.answer(UsaasQuery(network="starlink"))
+        assert health_bytes(report_a) == health_bytes(report_b)
+
+    def test_different_seed_changes_backoff_not_verdict(self):
+        service_a, _, clock_a = build_degraded_service(seed=1)
+        service_b, _, clock_b = build_degraded_service(seed=2)
+        report_a = service_a.answer(UsaasQuery(network="starlink"))
+        report_b = service_b.answer(UsaasQuery(network="starlink"))
+        assert report_a.degraded and report_b.degraded
+        assert clock_a.sleeps != clock_b.sleeps  # jitter is seed-driven
+
+    def test_no_real_sleeping_happened(self):
+        service, _, clock = build_degraded_service()
+        service.answer(UsaasQuery(network="starlink"))
+        # Simulated time passed (hangs + backoff) while the test ran in
+        # microseconds of real time; the ManualClock absorbed it all.
+        assert clock.now() > 60.0
+
+
+class TestHardDegradation:
+    def test_min_sources_raises(self):
+        service, _, _ = build_degraded_service()
+        config = ResilienceConfig(
+            retry=service.executor.config.retry,
+            min_sources=3,
+        )
+        strict_service = UsaasService(
+            resilience=config, clock=service.executor.clock
+        )
+        plan = FaultPlan(seed=SEED, clock=service.executor.clock)
+        strict_service.register_source("telemetry", implicit_series)
+        strict_service.register_source("social", explicit_series)
+        strict_service.register_source(
+            "flaky", plan.wrap_source("flaky", implicit_series, ALWAYS_FAIL)
+        )
+        with pytest.raises(DegradedServiceError, match="min_sources"):
+            strict_service.answer(UsaasQuery(network="starlink"))
+
+    def test_strict_mode_tolerates_nothing(self):
+        clock = ManualClock()
+        plan = FaultPlan(seed=SEED, clock=clock)
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=1, seed=SEED), strict=True
+        )
+        service = UsaasService(resilience=config, clock=clock)
+        service.register_source("telemetry", implicit_series)
+        service.register_source(
+            "flaky", plan.wrap_source("flaky", implicit_series, ALWAYS_FAIL)
+        )
+        with pytest.raises(DegradedServiceError, match="strict"):
+            service.answer(UsaasQuery(network="starlink"))
+
+
+class TestStaleFallback:
+    def _flapping_service(self):
+        clock = ManualClock()
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=1, seed=SEED), min_sources=1
+        )
+        service = UsaasService(resilience=config, clock=clock)
+        state = {"up": True}
+
+        def flapping():
+            if not state["up"]:
+                raise OSError("feed offline")
+            return implicit_series()
+
+        service.register_source("telemetry", flapping)
+        service.register_source("social", explicit_series)
+        return service, state
+
+    def test_last_good_series_served_stale(self):
+        service, state = self._flapping_service()
+        first = service.answer(UsaasQuery(network="starlink"))
+        assert not first.degraded
+
+        state["up"] = False
+        service.registry.invalidate("telemetry")  # force a re-fetch
+        second = service.answer(UsaasQuery(network="starlink"))
+        assert second.degraded
+        assert second.n_implicit == first.n_implicit  # stale data served
+        health = {h.name: h for h in second.source_health}
+        assert health["telemetry"].status == "stale"
+        assert "stale: telemetry" in second.summary
+
+    def test_stale_disabled_drops_the_source(self):
+        clock = ManualClock()
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=1, seed=SEED),
+            allow_stale=False,
+        )
+        service = UsaasService(resilience=config, clock=clock)
+        state = {"up": True}
+
+        def flapping():
+            if not state["up"]:
+                raise OSError("feed offline")
+            return implicit_series()
+
+        service.register_source("telemetry", flapping)
+        service.register_source("social", explicit_series)
+        service.answer(UsaasQuery(network="starlink"))
+        state["up"] = False
+        service.registry.invalidate("telemetry")
+        report = service.answer(UsaasQuery(network="starlink"))
+        assert report.degraded
+        assert report.n_implicit == 0  # nothing served stale
+
+
+class TestBreakerAcrossQueries:
+    def test_repeated_failures_trip_and_shed(self):
+        clock = ManualClock()
+        plan = FaultPlan(seed=SEED, clock=clock)
+        config = ResilienceConfig(
+            retry=RetryPolicy(max_attempts=2, jitter=0.0, seed=SEED),
+            breaker_min_calls=4,
+            breaker_recovery_s=300.0,
+            min_sources=1,
+        )
+        service = UsaasService(resilience=config, clock=clock)
+        service.register_source("social", explicit_series)
+        service.register_source(
+            "flaky", plan.wrap_source("flaky", explicit_series, ALWAYS_FAIL)
+        )
+        query = UsaasQuery(
+            network="starlink", implicit_metrics=("presence",),
+            explicit_metrics=("sentiment_polarity",),
+        )
+        service.answer(query)  # 2 failures: breaker still closed
+        service.answer(query)  # 4 failures: breaker opens
+        health = {h.name: h for h in service.source_health()}
+        assert health["flaky"].breaker_state == "open"
+        attempts_before = health["flaky"].attempts
+
+        service.answer(query)  # shed, not attempted
+        health = {h.name: h for h in service.source_health()}
+        assert health["flaky"].attempts == attempts_before
+        assert health["flaky"].shed >= 1
+
+        # After the cool-down the breaker half-opens and probes again.
+        clock.advance(300.0)
+        service.answer(query)
+        health = {h.name: h for h in service.source_health()}
+        assert health["flaky"].attempts > attempts_before

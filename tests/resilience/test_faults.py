@@ -1,0 +1,112 @@
+"""FaultPlan determinism: same seed, same chaos."""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience import FaultPlan, FaultSpec, ManualClock
+from repro.resilience.faults import ALWAYS_FAIL, InjectedFault, always_slow
+
+
+class TestSpecValidation:
+    @pytest.mark.parametrize("kwargs", [
+        dict(fail_rate=-0.1),
+        dict(fail_rate=1.1),
+        dict(slow_rate=2.0),
+        dict(corrupt_rate=-1.0),
+        dict(fail_rate=0.6, slow_rate=0.6),
+        dict(slow_s=-1.0),
+    ])
+    def test_bad_rates_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultSpec(**kwargs)
+
+
+class TestDeterminism:
+    def test_same_seed_same_action_sequence(self):
+        spec = FaultSpec(fail_rate=0.3, slow_rate=0.3, slow_s=1.0)
+        a = FaultPlan(seed=11).actions("feed", spec, 64)
+        b = FaultPlan(seed=11).actions("feed", spec, 64)
+        assert a == b
+        assert {"fail", "slow", "ok"} >= set(a)
+
+    def test_different_seed_differs(self):
+        spec = FaultSpec(fail_rate=0.5)
+        a = FaultPlan(seed=11).actions("feed", spec, 64)
+        b = FaultPlan(seed=12).actions("feed", spec, 64)
+        assert a != b
+
+    def test_targets_have_independent_streams(self):
+        spec = FaultSpec(fail_rate=0.5)
+        plan = FaultPlan(seed=11)
+        assert plan.actions("a", spec, 64) != plan.actions("b", spec, 64)
+
+    def test_wrapped_source_replays_the_preview(self):
+        spec = FaultSpec(fail_rate=0.4)
+        plan = FaultPlan(seed=3)
+        preview = plan.actions("feed", spec, 20)
+        wrapped = plan.wrap_source("feed", lambda: "data", spec)
+        observed = []
+        for _ in range(20):
+            try:
+                wrapped()
+                observed.append("ok")
+            except InjectedFault:
+                observed.append("fail")
+        assert tuple(observed) == preview
+
+
+class TestInjection:
+    def test_always_fail(self):
+        plan = FaultPlan(seed=1)
+        wrapped = plan.wrap_source("feed", lambda: "x", ALWAYS_FAIL)
+        with pytest.raises(InjectedFault, match="feed"):
+            wrapped()
+
+    def test_slow_advances_the_clock_not_wall_time(self):
+        clock = ManualClock()
+        plan = FaultPlan(seed=1, clock=clock)
+        wrapped = plan.wrap_source("feed", lambda: "x", always_slow(30.0))
+        assert wrapped() == "x"
+        assert clock.now() == 30.0
+        assert clock.sleeps == []  # advanced, never slept
+
+    def test_log_records_every_action(self):
+        plan = FaultPlan(seed=1)
+        wrapped = plan.wrap_source("feed", lambda: "x", FaultSpec())
+        wrapped()
+        wrapped()
+        assert plan.log == [("feed", "ok"), ("feed", "ok")]
+
+
+class TestRecordCorruption:
+    def test_corrupt_rate_is_deterministic(self):
+        spec = FaultSpec(corrupt_rate=0.3)
+        records = list(range(50))
+        a = list(FaultPlan(seed=5).wrap_records("r", records, spec))
+        b = list(FaultPlan(seed=5).wrap_records("r", records, spec))
+        assert a == b
+        assert len(a) == 50
+        assert any(r == "\x00corrupt\x00" for r in a)
+
+    def test_custom_corruptor(self):
+        spec = FaultSpec(corrupt_rate=1.0)
+        out = list(FaultPlan(seed=5).wrap_records(
+            "r", [{"v": 1}], spec, corrupt=lambda r: {"v": None}
+        ))
+        assert out == [{"v": None}]
+
+    def test_jsonl_line_truncation_breaks_parsing(self):
+        lines = [json.dumps({"i": i, "pad": "x" * 30}) for i in range(20)]
+        spec = FaultSpec(corrupt_rate=0.5)
+        corrupted = list(
+            FaultPlan(seed=9).corrupt_jsonl_lines("f", lines, spec)
+        )
+        n_bad = 0
+        for line in corrupted:
+            try:
+                json.loads(line)
+            except ValueError:
+                n_bad += 1
+        assert 0 < n_bad < 20

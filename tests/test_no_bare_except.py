@@ -1,0 +1,60 @@
+"""Tier-1 wiring for the bare-except lint (tools/check_no_bare_except.py)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TOOL = REPO / "tools" / "check_no_bare_except.py"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("check_no_bare_except", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_src_tree_is_clean():
+    tool = _load_tool()
+    violations = tool.check_tree(REPO / "src")
+    assert violations == [], "\n".join(
+        f"{p}:{line}: {msg}" for p, line, msg in violations
+    )
+
+
+def test_detects_bare_except(tmp_path):
+    tool = _load_tool()
+    bad = tmp_path / "bad.py"
+    bad.write_text("try:\n    x()\nexcept:\n    handle()\n")
+    violations = tool.check_file(bad)
+    assert len(violations) == 1
+    assert "bare" in violations[0][2]
+
+
+def test_detects_silent_swallow(tmp_path):
+    tool = _load_tool()
+    bad = tmp_path / "bad.py"
+    bad.write_text("try:\n    x()\nexcept Exception:\n    pass\n")
+    violations = tool.check_file(bad)
+    assert len(violations) == 1
+    assert "swallows" in violations[0][2]
+
+
+def test_allows_narrow_and_handled(tmp_path):
+    tool = _load_tool()
+    ok = tmp_path / "ok.py"
+    ok.write_text(
+        "try:\n    x()\nexcept OSError:\n    pass\n"
+        "try:\n    y()\nexcept Exception as exc:\n    log(exc)\n"
+    )
+    assert tool.check_file(ok) == []
+
+
+def test_cli_entrypoint(tmp_path):
+    tool = _load_tool()
+    (tmp_path / "bad.py").write_text("try:\n    x()\nexcept:\n    pass\n")
+    assert tool.main(["prog", str(tmp_path)]) == 1
+    (tmp_path / "bad.py").write_text("x = 1\n")
+    assert tool.main(["prog", str(tmp_path)]) == 0
+    assert tool.main(["prog", str(tmp_path / "missing")]) == 2

@@ -63,3 +63,92 @@ class TestRegistry:
         registry.register("a", lambda: SignalSeries())
         names = [name for name, _ in registry.all_series()]
         assert names == ["a", "b"]
+
+
+class TestCacheCoherence:
+    def _flaky_source(self, fail_first):
+        state = {"calls": 0}
+
+        def source():
+            state["calls"] += 1
+            if state["calls"] <= fail_first:
+                raise QueryError("source down")
+            return SignalSeries(
+                [ImplicitSignal(TS, "net", "m", float(state["calls"]))]
+            )
+
+        return source, state
+
+    def test_raising_source_never_populates_cache(self):
+        registry = SignalSourceRegistry()
+        source, state = self._flaky_source(fail_first=1)
+        registry.register("flaky", source)
+        with pytest.raises(QueryError):
+            registry.series("flaky")
+        assert not registry.cached("flaky")
+        assert registry.last_good("flaky") is None
+        # The next call re-runs the source and caches the good result.
+        assert len(registry.series("flaky")) == 1
+        assert registry.cached("flaky")
+
+    def test_wrong_type_never_populates_cache(self):
+        from repro.errors import SchemaError
+
+        registry = SignalSourceRegistry()
+        registry.register("wrong", lambda: [1, 2, 3])
+        with pytest.raises(SchemaError):
+            registry.series("wrong")
+        assert not registry.cached("wrong")
+
+    def test_invalidate_forces_refetch_but_keeps_last_good(self):
+        registry = SignalSourceRegistry()
+        counter = {"calls": 0}
+        registry.register("teams", make_source(counter))
+        first = registry.series("teams")
+        registry.invalidate("teams")
+        assert not registry.cached("teams")
+        assert registry.last_good("teams") is first
+        registry.series("teams")
+        assert counter["calls"] == 2
+
+    def test_invalidate_unknown_rejected(self):
+        with pytest.raises(QueryError):
+            SignalSourceRegistry().invalidate("ghost")
+
+    def test_refresh_one_source(self):
+        registry = SignalSourceRegistry()
+        counter = {"calls": 0}
+        registry.register("teams", make_source(counter))
+        registry.series("teams")
+        registry.refresh("teams")
+        assert counter["calls"] == 2
+        assert registry.cached("teams")
+
+    def test_refresh_all_sources(self):
+        registry = SignalSourceRegistry()
+        a, b = {"calls": 0}, {"calls": 0}
+        registry.register("a", make_source(a))
+        registry.register("b", make_source(b))
+        registry.refresh()
+        assert a["calls"] == 1 and b["calls"] == 1
+
+    def test_failed_refresh_keeps_last_good_available(self):
+        registry = SignalSourceRegistry()
+        source, state = self._flaky_source(fail_first=0)
+        registry.register("flap", source)
+        good = registry.series("flap")
+        state["calls"] = -10  # make the next calls fail again
+        def broken():
+            raise QueryError("down again")
+        registry._sources["flap"] = broken
+        with pytest.raises(QueryError):
+            registry.refresh("flap")
+        assert not registry.cached("flap")
+        assert registry.last_good("flap") is good
+
+    def test_unregister_clears_last_good(self):
+        registry = SignalSourceRegistry()
+        registry.register("x", lambda: SignalSeries())
+        registry.series("x")
+        registry.unregister("x")
+        assert registry.last_good("x") is None

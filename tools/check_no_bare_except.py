@@ -1,0 +1,92 @@
+#!/usr/bin/env python
+"""AST lint: forbid silent exception swallowing in ``src/``.
+
+Two patterns are banned:
+
+* bare ``except:`` — catches ``KeyboardInterrupt``/``SystemExit`` and
+  hides programming errors;
+* ``except Exception:`` (or ``except BaseException:``) whose handler
+  body is only ``pass``/``...`` — the classic silent swallow that turns
+  a broken source into a silently wrong answer.
+
+The resilience layer exists precisely so code never needs these: route
+failures through ``repro.errors`` types and the health ledger instead.
+
+Run directly (``python tools/check_no_bare_except.py [root]``) or via
+the test that wires it into tier-1.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+Violation = Tuple[Path, int, str]
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_swallow(body: List[ast.stmt]) -> bool:
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis)
+        for stmt in body
+    )
+
+
+def _broad_names(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _BROAD
+    if isinstance(node, ast.Tuple):
+        return any(_broad_names(el) for el in node.elts)
+    return False
+
+
+def check_file(path: Path) -> List[Violation]:
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, f"syntax error: {exc.msg}")]
+    violations: List[Violation] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ExceptHandler):
+            continue
+        if node.type is None:
+            violations.append(
+                (path, node.lineno, "bare 'except:' is forbidden")
+            )
+        elif _broad_names(node.type) and _is_swallow(node.body):
+            violations.append(
+                (path, node.lineno,
+                 "'except Exception: pass' silently swallows failures")
+            )
+    return violations
+
+
+def check_tree(root: Path) -> List[Violation]:
+    violations: List[Violation] = []
+    for path in sorted(root.rglob("*.py")):
+        violations.extend(check_file(path))
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path("src")
+    if not root.exists():
+        print(f"no such directory: {root}", file=sys.stderr)
+        return 2
+    violations = check_tree(root)
+    for path, line, message in violations:
+        print(f"{path}:{line}: {message}")
+    if violations:
+        print(f"{len(violations)} violation(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
