@@ -1,0 +1,1 @@
+"""Performance benchmark harness (cold/warm generation, throughput)."""

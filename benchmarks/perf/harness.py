@@ -1,0 +1,262 @@
+"""Perf timing suite: cold/warm generation, throughput, parallel speedup.
+
+The suite measures the three levers this repo pulls for scale:
+
+* **cold vs warm** — full simulation against a content-addressed
+  cache hit for both data factories;
+* **sentiment throughput** — per-text scoring against the batch
+  (memoised) path, in posts/sec over a generated corpus;
+* **parallel speedup** — serial against ``workers=N`` sharded
+  generation (byte-identical output, so the comparison is honest).
+
+Results append to a machine-readable trajectory file
+(``BENCH_perf.json`` at the repo root) so subsequent PRs can show
+deltas; ``tools/check_bench_regression.py`` compares the last two
+entries and fails on a >30 % cold-path regression.
+
+Run standalone::
+
+    PYTHONPATH=src python -m benchmarks.perf.harness --out BENCH_perf.json
+    PYTHONPATH=src python -m benchmarks.perf.harness --scale smoke --out /tmp/b.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import datetime as dt
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DEFAULT_TRAJECTORY = REPO_ROOT / "BENCH_perf.json"
+TRAJECTORY_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class PerfScale:
+    """Workload sizes for one harness run."""
+
+    name: str
+    n_calls: int
+    corpus_start: dt.date
+    corpus_end: dt.date
+    author_pool_size: int
+    workers: int
+    seed: int = 20231128
+
+    @classmethod
+    def full(cls) -> "PerfScale":
+        """The committed-benchmark scale (minutes, not seconds)."""
+        return cls(
+            name="full",
+            n_calls=300,
+            corpus_start=dt.date(2022, 1, 1),
+            corpus_end=dt.date(2022, 12, 31),
+            author_pool_size=1500,
+            workers=2,
+        )
+
+    @classmethod
+    def smoke(cls) -> "PerfScale":
+        """A seconds-scale run for CI smoke tests."""
+        return cls(
+            name="smoke",
+            n_calls=12,
+            corpus_start=dt.date(2022, 3, 1),
+            corpus_end=dt.date(2022, 3, 21),
+            author_pool_size=120,
+            workers=2,
+        )
+
+
+def _timed(fn: Callable[[], Any]) -> Dict[str, Any]:
+    start = time.perf_counter()
+    value = fn()
+    return {"seconds": time.perf_counter() - start, "value": value}
+
+
+def run_perf_suite(
+    scale: PerfScale,
+    cache_root: Path,
+) -> Dict[str, Any]:
+    """Run every measurement once and return the results dict.
+
+    ``cache_root`` should be empty (or absent) so the first generation
+    is genuinely cold; the warm numbers then measure a real cache hit.
+    """
+    from repro.nlp.sentiment import SentimentAnalyzer
+    from repro.perf import ArtifactCache
+    from repro.social import CorpusConfig, CorpusGenerator
+    from repro.telemetry import CallDatasetGenerator, GeneratorConfig
+
+    cache = ArtifactCache(cache_root)
+    results: Dict[str, Any] = {}
+
+    # --- call dataset: cold (serial), parallel, warm --------------------
+    calls_config = GeneratorConfig(n_calls=scale.n_calls, seed=scale.seed)
+    cold = _timed(lambda: CallDatasetGenerator(calls_config).generate())
+    results["calls_cold_s"] = cold["seconds"]
+    results["calls_n"] = len(cold["value"])
+
+    par_config = GeneratorConfig(
+        n_calls=scale.n_calls, seed=scale.seed, workers=scale.workers
+    )
+    par = _timed(lambda: CallDatasetGenerator(par_config).generate())
+    results["calls_parallel_s"] = par["seconds"]
+    results["calls_parallel_workers"] = scale.workers
+    results["calls_parallel_speedup"] = cold["seconds"] / max(
+        1e-9, par["seconds"]
+    )
+
+    prime = _timed(
+        lambda: CallDatasetGenerator(calls_config).generate(cache=cache)
+    )
+    results["calls_prime_s"] = prime["seconds"]  # miss: build + persist
+    warm = _timed(
+        lambda: CallDatasetGenerator(calls_config).generate(cache=cache)
+    )
+    results["calls_warm_s"] = warm["seconds"]
+    results["calls_warm_speedup"] = cold["seconds"] / max(1e-9, warm["seconds"])
+
+    # --- corpus: cold (serial), parallel, warm --------------------------
+    corpus_config = CorpusConfig(
+        seed=scale.seed,
+        span_start=scale.corpus_start,
+        span_end=scale.corpus_end,
+        author_pool_size=scale.author_pool_size,
+    )
+    cold = _timed(lambda: CorpusGenerator(corpus_config).generate())
+    corpus = cold["value"]
+    results["corpus_cold_s"] = cold["seconds"]
+    results["corpus_n_posts"] = len(corpus)
+
+    par_corpus_config = CorpusConfig(
+        seed=scale.seed,
+        span_start=scale.corpus_start,
+        span_end=scale.corpus_end,
+        author_pool_size=scale.author_pool_size,
+        workers=scale.workers,
+    )
+    par = _timed(lambda: CorpusGenerator(par_corpus_config).generate())
+    results["corpus_parallel_s"] = par["seconds"]
+    results["corpus_parallel_speedup"] = cold["seconds"] / max(
+        1e-9, par["seconds"]
+    )
+
+    prime = _timed(lambda: CorpusGenerator(corpus_config).generate(cache=cache))
+    results["corpus_prime_s"] = prime["seconds"]
+    warm = _timed(lambda: CorpusGenerator(corpus_config).generate(cache=cache))
+    results["corpus_warm_s"] = warm["seconds"]
+    results["corpus_warm_speedup"] = cold["seconds"] / max(
+        1e-9, warm["seconds"]
+    )
+
+    # --- sentiment throughput: per-text vs batch ------------------------
+    texts = [post.full_text for post in corpus]
+    analyzer = SentimentAnalyzer()
+    per_text = _timed(lambda: [analyzer.score(t) for t in texts])
+    batch = _timed(lambda: analyzer.score_many(texts))
+    if per_text["value"] != batch["value"]:
+        raise AssertionError("batch sentiment diverged from per-text scoring")
+    results["sentiment_n_texts"] = len(texts)
+    results["sentiment_per_text_s"] = per_text["seconds"]
+    results["sentiment_batch_s"] = batch["seconds"]
+    results["sentiment_per_text_pps"] = len(texts) / max(
+        1e-9, per_text["seconds"]
+    )
+    results["sentiment_batch_pps"] = len(texts) / max(1e-9, batch["seconds"])
+    results["sentiment_batch_speedup"] = per_text["seconds"] / max(
+        1e-9, batch["seconds"]
+    )
+
+    results["cache_stats"] = cache.stats().summary()
+    return results
+
+
+def make_entry(scale: PerfScale, results: Dict[str, Any]) -> Dict[str, Any]:
+    """Wrap raw results in trajectory metadata."""
+    return {
+        "timestamp_unix": time.time(),
+        "timestamp": dt.datetime.now(dt.timezone.utc).isoformat(),
+        "scale": scale.name,
+        "python": platform.python_version(),
+        "workload": {
+            "n_calls": scale.n_calls,
+            "corpus_start": scale.corpus_start.isoformat(),
+            "corpus_end": scale.corpus_end.isoformat(),
+            "author_pool_size": scale.author_pool_size,
+            "workers": scale.workers,
+            "seed": scale.seed,
+        },
+        "results": results,
+    }
+
+
+def read_trajectory(path: Path) -> Dict[str, Any]:
+    """Load a trajectory file, tolerating absence (fresh repo)."""
+    if not Path(path).exists():
+        return {"schema": TRAJECTORY_SCHEMA, "runs": []}
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(data, dict) or "runs" not in data:
+        raise ValueError(f"{path}: not a BENCH_perf trajectory file")
+    return data
+
+
+def append_trajectory(path: Path, entry: Dict[str, Any]) -> Dict[str, Any]:
+    """Append one run to the trajectory file (atomically) and return it."""
+    from repro.io.jsonl import atomic_writer
+
+    data = read_trajectory(path)
+    data["schema"] = TRAJECTORY_SCHEMA
+    data["runs"].append(entry)
+    with atomic_writer(path) as f:
+        f.write(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return data
+
+
+def format_results(results: Dict[str, Any]) -> str:
+    lines = ["perf suite results:"]
+    for key in sorted(results):
+        value = results[key]
+        if isinstance(value, float):
+            lines.append(f"  {key:28s} {value:10.4f}")
+        else:
+            lines.append(f"  {key:28s} {value}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="benchmarks.perf.harness",
+        description="Measure cold/warm generation, sentiment throughput "
+                    "and parallel speedup; append to the BENCH trajectory.",
+    )
+    parser.add_argument("--scale", choices=("full", "smoke"), default="full")
+    parser.add_argument("--out", default=str(DEFAULT_TRAJECTORY),
+                        help="trajectory JSON to append to")
+    parser.add_argument("--cache-dir", default=None,
+                        help="cache directory (default: a fresh temp dir, "
+                             "so cold numbers are honest)")
+    args = parser.parse_args(argv)
+
+    scale = PerfScale.full() if args.scale == "full" else PerfScale.smoke()
+    if args.cache_dir is None:
+        import tempfile
+
+        cache_root = Path(tempfile.mkdtemp(prefix="repro-perf-"))
+    else:
+        cache_root = Path(args.cache_dir)
+    results = run_perf_suite(scale, cache_root)
+    print(format_results(results))
+    append_trajectory(Path(args.out), make_entry(scale, results))
+    print(f"\nappended run to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

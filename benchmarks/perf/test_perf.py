@@ -1,0 +1,55 @@
+"""Perf benchmark suite (opt-in: ``-m perf``).
+
+Runs the full-scale harness, appends to the repo-root trajectory file
+and asserts the PR's headline performance contracts:
+
+* a warm (cache-hit) load is at least 5x faster than cold generation;
+* the batch sentiment path beats per-text scoring;
+* parallel output is not just fast but *correct* (byte-identity is
+  covered by tier-1 tests; here we only require it ran).
+
+Excluded from tier-1 by default — select with::
+
+    PYTHONPATH=src python -m pytest benchmarks/perf -m perf -q
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.perf.harness import (
+    DEFAULT_TRAJECTORY,
+    PerfScale,
+    append_trajectory,
+    format_results,
+    make_entry,
+    run_perf_suite,
+)
+
+pytestmark = pytest.mark.perf
+
+
+@pytest.fixture(scope="module")
+def perf_results(tmp_path_factory):
+    scale = PerfScale.full()
+    cache_root = tmp_path_factory.mktemp("perf-cache")
+    results = run_perf_suite(scale, cache_root)
+    append_trajectory(DEFAULT_TRAJECTORY, make_entry(scale, results))
+    print("\n" + format_results(results))
+    return results
+
+
+class TestPerfContracts:
+    def test_warm_calls_at_least_5x_cold(self, perf_results):
+        assert perf_results["calls_warm_speedup"] >= 5.0
+
+    def test_warm_corpus_at_least_5x_cold(self, perf_results):
+        assert perf_results["corpus_warm_speedup"] >= 5.0
+
+    def test_batch_sentiment_beats_per_text(self, perf_results):
+        assert perf_results["sentiment_batch_speedup"] > 1.0
+
+    def test_throughput_reported(self, perf_results):
+        assert perf_results["sentiment_batch_pps"] > 0
+        assert perf_results["calls_n"] > 0
+        assert perf_results["corpus_n_posts"] > 0

@@ -65,8 +65,8 @@ def sentiment_timeline(
     strong_pos = DailySeries.zeros(start, end)
     strong_neg = DailySeries.zeros(start, end)
     scores: Dict[str, SentimentScores] = {}
-    for post in corpus:
-        s = analyzer.score(post.full_text)
+    posts = corpus.posts()
+    for post, s in zip(posts, analyzer.score_many(p.full_text for p in posts)):
         scores[post.post_id] = s
         if s.is_strong_positive:
             strong_pos.add(post.date)

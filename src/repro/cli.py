@@ -2,14 +2,21 @@
 
 Subcommands mirror the two data pipelines and the analyses on top:
 
-* ``generate-calls`` / ``generate-corpus`` — produce datasets (JSONL);
+* ``generate-calls`` / ``generate-corpus`` — produce datasets (JSONL),
+  optionally sharded across processes (``--workers``) and persisted
+  through the content-addressed artifact cache (``--cache-dir``);
 * ``analyze-teams`` — the §3 summary over a call dataset;
 * ``analyze-starlink`` — the §4 summary over a social corpus;
-* ``usaas`` — answer the §5 query over both.
+* ``usaas`` — answer the §5 query over both;
+* ``cache`` — inspect (``stats``) or drop (``invalidate``) cached
+  artifacts.
 
 Usage::
 
     python -m repro.cli generate-calls --n-calls 500 --out calls.jsonl
+    python -m repro.cli generate-calls --n-calls 500 --workers 4 \\
+        --cache-dir ~/.cache/repro --out calls.jsonl
+    python -m repro.cli cache stats --cache-dir ~/.cache/repro
     python -m repro.cli analyze-teams --calls calls.jsonl
 """
 
@@ -23,17 +30,30 @@ from typing import List, Optional
 from repro.rng import DEFAULT_SEED
 
 
+def _open_cache(args: argparse.Namespace):
+    """The ArtifactCache named by ``--cache-dir`` (None when absent)."""
+    if getattr(args, "cache_dir", None) is None:
+        return None
+    from repro.perf import ArtifactCache
+
+    return ArtifactCache(args.cache_dir)
+
+
 def _cmd_generate_calls(args: argparse.Namespace) -> int:
     from repro.telemetry import CallDatasetGenerator, GeneratorConfig
 
     config = GeneratorConfig(
         n_calls=args.n_calls, seed=args.seed,
         mos_sample_rate=args.mos_sample_rate,
+        workers=args.workers,
     )
-    dataset = CallDatasetGenerator(config).generate()
+    cache = _open_cache(args)
+    dataset = CallDatasetGenerator(config).generate(cache=cache)
     dataset.to_jsonl(args.out)
     print(f"wrote {len(dataset)} calls / {dataset.n_participants} sessions "
           f"to {args.out}")
+    if cache is not None:
+        print(f"cache: {cache.stats().summary()}")
     return 0
 
 
@@ -45,10 +65,27 @@ def _cmd_generate_corpus(args: argparse.Namespace) -> int:
         span_start=dt.date.fromisoformat(args.start),
         span_end=dt.date.fromisoformat(args.end),
         author_pool_size=args.authors,
+        workers=args.workers,
     )
-    corpus = CorpusGenerator(config).generate()
+    cache = _open_cache(args)
+    corpus = CorpusGenerator(config).generate(cache=cache)
     corpus.to_jsonl(args.out)
     print(f"wrote {len(corpus)} posts to {args.out}")
+    if cache is not None:
+        print(f"cache: {cache.stats().summary()}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from repro.perf import ArtifactCache
+
+    cache = ArtifactCache(args.cache_dir)
+    if args.cache_command == "stats":
+        print(cache.stats().summary())
+        return 0
+    dropped = cache.invalidate(kind=args.kind)
+    what = f"{args.kind} entries" if args.kind else "entries"
+    print(f"invalidated {dropped} {what} under {cache.root}")
     return 0
 
 
@@ -147,6 +184,7 @@ def _cmd_usaas(args: argparse.Namespace) -> int:
 
     config = ResilienceConfig(min_sources=args.min_sources, strict=args.strict)
     service = UsaasService(resilience=config)
+    cache = _open_cache(args)
     if args.calls:
         service.register_source(
             "telemetry",
@@ -154,11 +192,34 @@ def _cmd_usaas(args: argparse.Namespace) -> int:
                 CallDataset.from_jsonl(args.calls), network=args.network
             ),
         )
+    elif cache is not None:
+        # No explicit dataset: simulate the default one through the
+        # artifact cache, so repeated queries hit warm cache instead of
+        # resimulating.
+        from repro.telemetry import CallDatasetGenerator, GeneratorConfig
+
+        service.register_source(
+            "telemetry",
+            lambda: telemetry_signals(
+                CallDatasetGenerator(GeneratorConfig()).generate(cache=cache),
+                network=args.network,
+            ),
+        )
     if args.posts:
         service.register_source(
             "social",
             lambda: social_signals(
                 RedditCorpus.from_jsonl(args.posts), network=args.network
+            ),
+        )
+    elif cache is not None:
+        from repro.social import CorpusConfig, CorpusGenerator
+
+        service.register_source(
+            "social",
+            lambda: social_signals(
+                CorpusGenerator(CorpusConfig()).generate(cache=cache),
+                network=args.network,
             ),
         )
     try:
@@ -237,6 +298,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-calls", type=int, default=500)
     p.add_argument("--seed", type=int, default=DEFAULT_SEED)
     p.add_argument("--mos-sample-rate", type=float, default=0.005)
+    p.add_argument("--workers", type=int, default=1,
+                   help="generation processes (1 = serial, 0 = one per "
+                        "CPU); output is byte-identical either way")
+    p.add_argument("--cache-dir",
+                   help="content-addressed artifact cache directory; "
+                        "matching configs load instead of resimulating")
     p.add_argument("--out", required=True)
     p.set_defaults(fn=_cmd_generate_calls)
 
@@ -245,8 +312,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start", default="2021-01-01")
     p.add_argument("--end", default="2022-12-31")
     p.add_argument("--authors", type=int, default=4000)
+    p.add_argument("--workers", type=int, default=1,
+                   help="generation processes (1 = serial, 0 = one per "
+                        "CPU); output is byte-identical either way")
+    p.add_argument("--cache-dir",
+                   help="content-addressed artifact cache directory; "
+                        "matching configs load instead of resimulating")
     p.add_argument("--out", required=True)
     p.set_defaults(fn=_cmd_generate_corpus)
+
+    p = sub.add_parser("cache", help="inspect or drop cached artifacts")
+    cache_sub = p.add_subparsers(dest="cache_command", required=True)
+    for name, help_text in (
+        ("stats", "entry counts, bytes and session hit/miss counters"),
+        ("invalidate", "drop cached artifacts (all, or one --kind)"),
+    ):
+        cp = cache_sub.add_parser(name, help=help_text)
+        cp.add_argument("--cache-dir", required=True)
+        if name == "invalidate":
+            cp.add_argument("--kind", choices=("calls", "corpus"),
+                            help="only drop artifacts of this kind")
+        cp.set_defaults(fn=_cmd_cache)
 
     p = sub.add_parser("analyze-teams", help="run the §3 analyses")
     p.add_argument("--calls", required=True)
@@ -295,6 +381,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "hard-fails (exit 2)")
     p.add_argument("--strict", action="store_true",
                    help="treat any source failure as hard degradation")
+    p.add_argument("--cache-dir",
+                   help="simulate default datasets through the artifact "
+                        "cache when --calls/--posts are not given")
     p.set_defaults(fn=_cmd_usaas)
     return parser
 

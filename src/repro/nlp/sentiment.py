@@ -21,6 +21,7 @@ garbage!!" scores strongly negative.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Dict, Iterable, List
 
 from repro.errors import ExtractionError
 from repro.nlp.lexicon import INTENSIFIERS, NEGATORS, VALENCES
@@ -86,6 +87,10 @@ class SentimentAnalyzer:
         if not tokens:
             return SentimentScores(positive=0.0, negative=0.0, neutral=1.0)
 
+        # Single normalisation pass: the window scans below index into
+        # this list instead of re-lowercasing neighbours per lexicon hit.
+        lowered = [t.lower() for t in tokens]
+
         pos_mass = 0.0
         neg_mass = 0.0
         word_count = 0
@@ -94,8 +99,7 @@ class SentimentAnalyzer:
             is_exclaim = token[0] in "!?"
             if not is_exclaim:
                 word_count += 1
-            lower = token.lower()
-            valence = VALENCES.get(lower)
+            valence = VALENCES.get(lowered[i])
             if valence is None:
                 continue
             n_hits += 1
@@ -103,12 +107,12 @@ class SentimentAnalyzer:
             # Intensifiers immediately before the hit.
             boost = 1.0
             for j in range(max(0, i - _INTENSIFIER_WINDOW), i):
-                boost += INTENSIFIERS.get(tokens[j].lower(), 0.0)
+                boost += INTENSIFIERS.get(lowered[j], 0.0)
             boost = max(0.3, boost)
 
             # Negation within the window flips and damps.
             negated = any(
-                tokens[j].lower() in NEGATORS
+                lowered[j] in NEGATORS
                 for j in range(max(0, i - _NEGATION_WINDOW), i)
             )
 
@@ -147,3 +151,25 @@ class SentimentAnalyzer:
             negative=neg_mass / total,
             neutral=neutral_mass / total,
         )
+
+    def score_many(self, texts: Iterable[str]) -> List[SentimentScores]:
+        """Score a batch of texts — the bulk entry point.
+
+        The analyzer is stateless and deterministic, so identical texts
+        get identical scores; the batch path memoises on the text and
+        scores each distinct string once.  Generated corpora are heavily
+        templated (most posts share a text with an earlier one), which
+        makes this much faster than per-text :meth:`score` calls while
+        returning exactly the same scores.
+        """
+        memo: Dict[str, SentimentScores] = {}
+        memo_get = memo.get
+        score = self.score
+        out: List[SentimentScores] = []
+        for text in texts:
+            scores = memo_get(text)
+            if scores is None:
+                scores = score(text)
+                memo[text] = scores
+            out.append(scores)
+        return out

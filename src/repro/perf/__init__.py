@@ -1,0 +1,43 @@
+"""Performance subsystem: sharded parallel execution and artifact caching.
+
+The two data factories (call telemetry and the r/Starlink corpus) run
+every unit of work — a call, a day — on its own RNG substream, which
+makes them order-free and therefore shardable.  This package provides:
+
+* :class:`ParallelMap` / :func:`plan_shards` — the sharded executor
+  with an ordered merge and graceful in-process fallback;
+* :class:`ArtifactCache` — content-addressed persistence of generated
+  datasets keyed on a config fingerprint + schema version.
+
+See ``docs/performance.md`` for the architecture.
+"""
+
+from repro.perf.cache import (
+    ARTIFACT_SCHEMA_VERSION,
+    ArtifactCache,
+    CacheStats,
+    config_fingerprint,
+    default_cache_root,
+)
+from repro.perf.parallel import (
+    DEFAULT_CHUNKS_PER_WORKER,
+    ParallelMap,
+    Shard,
+    plan_shards,
+    resolve_workers,
+    split_evenly,
+)
+
+__all__ = [
+    "ARTIFACT_SCHEMA_VERSION",
+    "ArtifactCache",
+    "CacheStats",
+    "config_fingerprint",
+    "default_cache_root",
+    "DEFAULT_CHUNKS_PER_WORKER",
+    "ParallelMap",
+    "Shard",
+    "plan_shards",
+    "resolve_workers",
+    "split_evenly",
+]

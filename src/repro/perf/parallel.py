@@ -1,0 +1,163 @@
+"""Sharded parallel execution for the data factories.
+
+Both generation pipelines (the §3 call simulator and the §4 corpus
+generator) are embarrassingly parallel once every unit of work draws
+from its own RNG substream (see :mod:`repro.rng` and DESIGN.md).  This
+module supplies the execution layer: a shard planner that cuts a work
+list into contiguous chunks, and :class:`ParallelMap`, which runs a
+shard function over those chunks on a process pool and merges the
+results back **in submission order** — so parallel output is
+byte-identical to serial output.
+
+Fallback behaviour is deliberately boring: ``workers=1``, a single
+shard, or any pool-level failure (fork refused, unpicklable work,
+broken pool) silently degrades to in-process execution.  Parallelism
+here is an optimisation, never a correctness requirement.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple, TypeVar
+
+from repro.errors import ConfigError
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Shards per worker.  More than one keeps the pool busy when shards
+#: have uneven cost (e.g. outage days produce far more posts).
+DEFAULT_CHUNKS_PER_WORKER = 4
+
+
+def resolve_workers(workers: int) -> int:
+    """Clamp a worker request to something the host can satisfy.
+
+    ``workers <= 0`` means "use the host's CPU count" — the
+    ``--workers 0`` CLI idiom.
+    """
+    if workers <= 0:
+        return max(1, os.cpu_count() or 1)
+    return workers
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One contiguous chunk of the work list.
+
+    Attributes:
+        index: position in the merge order.
+        start / stop: half-open range into the original item list.
+    """
+
+    index: int
+    start: int
+    stop: int
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+
+def plan_shards(
+    n_items: int,
+    workers: int,
+    chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER,
+) -> List[Shard]:
+    """Cut ``n_items`` into contiguous, order-preserving shards.
+
+    The plan covers every item exactly once, never emits an empty shard,
+    and targets ``workers * chunks_per_worker`` shards so that stragglers
+    (shards that happen to contain expensive units) don't serialise the
+    whole run behind one worker.
+    """
+    if n_items < 0:
+        raise ConfigError("n_items must be non-negative")
+    if workers < 1:
+        raise ConfigError("workers must be >= 1 (resolve_workers first)")
+    if chunks_per_worker < 1:
+        raise ConfigError("chunks_per_worker must be >= 1")
+    if n_items == 0:
+        return []
+    n_shards = min(n_items, workers * chunks_per_worker)
+    base, extra = divmod(n_items, n_shards)
+    shards: List[Shard] = []
+    start = 0
+    for index in range(n_shards):
+        size = base + (1 if index < extra else 0)
+        shards.append(Shard(index=index, start=start, stop=start + size))
+        start += size
+    return shards
+
+
+class ParallelMap:
+    """Ordered map of a shard function over a work list.
+
+    The shard function receives a *list of items* and returns a *list of
+    results*; :meth:`map_shards` concatenates the per-shard results in
+    shard order, so the output is exactly what a serial loop would have
+    produced.  The function (and its results) must be picklable for the
+    pool path; anything that isn't falls back to in-process execution.
+    """
+
+    def __init__(
+        self,
+        workers: int = 1,
+        chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER,
+    ) -> None:
+        self._workers = resolve_workers(workers)
+        self._chunks_per_worker = chunks_per_worker
+        #: "pool" or "in-process" after the last :meth:`map_shards` call —
+        #: lets tests and the perf harness see which path actually ran.
+        self.last_mode: str = "in-process"
+
+    @property
+    def workers(self) -> int:
+        return self._workers
+
+    def map_shards(
+        self,
+        fn: Callable[[List[T]], List[R]],
+        items: Sequence[T],
+    ) -> List[R]:
+        """Apply ``fn`` per shard and merge results in original order."""
+        items = list(items)
+        shards = plan_shards(len(items), self._workers, self._chunks_per_worker)
+        if self._workers == 1 or len(shards) <= 1:
+            self.last_mode = "in-process"
+            return fn(items) if items else []
+        chunks = [items[s.start:s.stop] for s in shards]
+        try:
+            merged = self._run_pool(fn, chunks)
+            self.last_mode = "pool"
+            return merged
+        except (OSError, ValueError, RuntimeError, pickle.PicklingError,
+                AttributeError, TypeError):
+            # Pool unavailable (sandbox, missing /dev/shm, unpicklable
+            # work, interpreter teardown, ...): the serial path is always
+            # correct, just slower.
+            self.last_mode = "in-process"
+            return fn(items)
+
+    def _run_pool(
+        self,
+        fn: Callable[[List[T]], List[R]],
+        chunks: List[List[T]],
+    ) -> List[R]:
+        merged: List[R] = []
+        with ProcessPoolExecutor(max_workers=self._workers) as pool:
+            # map() preserves submission order — the ordered merge.
+            for part in pool.map(fn, chunks):
+                merged.extend(part)
+        return merged
+
+
+def split_evenly(items: Sequence[T], workers: int) -> List[Tuple[int, List[T]]]:
+    """Convenience view of the shard plan as ``(index, chunk)`` pairs."""
+    items = list(items)
+    return [
+        (s.index, items[s.start:s.stop])
+        for s in plan_shards(len(items), resolve_workers(workers))
+    ]

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import datetime as dt
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -39,10 +39,19 @@ from repro.starlink.footprint import DEFAULT_FOOTPRINT, Footprint
 from repro.starlink.perception import PerceptionModel
 from repro.starlink.subscribers import SubscriberModel
 
+if TYPE_CHECKING:
+    from repro.perf.cache import ArtifactCache
+
 
 @dataclass(frozen=True)
 class CorpusConfig:
-    """Corpus generation knobs (defaults match the paper's §4.1 stats)."""
+    """Corpus generation knobs (defaults match the paper's §4.1 stats).
+
+    ``workers`` shards the day loop across processes (1 = serial,
+    0 = one per CPU).  Every day draws from its own RNG substream
+    (``derive(seed, "day", iso_date)``), so serial and parallel runs
+    produce byte-identical corpora; workers never changes the artifact.
+    """
 
     seed: int = DEFAULT_SEED
     span_start: dt.date = dt.date(2021, 1, 1)
@@ -53,8 +62,11 @@ class CorpusConfig:
     speed_share_count: int = 1750
     author_pool_size: int = 4000
     conditioning_mode: str = "cohort"
+    workers: int = 1
 
     def __post_init__(self) -> None:
+        if self.workers < 0:
+            raise ConfigError("workers must be >= 0 (0 = one per CPU)")
         if self.conditioning_mode not in ("cohort", "single"):
             raise ConfigError(
                 f"conditioning_mode must be 'cohort' or 'single', "
@@ -198,6 +210,20 @@ class RedditCorpus:
         return cls(posts, config)
 
 
+# Topic mix before day-dependent tilts (outages, events, roaming).
+# Hoisted to module level so the day loop copies instead of rebuilding.
+_BASE_TOPIC_WEIGHTS: Dict[str, float] = {
+    "experience_report": 0.20,
+    "speed_test_share": 0.0,  # injected separately, see generate()
+    "outage_report": 0.02,
+    "question": 0.38,
+    "setup_story": 0.14,
+    "event_reaction": 0.0,
+    "roaming": 0.0,
+}
+_TOPIC_NAMES: Tuple[str, ...] = tuple(_BASE_TOPIC_WEIGHTS)
+
+
 class CorpusGenerator:
     """Deterministic corpus generation from a :class:`CorpusConfig`."""
 
@@ -236,6 +262,24 @@ class CorpusGenerator:
             )
         else:
             self._satisfaction = self._perception.satisfaction(self._speeds)
+        # Per-day-independent ingredients, hoisted out of the day loop:
+        # the author pool, the outage pool (indexed by day instead of
+        # scanned per day), the base volume curve and the speed-share
+        # rate are all deterministic in the config alone.
+        self._pool = AuthorPool(
+            size=config.author_pool_size,
+            seed=config.seed,
+            span_start=config.span_start,
+            span_end=config.span_end,
+        )
+        self._outages_by_day: Dict[dt.date, List[Outage]] = {}
+        for outage in self._outages.generate():
+            self._outages_by_day.setdefault(outage.date, []).append(outage)
+        self._base_volume = self._base_daily_volume()
+        n_days = len(self._base_volume)
+        self._share_rate = config.speed_share_count / max(
+            1.0, config.posts_per_week * n_days / 7.0
+        )
 
     # -- day-level ingredients -------------------------------------------
 
@@ -273,15 +317,7 @@ class CorpusGenerator:
         events: List[Event],
         outages: List[Outage],
     ) -> Dict[str, float]:
-        weights = {
-            "experience_report": 0.20,
-            "speed_test_share": 0.0,  # injected separately, see generate()
-            "outage_report": 0.02,
-            "question": 0.38,
-            "setup_story": 0.14,
-            "event_reaction": 0.0,
-            "roaming": 0.0,
-        }
+        weights = dict(_BASE_TOPIC_WEIGHTS)
         for event in events:
             intensity = event.intensity_on(day)
             if event.kind == "outage":
@@ -350,67 +386,95 @@ class CorpusGenerator:
 
     # -- main loop ---------------------------------------------------------
 
-    def generate(self) -> RedditCorpus:
-        """Generate the full corpus (deterministic in the config)."""
-        rng = derive(self._config.seed, "social", "corpus")
-        pool = AuthorPool(
-            size=self._config.author_pool_size,
-            seed=self._config.seed,
-            span_start=self._config.span_start,
-            span_end=self._config.span_end,
+    def generate(self, cache: Optional["ArtifactCache"] = None) -> RedditCorpus:
+        """Generate the full corpus (deterministic in the config).
+
+        Each day is rendered independently on its own RNG substream —
+        sharded across ``config.workers`` processes when asked, with
+        byte-identical output either way.  With ``cache``, the corpus is
+        loaded from (or persisted to) the content-addressed artifact
+        cache instead of resimulating.
+        """
+        if cache is not None:
+            return cache.load_or_build(
+                "corpus",
+                self._config,
+                build=self._generate,
+                # The JSONL header only carries seed + span, so re-attach
+                # the full config the caller actually asked for.
+                load=lambda path: RedditCorpus(
+                    RedditCorpus.from_jsonl(path).posts(), self._config
+                ),
+                dump=lambda corpus, path: corpus.to_jsonl(path),
+            )
+        return self._generate()
+
+    def _generate(self) -> RedditCorpus:
+        from repro.perf.parallel import ParallelMap
+
+        days = list(self._base_volume.items())
+        posts = ParallelMap(self._config.workers).map_shards(
+            self._generate_day_shard, days
         )
-        outage_pool = self._outages.generate()
-        base_volume = self._base_daily_volume()
-        n_days = len(base_volume)
-        share_rate = self._config.speed_share_count / max(
-            1.0, self._config.posts_per_week * n_days / 7.0
-        )
+        return RedditCorpus(posts, self._config)
+
+    def _generate_day_shard(
+        self, items: List[Tuple[dt.date, float]]
+    ) -> List[Post]:
+        """Render one shard of independent days (pool worker body)."""
+        posts: List[Post] = []
+        for day, base in items:
+            posts.extend(self._generate_day(day, base))
+        return posts
+
+    def _generate_day(self, day: dt.date, base: float) -> List[Post]:
+        """Render one day of the corpus on its own RNG substream.
+
+        Post ids are day-scoped (``t3_<yyyymmdd>-<n>``) so that a day's
+        output — ids included — never depends on any other day's volume.
+        """
+        rng = derive(self._config.seed, "day", day.isoformat())
+        events = self._calendar.active_on(day)
+        outages_today = self._outages_by_day.get(day, [])
+        multiplier = self._calendar.volume_multiplier(day)
+        for outage in outages_today:
+            if not outage.is_headline:
+                multiplier += 2.0 * outage.severity
+        n_posts = int(rng.poisson(base * multiplier))
+        if n_posts == 0:
+            return []
+        authors = self._pool.sample(rng, day, n_posts)
+        weights = self._topic_weights(day, events, outages_today)
+        weights["speed_test_share"] = self._share_rate * sum(
+            v for k, v in weights.items() if k != "speed_test_share"
+        ) / max(1e-9, (1 - self._share_rate))
+        topic_p = np.array([weights[t] for t in _TOPIC_NAMES])
+        topic_p = topic_p / topic_p.sum()
+
+        def served(author: Author) -> bool:
+            return self._footprint.is_available(author.country, day)
 
         posts: List[Post] = []
-        post_counter = 0
-        for day, base in base_volume.items():
-            events = self._calendar.active_on(day)
-            outages_today = [o for o in outage_pool if o.date == day]
-            multiplier = self._calendar.volume_multiplier(day)
-            for outage in outages_today:
-                if not outage.is_headline:
-                    multiplier += 2.0 * outage.severity
-            n_posts = int(rng.poisson(base * multiplier))
-            if n_posts == 0:
-                continue
-            authors = pool.sample(rng, day, n_posts)
-            weights = self._topic_weights(day, events, outages_today)
-            weights["speed_test_share"] = share_rate * sum(
-                v for k, v in weights.items() if k != "speed_test_share"
-            ) / max(1e-9, (1 - share_rate))
-            topic_names = list(weights)
-            topic_p = np.array([weights[t] for t in topic_names])
-            topic_p = topic_p / topic_p.sum()
-
-            def served(author: Author) -> bool:
-                return self._footprint.is_available(author.country, day)
-
-            for author in authors:
-                topic = str(rng.choice(topic_names, p=topic_p))
-                first_hand = author.is_subscriber and served(author)
-                if topic == "speed_test_share" and not first_hand:
-                    # Only hardware owners in served countries can run a
-                    # speed test; swap in one so share volume stays on
-                    # target.
-                    author = pool.sample_subscriber(rng, day, predicate=served)
-                if topic == "outage_report" and not first_hand:
-                    # You can't report an outage you aren't experiencing.
-                    author = pool.sample_subscriber(rng, day, predicate=served)
-                if topic == "experience_report" and not first_hand:
-                    topic = "question"
-                post_counter += 1
-                posts.append(
-                    self._make_post(
-                        rng, f"t3_{post_counter:07d}", day, author, topic,
-                        events, outages_today, multiplier,
-                    )
+        for index, author in enumerate(authors, 1):
+            topic = str(rng.choice(_TOPIC_NAMES, p=topic_p))
+            first_hand = author.is_subscriber and served(author)
+            if topic == "speed_test_share" and not first_hand:
+                # Only hardware owners in served countries can run a
+                # speed test; swap in one so share volume stays on
+                # target.
+                author = self._pool.sample_subscriber(rng, day, predicate=served)
+            if topic == "outage_report" and not first_hand:
+                # You can't report an outage you aren't experiencing.
+                author = self._pool.sample_subscriber(rng, day, predicate=served)
+            if topic == "experience_report" and not first_hand:
+                topic = "question"
+            posts.append(
+                self._make_post(
+                    rng, f"t3_{day:%Y%m%d}-{index:05d}", day, author, topic,
+                    events, outages_today, multiplier,
                 )
-        return RedditCorpus(posts, self._config)
+            )
+        return posts
 
     def _make_post(
         self,

@@ -22,8 +22,10 @@ Pipeline per call:
 from __future__ import annotations
 
 import datetime as dt
+import re
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Mapping, Optional
+from functools import partial
+from typing import TYPE_CHECKING, Dict, List, Mapping, Optional, Tuple
 
 import numpy as np
 
@@ -40,6 +42,9 @@ from repro.telemetry.network_profiles import ProfileSampler
 from repro.telemetry.platforms import PLATFORMS, Platform
 from repro.telemetry.schema import CallRecord, ParticipantRecord
 from repro.telemetry.store import CallDataset
+
+if TYPE_CHECKING:
+    from repro.perf.cache import ArtifactCache
 
 
 @dataclass(frozen=True)
@@ -63,6 +68,11 @@ class GeneratorConfig:
             "corroboration" scenario injects a network incident whose
             implicit-signal signature USaaS can match against social
             chatter.
+        workers: processes used for generation (1 = in-process serial,
+            0 = one per CPU).  Every call draws from its own RNG
+            substream (``derive(seed, "call", call_id)``), so serial and
+            parallel runs produce byte-identical datasets; ``workers``
+            is an execution knob, never part of the artifact identity.
         persistent_users: draw meeting participants from a fixed
             :class:`~repro.telemetry.users.UserPopulation` whose
             conditioning *evolves* with experienced quality (§6's dynamic
@@ -83,10 +93,13 @@ class GeneratorConfig:
     outage_days: Mapping[dt.date, float] = field(default_factory=dict)
     persistent_users: bool = False
     population_size: int = 2000
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.n_calls < 0:
             raise ConfigError("n_calls must be non-negative")
+        if self.workers < 0:
+            raise ConfigError("workers must be >= 0 (0 = one per CPU)")
         if not 0 <= self.mos_sample_rate <= 1:
             raise ConfigError("mos_sample_rate must be in [0, 1]")
         for day, severity in self.outage_days.items():
@@ -111,6 +124,11 @@ class CallDatasetGenerator:
         self._profiles = profiles or ProfileSampler(decorrelate=config.decorrelate)
         self._behavior = BehaviorModel(config.behavior)
         self._feedback = FeedbackModel(sample_rate=config.mos_sample_rate)
+        self._platform_keys = list(PLATFORMS)
+        weights = np.array(
+            [PLATFORMS[k].population_share for k in self._platform_keys]
+        )
+        self._platform_probs = weights / weights.sum()
         from repro.netsim.mitigation import MitigationStack
 
         if config.mitigation_enabled:
@@ -126,9 +144,9 @@ class CallDatasetGenerator:
         return self._config
 
     def _sample_platform(self, rng: np.random.Generator) -> Platform:
-        keys = list(PLATFORMS)
-        weights = np.array([PLATFORMS[k].population_share for k in keys])
-        return PLATFORMS[str(rng.choice(keys, p=weights / weights.sum()))]
+        return PLATFORMS[
+            str(rng.choice(self._platform_keys, p=self._platform_probs))
+        ]
 
     def _simulate_participant(
         self,
@@ -261,16 +279,50 @@ class CallDatasetGenerator:
             participants=participants,
         )
 
-    def generate(self) -> CallDataset:
+    def _call_rng(self, call_id: str) -> np.random.Generator:
+        """The per-call RNG substream (the parallelism contract).
+
+        Every call is simulated from ``derive(seed, "call", call_id)``,
+        so its draws do not depend on how many other calls exist or in
+        what order (or on which worker) they are computed.
+        """
+        return derive(self._config.seed, "call", call_id)
+
+    def _build_call_shard(self, meetings: List[Meeting]) -> List[CallRecord]:
+        """Simulate one shard of independent calls (pool worker body)."""
+        return [
+            self._build_call(self._call_rng(m.call_id), m) for m in meetings
+        ]
+
+    def generate(self, cache: Optional["ArtifactCache"] = None) -> CallDataset:
         """Simulate the full dataset (deterministic in the config).
 
-        With ``persistent_users``, meetings are processed in time order
-        (conditioning evolution is causal) and the resulting population
-        is kept on :attr:`population` for post-hoc inspection.
+        Meetings are scheduled from one stream, then every call is
+        simulated independently on its own substream — sharded across
+        ``config.workers`` processes when asked, with byte-identical
+        output either way.
+
+        With ``persistent_users``, meetings are processed sequentially in
+        time order (conditioning evolution is causal, so this mode never
+        parallelises) and the resulting population is kept on
+        :attr:`population` for post-hoc inspection.
+
+        With ``cache``, the dataset is loaded from (or persisted to) the
+        content-addressed artifact cache instead of resimulating.
         """
-        rng = derive(self._config.seed, "telemetry", "calls")
-        meetings = self._scheduler.sample_many(rng, self._config.n_calls)
-        dataset = CallDataset()
+        if cache is not None:
+            return cache.load_or_build(
+                "calls",
+                self._config,
+                build=self._generate,
+                load=CallDataset.from_jsonl,
+                dump=lambda dataset, path: dataset.to_jsonl(path),
+            )
+        return self._generate()
+
+    def _generate(self) -> CallDataset:
+        schedule_rng = derive(self._config.seed, "telemetry", "calls")
+        meetings = self._scheduler.sample_many(schedule_rng, self._config.n_calls)
         if self._config.persistent_users:
             from repro.telemetry.users import UserPopulation
 
@@ -279,13 +331,18 @@ class CallDatasetGenerator:
                 seed=self._config.seed,
                 profiles=self._profiles,
             )
+            dataset = CallDataset()
             for meeting in sorted(meetings, key=lambda m: m.start):
+                rng = self._call_rng(meeting.call_id)
                 users = self.population.sample(rng, meeting.size)
                 dataset.append(self._build_call(rng, meeting, users=users))
-        else:
-            for meeting in meetings:
-                dataset.append(self._build_call(rng, meeting))
-        return dataset
+            return dataset
+        from repro.perf.parallel import ParallelMap
+
+        calls = ParallelMap(self._config.workers).map_shards(
+            self._build_call_shard, meetings
+        )
+        return CallDataset(calls)
 
     def generate_sweep(
         self,
@@ -323,22 +380,47 @@ class CallDatasetGenerator:
             raise ConfigError("calls_per_value must be >= 1")
         platform = PLATFORMS[platform_key] if platform_key else None
 
-        rng = derive(self._config.seed, "telemetry", "sweep", sweep_metric)
-        dataset = CallDataset()
+        work: List[Tuple[Meeting, float]] = []
         for value in sweep_values:
-            profile = replace(base_profile, **{field_names[sweep_metric]: value})
-            meetings = self._scheduler.sample_many(
-                rng, calls_per_value, id_prefix=f"sweep-{sweep_metric}-{value:g}"
+            schedule_rng = derive(
+                self._config.seed, "telemetry", "sweep", sweep_metric,
+                f"{value:g}",
             )
-            for meeting in meetings:
-                dataset.append(
-                    self._build_call(
-                        rng, meeting,
-                        forced_profile=profile, forced_platform=platform,
-                        focal_only=focal_only,
-                    )
+            meetings = self._scheduler.sample_many(
+                schedule_rng, calls_per_value,
+                id_prefix=f"sweep-{sweep_metric}-{value:g}",
+            )
+            work.extend((meeting, value) for meeting in meetings)
+
+        from repro.perf.parallel import ParallelMap
+
+        shard_fn = partial(
+            self._build_sweep_shard,
+            field_names[sweep_metric], base_profile, platform, focal_only,
+        )
+        calls = ParallelMap(self._config.workers).map_shards(shard_fn, work)
+        return CallDataset(calls)
+
+    def _build_sweep_shard(
+        self,
+        field_name: str,
+        base_profile: LinkProfile,
+        platform: Optional[Platform],
+        focal_only: bool,
+        items: List[Tuple[Meeting, float]],
+    ) -> List[CallRecord]:
+        """Simulate one shard of sweep calls (pool worker body)."""
+        calls = []
+        for meeting, value in items:
+            profile = replace(base_profile, **{field_name: value})
+            calls.append(
+                self._build_call(
+                    self._call_rng(meeting.call_id), meeting,
+                    forced_profile=profile, forced_platform=platform,
+                    focal_only=focal_only,
                 )
-        return dataset
+            )
+        return calls
 
 
 def focal_participants(dataset: CallDataset) -> List[ParticipantRecord]:
@@ -346,11 +428,27 @@ def focal_participants(dataset: CallDataset) -> List[ParticipantRecord]:
     return [p for p in dataset.participants() if p.user_id.endswith("-u000")]
 
 
+_SWEEP_ID_RE = re.compile(
+    # sweep-<metric>-<value>-<index>; the value itself may contain '-'
+    # (scientific notation like 1e-05) so it is matched greedily up to
+    # the trailing call index.
+    r"^sweep-[a-z]+-(?P<value>.+)-(?P<index>\d{8})$"
+)
+
+
 def sweep_value_of(call: CallRecord) -> float:
-    """Recover the swept metric value encoded in a sweep call id."""
-    try:
-        return float(call.call_id.split("-")[2])
-    except (IndexError, ValueError):
-        raise ConfigError(
-            f"call {call.call_id!r} does not look like a sweep call"
-        ) from None
+    """Recover the swept metric value encoded in a sweep call id.
+
+    Handles every float format ``{value:g}`` can emit, including
+    scientific notation with a negative exponent (``1e-05``), whose
+    embedded ``-`` used to truncate the parse.
+    """
+    match = _SWEEP_ID_RE.match(call.call_id)
+    if match is not None:
+        try:
+            return float(match.group("value"))
+        except ValueError:
+            pass
+    raise ConfigError(
+        f"call {call.call_id!r} does not look like a sweep call"
+    )

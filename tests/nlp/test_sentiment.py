@@ -125,6 +125,22 @@ class TestAnalyzer:
     def test_strong_threshold_is_paper_value(self):
         assert STRONG_THRESHOLD == 0.7
 
+    def test_score_many_matches_per_text(self, analyzer):
+        texts = [
+            "starlink is amazing, extremely fast!!",
+            "not great, constant outages 😡",
+            "",
+            "starlink is amazing, extremely fast!!",  # duplicate -> memo
+            "SLOW and unreliable today",
+        ]
+        assert analyzer.score_many(texts) == [
+            analyzer.score(t) for t in texts
+        ]
+
+    def test_score_many_accepts_generators(self, analyzer):
+        scores = analyzer.score_many(t for t in ["good", "bad"])
+        assert len(scores) == 2
+
     def test_emoji_carry_sentiment(self, analyzer):
         happy = analyzer.score("dishy arrived today 🚀 🎉")
         angry = analyzer.score("third outage this week 😡 🤬")

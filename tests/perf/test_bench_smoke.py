@@ -1,0 +1,111 @@
+"""End-to-end smoke test of the perf harness and the regression gate.
+
+The full benchmark (``benchmarks/perf -m perf``) takes minutes; this
+runs the same code path at smoke scale in seconds so tier-1 catches
+harness breakage immediately.
+"""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="module")
+def smoke_run(tmp_path_factory):
+    sys.path.insert(0, str(REPO_ROOT))
+    try:
+        from benchmarks.perf.harness import (
+            PerfScale,
+            append_trajectory,
+            make_entry,
+            run_perf_suite,
+        )
+    finally:
+        sys.path.pop(0)
+    tmp = tmp_path_factory.mktemp("perf-smoke")
+    scale = PerfScale.smoke()
+    results = run_perf_suite(scale, tmp / "cache")
+    trajectory_path = tmp / "BENCH_perf.json"
+    append_trajectory(trajectory_path, make_entry(scale, results))
+    return results, trajectory_path
+
+
+class TestHarnessSmoke:
+    def test_all_metrics_present(self, smoke_run):
+        results, _ = smoke_run
+        for key in (
+            "calls_cold_s", "calls_warm_s", "calls_warm_speedup",
+            "calls_parallel_s", "calls_parallel_speedup",
+            "corpus_cold_s", "corpus_warm_s", "corpus_warm_speedup",
+            "sentiment_per_text_pps", "sentiment_batch_pps",
+            "sentiment_batch_speedup",
+        ):
+            assert key in results, key
+            assert results[key] > 0
+
+    def test_workloads_nonempty(self, smoke_run):
+        results, _ = smoke_run
+        assert results["calls_n"] > 0
+        assert results["corpus_n_posts"] > 0
+        assert results["sentiment_n_texts"] == results["corpus_n_posts"]
+
+    def test_trajectory_written_and_readable(self, smoke_run):
+        _, path = smoke_run
+        data = json.loads(path.read_text(encoding="utf-8"))
+        assert data["schema"] == 1
+        assert len(data["runs"]) == 1
+        assert data["runs"][0]["scale"] == "smoke"
+        assert data["runs"][0]["results"]["calls_cold_s"] > 0
+
+
+class TestRegressionGate:
+    def _run(self, path):
+        return subprocess.run(
+            [sys.executable, str(REPO_ROOT / "tools" / "check_bench_regression.py"),
+             str(path)],
+            capture_output=True, text=True,
+        )
+
+    def _trajectory(self, tmp_path, cold_values):
+        runs = [
+            {
+                "scale": "full",
+                "results": {"calls_cold_s": c, "corpus_cold_s": c},
+            }
+            for c in cold_values
+        ]
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps({"schema": 1, "runs": runs}))
+        return path
+
+    def test_single_run_passes(self, tmp_path):
+        assert self._run(self._trajectory(tmp_path, [1.0])).returncode == 0
+
+    def test_within_threshold_passes(self, tmp_path):
+        proc = self._run(self._trajectory(tmp_path, [1.0, 1.2]))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_regression_fails(self, tmp_path):
+        proc = self._run(self._trajectory(tmp_path, [1.0, 1.5]))
+        assert proc.returncode == 1
+        assert "REGRESSION" in proc.stdout
+
+    def test_unreadable_trajectory_exits_2(self, tmp_path):
+        bad = tmp_path / "nope.json"
+        assert self._run(bad).returncode == 2
+
+    def test_scales_not_compared(self, tmp_path):
+        runs = [
+            {"scale": "smoke", "results": {"calls_cold_s": 0.1,
+                                           "corpus_cold_s": 0.1}},
+            {"scale": "full", "results": {"calls_cold_s": 10.0,
+                                          "corpus_cold_s": 10.0}},
+        ]
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps({"schema": 1, "runs": runs}))
+        assert self._run(path).returncode == 0

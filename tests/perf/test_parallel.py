@@ -1,0 +1,87 @@
+"""Tests for the shard planner and the sharded executor."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.perf import ParallelMap, plan_shards, resolve_workers, split_evenly
+
+
+def _double_all(items):
+    return [2 * x for x in items]
+
+
+class TestPlanShards:
+    def test_covers_every_item_exactly_once(self):
+        for n_items in (1, 2, 7, 100, 1000):
+            for workers in (1, 2, 3, 8):
+                shards = plan_shards(n_items, workers)
+                covered = [
+                    i for s in shards for i in range(s.start, s.stop)
+                ]
+                assert covered == list(range(n_items))
+
+    def test_no_empty_shards(self):
+        for n_items in (1, 3, 5):
+            for workers in (2, 4, 16):
+                assert all(len(s) > 0 for s in plan_shards(n_items, workers))
+
+    def test_zero_items_plans_nothing(self):
+        assert plan_shards(0, 4) == []
+
+    def test_shard_count_targets_chunks_per_worker(self):
+        shards = plan_shards(1000, 4, chunks_per_worker=4)
+        assert len(shards) == 16
+
+    def test_order_preserved(self):
+        shards = plan_shards(50, 3)
+        assert [s.index for s in shards] == list(range(len(shards)))
+        assert all(
+            a.stop == b.start for a, b in zip(shards, shards[1:])
+        )
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigError):
+            plan_shards(-1, 2)
+        with pytest.raises(ConfigError):
+            plan_shards(10, 0)
+        with pytest.raises(ConfigError):
+            plan_shards(10, 2, chunks_per_worker=0)
+
+
+class TestResolveWorkers:
+    def test_positive_passthrough(self):
+        assert resolve_workers(3) == 3
+
+    def test_zero_means_cpu_count(self):
+        assert resolve_workers(0) >= 1
+
+
+class TestParallelMap:
+    def test_serial_path(self):
+        pm = ParallelMap(workers=1)
+        assert pm.map_shards(_double_all, [1, 2, 3]) == [2, 4, 6]
+        assert pm.last_mode == "in-process"
+
+    def test_empty_input(self):
+        assert ParallelMap(workers=2).map_shards(_double_all, []) == []
+
+    def test_pool_path_ordered_merge(self):
+        pm = ParallelMap(workers=2)
+        items = list(range(200))
+        assert pm.map_shards(_double_all, items) == [2 * x for x in items]
+
+    def test_unpicklable_fn_falls_back_in_process(self):
+        pm = ParallelMap(workers=2)
+        captured = []  # a closure is unpicklable -> pool path must fail
+
+        def fn(items):
+            captured.append(len(items))
+            return [x + 1 for x in items]
+
+        assert pm.map_shards(fn, list(range(50))) == list(range(1, 51))
+        assert pm.last_mode == "in-process"
+
+    def test_split_evenly_matches_plan(self):
+        pairs = split_evenly(list(range(10)), 3)
+        assert [i for i, _ in pairs] == list(range(len(pairs)))
+        assert [x for _, chunk in pairs for x in chunk] == list(range(10))

@@ -135,6 +135,23 @@ class TestSweep:
         assert others, "sweep calls should have non-focal participants"
         assert min(others) < 100  # somebody has a normal network
 
+    def test_sweep_value_survives_scientific_notation(self):
+        """Regression: '1e-05' formats with an embedded '-' which used
+        to truncate the parsed value to '1e' and raise ConfigError."""
+        gen = CallDatasetGenerator(GeneratorConfig(n_calls=0, seed=5))
+        base = LinkProfile(base_latency_ms=20, loss_rate=0.001, jitter_ms=2,
+                           bandwidth_mbps=3.5)
+        dataset = gen.generate_sweep(
+            base, "loss", [1e-05, 2.5e-06, 0.02], calls_per_value=1
+        )
+        assert {sweep_value_of(c) for c in dataset} == {1e-05, 2.5e-06, 0.02}
+
+    def test_sweep_value_rejects_non_sweep_ids(self):
+        gen = CallDatasetGenerator(GeneratorConfig(n_calls=2, seed=5))
+        for call in gen.generate():
+            with pytest.raises(ConfigError):
+                sweep_value_of(call)
+
     def test_rejects_unknown_metric(self):
         gen = CallDatasetGenerator(GeneratorConfig(n_calls=0))
         base = LinkProfile(base_latency_ms=20, loss_rate=0.001, jitter_ms=2,

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Fail when the latest perf run regressed the cold path by >30 %.
+
+Compares the last two entries of the ``BENCH_perf.json`` trajectory
+(written by ``benchmarks/perf``) on the cold-generation metrics.  Warm
+and parallel numbers are informational — they depend on cache and host
+state — but a cold-path slowdown is a code regression.
+
+Usage::
+
+    python tools/check_bench_regression.py [BENCH_perf.json]
+
+Exit codes: 0 ok (or fewer than two comparable runs), 1 regression
+found, 2 unreadable trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: Cold-path metrics guarded against regression (seconds; lower = better).
+GUARDED_METRICS = ("calls_cold_s", "corpus_cold_s")
+
+#: Allowed slowdown before the check fails.
+THRESHOLD = 0.30
+
+
+def _latest_comparable(runs: List[dict]) -> Optional[List[dict]]:
+    """The last two runs at the same scale (comparing across scales lies)."""
+    if len(runs) < 2:
+        return None
+    current = runs[-1]
+    for previous in reversed(runs[:-1]):
+        if previous.get("scale") == current.get("scale"):
+            return [previous, current]
+    return None
+
+
+def check(path: Path) -> int:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+        runs = data["runs"]
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot read trajectory {path}: {exc}", file=sys.stderr)
+        return 2
+    pair = _latest_comparable(runs)
+    if pair is None:
+        print(f"{path}: fewer than two comparable runs; nothing to compare")
+        return 0
+    previous, current = pair
+    failures: Dict[str, str] = {}
+    for metric in GUARDED_METRICS:
+        before = previous.get("results", {}).get(metric)
+        after = current.get("results", {}).get(metric)
+        if not isinstance(before, (int, float)) or not isinstance(
+            after, (int, float)
+        ) or before <= 0:
+            continue
+        ratio = after / before
+        verdict = "ok"
+        if ratio > 1.0 + THRESHOLD:
+            verdict = "REGRESSION"
+            failures[metric] = (
+                f"{before:.3f}s -> {after:.3f}s ({ratio:.2f}x)"
+            )
+        print(f"  {metric:16s} {before:8.3f}s -> {after:8.3f}s "
+              f"({ratio:5.2f}x)  {verdict}")
+    if failures:
+        print(
+            f"FAIL: cold path regressed beyond {THRESHOLD:.0%}: "
+            + "; ".join(f"{k}: {v}" for k, v in failures.items()),
+            file=sys.stderr,
+        )
+        return 1
+    print(f"ok: cold path within {THRESHOLD:.0%} of the previous run")
+    return 0
+
+
+def main(argv: List[str]) -> int:
+    path = Path(argv[1]) if len(argv) > 1 else Path("BENCH_perf.json")
+    return check(path)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
