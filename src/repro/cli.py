@@ -39,6 +39,51 @@ def _open_cache(args: argparse.Namespace):
     return ArtifactCache(args.cache_dir)
 
 
+def _execution_policy(args: argparse.Namespace):
+    """The ExecutionPolicy the generate flags describe (None = defaults)."""
+    retries = getattr(args, "max_shard_retries", None)
+    timeout = getattr(args, "shard_timeout", None)
+    if retries is None and timeout is None:
+        return None
+    from repro.perf import ExecutionPolicy
+
+    kwargs = {}
+    if retries is not None:
+        kwargs["max_shard_retries"] = retries
+    if timeout is not None:
+        kwargs["shard_timeout_s"] = timeout
+    return ExecutionPolicy(**kwargs)
+
+
+def _checkpoint_dir(args: argparse.Namespace) -> Optional[str]:
+    """Where per-shard progress persists (None = checkpointing off).
+
+    Checkpointing turns on when either ``--resume`` or an explicit
+    ``--checkpoint-dir`` is given; the default directory sits next to
+    the output file so resume "just works" after a crash.
+    """
+    explicit = getattr(args, "checkpoint_dir", None)
+    if explicit:
+        return explicit
+    if getattr(args, "resume", False):
+        return f"{args.out}.ckpt"
+    return None
+
+
+def _report_execution(gen, keep_checkpoint: bool) -> None:
+    """Print the run's execution/resume stats; drop a finished checkpoint."""
+    report = getattr(gen, "last_execution", None)
+    if report is not None:
+        print(f"execution: {report.summary()}")
+    store = getattr(gen, "last_checkpoint", None)
+    if store is None:
+        return
+    if keep_checkpoint:
+        print(f"checkpoint kept: {store.summary()}")
+    else:
+        store.discard()
+
+
 def _cmd_generate_calls(args: argparse.Namespace) -> int:
     from repro.telemetry import CallDatasetGenerator, GeneratorConfig
 
@@ -48,10 +93,16 @@ def _cmd_generate_calls(args: argparse.Namespace) -> int:
         workers=args.workers,
     )
     cache = _open_cache(args)
-    dataset = CallDatasetGenerator(config).generate(cache=cache)
+    gen = CallDatasetGenerator(config)
+    dataset = gen.generate(
+        cache=cache,
+        execution=_execution_policy(args),
+        checkpoint_dir=_checkpoint_dir(args),
+    )
     dataset.to_jsonl(args.out)
     print(f"wrote {len(dataset)} calls / {dataset.n_participants} sessions "
           f"to {args.out}")
+    _report_execution(gen, keep_checkpoint=bool(args.keep_checkpoint))
     if cache is not None:
         print(f"cache: {cache.stats().summary()}")
     return 0
@@ -68,9 +119,15 @@ def _cmd_generate_corpus(args: argparse.Namespace) -> int:
         workers=args.workers,
     )
     cache = _open_cache(args)
-    corpus = CorpusGenerator(config).generate(cache=cache)
+    gen = CorpusGenerator(config)
+    corpus = gen.generate(
+        cache=cache,
+        execution=_execution_policy(args),
+        checkpoint_dir=_checkpoint_dir(args),
+    )
     corpus.to_jsonl(args.out)
     print(f"wrote {len(corpus)} posts to {args.out}")
+    _report_execution(gen, keep_checkpoint=bool(args.keep_checkpoint))
     if cache is not None:
         print(f"cache: {cache.stats().summary()}")
     return 0
@@ -286,6 +343,28 @@ def _cmd_tune_mitigation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_robustness_flags(p: argparse.ArgumentParser) -> None:
+    """The crash-safety knobs shared by both generate subcommands."""
+    p.add_argument("--max-shard-retries", type=int, default=None,
+                   metavar="N",
+                   help="requeue a failed shard up to N times before the "
+                        "run fails with a ShardExecutionError (default 2)")
+    p.add_argument("--shard-timeout", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-shard watchdog budget; hung workers are "
+                        "reclaimed and the shard requeued (default: off)")
+    p.add_argument("--resume", action="store_true",
+                   help="checkpoint per-shard progress next to --out and "
+                        "re-execute only shards a previous (interrupted) "
+                        "run did not complete")
+    p.add_argument("--checkpoint-dir", default=None,
+                   help="explicit checkpoint directory (implies --resume "
+                        "semantics; default: <out>.ckpt when --resume)")
+    p.add_argument("--keep-checkpoint", action="store_true",
+                   help="keep the checkpoint directory after a "
+                        "successful run instead of discarding it")
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -305,6 +384,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="content-addressed artifact cache directory; "
                         "matching configs load instead of resimulating")
     p.add_argument("--out", required=True)
+    _add_robustness_flags(p)
     p.set_defaults(fn=_cmd_generate_calls)
 
     p = sub.add_parser("generate-corpus", help="simulate an r/Starlink corpus")
@@ -319,6 +399,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="content-addressed artifact cache directory; "
                         "matching configs load instead of resimulating")
     p.add_argument("--out", required=True)
+    _add_robustness_flags(p)
     p.set_defaults(fn=_cmd_generate_corpus)
 
     p = sub.add_parser("cache", help="inspect or drop cached artifacts")

@@ -8,11 +8,13 @@ from repro.io.jsonl import (
     salvage_jsonl,
     write_jsonl,
 )
+from repro.io.locks import file_lock
 from repro.io.tables import format_series, format_table
 
 __all__ = [
     "SalvageResult",
     "atomic_writer",
+    "file_lock",
     "format_series",
     "format_table",
     "iter_jsonl",

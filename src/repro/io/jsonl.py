@@ -112,6 +112,12 @@ def salvage_jsonl(
 ) -> SalvageResult:
     """Lenient JSONL read: keep good lines, quarantine bad ones.
 
+    The file is read as *bytes* and decoded line by line: a process
+    killed mid-write can tear the final line inside a multibyte UTF-8
+    character, and a text-mode read would then raise
+    ``UnicodeDecodeError`` before salvage ever saw the good lines.
+    Here such a line is quarantined like any other damage.
+
     Args:
         quarantine: optional path; raw bad lines are written there
             (atomically) for later inspection.
@@ -125,17 +131,22 @@ def salvage_jsonl(
     bad: List[Tuple[int, str]] = []
     raw_bad: List[str] = []
     n_lines = 0
-    with open(path, encoding="utf-8") as f:
-        for line_no, line in enumerate(f, 1):
-            stripped = line.strip()
-            if not stripped:
-                continue
-            n_lines += 1
-            try:
-                records.append(json.loads(stripped))
-            except ValueError as exc:
-                bad.append((line_no, f"invalid JSON: {exc}"))
-                raw_bad.append(line.rstrip("\n"))
+    raw = Path(path).read_bytes()
+    for line_no, raw_line in enumerate(raw.split(b"\n"), 1):
+        if not raw_line.strip():
+            continue
+        n_lines += 1
+        try:
+            line = raw_line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            bad.append((line_no, f"undecodable bytes: {exc}"))
+            raw_bad.append(raw_line.decode("utf-8", errors="replace"))
+            continue
+        try:
+            records.append(json.loads(line.strip()))
+        except ValueError as exc:
+            bad.append((line_no, f"invalid JSON: {exc}"))
+            raw_bad.append(line.rstrip("\n"))
     if n_lines and len(bad) / n_lines > max_bad_fraction:
         raise SchemaError(
             f"{path}: {len(bad)}/{n_lines} lines are bad "
@@ -164,3 +175,9 @@ def _default(value: Any) -> Any:
     if callable(item):
         return item()
     raise TypeError(f"cannot serialise {type(value).__name__}")
+
+
+#: Public name for the shared ``json.dumps(default=...)`` fallback —
+#: the checkpoint layer serialises shard records with exactly the
+#: conventions :func:`write_jsonl` uses.
+json_default = _default

@@ -1,15 +1,20 @@
-"""Performance subsystem: sharded parallel execution and artifact caching.
+"""Performance subsystem: crash-safe sharded execution and caching.
 
 The two data factories (call telemetry and the r/Starlink corpus) run
 every unit of work — a call, a day — on its own RNG substream, which
 makes them order-free and therefore shardable.  This package provides:
 
 * :class:`ParallelMap` / :func:`plan_shards` — the sharded executor
-  with an ordered merge and graceful in-process fallback;
+  with an ordered merge, per-shard retry (:class:`ExecutionPolicy`), a
+  hung-worker :class:`Watchdog` and graceful in-process fallback;
+* :class:`CheckpointStore` — durable per-shard progress, so an
+  interrupted run resumed with ``--resume`` re-executes only the
+  missing shards;
 * :class:`ArtifactCache` — content-addressed persistence of generated
   datasets keyed on a config fingerprint + schema version.
 
-See ``docs/performance.md`` for the architecture.
+See ``docs/performance.md`` for the architecture (and its §5 for the
+failure and resume model).
 """
 
 from repro.perf.cache import (
@@ -19,25 +24,41 @@ from repro.perf.cache import (
     config_fingerprint,
     default_cache_root,
 )
+from repro.perf.checkpoint import (
+    CHECKPOINT_SCHEMA_VERSION,
+    CheckpointStore,
+    shard_fingerprint,
+)
 from repro.perf.parallel import (
     DEFAULT_CHUNKS_PER_WORKER,
+    ExecutionPolicy,
+    ExecutionReport,
     ParallelMap,
     Shard,
     plan_shards,
     resolve_workers,
     split_evenly,
 )
+from repro.perf.watchdog import StragglerRecord, StragglerReport, Watchdog
 
 __all__ = [
     "ARTIFACT_SCHEMA_VERSION",
     "ArtifactCache",
     "CacheStats",
+    "CHECKPOINT_SCHEMA_VERSION",
+    "CheckpointStore",
     "config_fingerprint",
     "default_cache_root",
     "DEFAULT_CHUNKS_PER_WORKER",
+    "ExecutionPolicy",
+    "ExecutionReport",
     "ParallelMap",
     "Shard",
+    "StragglerRecord",
+    "StragglerReport",
+    "Watchdog",
     "plan_shards",
     "resolve_workers",
+    "shard_fingerprint",
     "split_evenly",
 ]

@@ -132,6 +132,12 @@ class ArtifactCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Failed deletions during evictions (raced with another
+        #: process) — surfaced instead of silently swallowed.
+        self.evict_races = 0
+        #: How long load_or_build waits for a concurrent writer holding
+        #: the entry's build lock before giving up (LockTimeoutError).
+        self.lock_timeout_s = 300.0
 
     @property
     def root(self) -> Path:
@@ -166,22 +172,42 @@ class ArtifactCache:
         cache file that fails to load (truncated, corrupted, written by
         an incompatible schema) is evicted and rebuilt; the cache never
         turns a warm path into a hard failure.
+
+        Builds hold an advisory file lock on the entry, so two processes
+        missing on the same fingerprint build it once: the second waits,
+        re-checks, and loads the first's artifact.  (Both share one
+        ``<entry>.jsonl.tmp`` sibling otherwise — interleaved writes.)
         """
         path = self.path_for(kind, config)
-        if path.exists():
-            try:
-                artifact = load(path)
-            except (ReproError, ValueError, KeyError, OSError):
-                self.evictions += 1
-                self._evict(path)
-            else:
-                self.hits += 1
-                return artifact
-        self.misses += 1
-        artifact = build()
+        artifact = self._try_load(path, load)
+        if artifact is not None:
+            return artifact
+        from repro.io.locks import file_lock
+
         self._root.mkdir(parents=True, exist_ok=True)
-        dump(artifact, path)
-        self._write_sidecar(path, kind, config)
+        with file_lock(path, timeout_s=self.lock_timeout_s):
+            # Double-checked: a concurrent writer may have finished the
+            # build while this process waited on the lock.
+            artifact = self._try_load(path, load)
+            if artifact is not None:
+                return artifact
+            self.misses += 1
+            artifact = build()
+            dump(artifact, path)
+            self._write_sidecar(path, kind, config)
+        return artifact
+
+    def _try_load(self, path: Path, load: Callable[[Path], Any]) -> Any:
+        """Load the entry at ``path``; evict and return None when unusable."""
+        if not path.exists():
+            return None
+        try:
+            artifact = load(path)
+        except (ReproError, ValueError, KeyError, OSError):
+            self.evictions += 1
+            self._evict(path)
+            return None
+        self.hits += 1
         return artifact
 
     # -- maintenance -----------------------------------------------------
@@ -201,10 +227,7 @@ class ArtifactCache:
         total = 0
         for path, entry_kind in entries:
             by_kind[entry_kind] = by_kind.get(entry_kind, 0) + 1
-            try:
-                total += path.stat().st_size
-            except OSError:
-                pass  # raced with an eviction; size is best-effort
+            total += self._size_of(path)
         return CacheStats(
             entries=len(entries),
             total_bytes=total,
@@ -228,12 +251,21 @@ class ArtifactCache:
     def _sidecar(self, path: Path) -> Path:
         return path.with_suffix(".meta.json")
 
+    def _size_of(self, path: Path) -> int:
+        """Entry size in bytes; 0 when it raced with an eviction."""
+        try:
+            return path.stat().st_size
+        except OSError:
+            return 0
+
     def _evict(self, path: Path) -> None:
+        # Eviction is idempotent: a target already deleted (possibly by
+        # a concurrent process) only bumps the race counter.
         for target in (path, self._sidecar(path)):
             try:
                 os.unlink(target)
             except OSError:
-                pass  # already gone — eviction is idempotent
+                self.evict_races += 1
 
     def _write_sidecar(self, path: Path, kind: str, config: Any) -> None:
         from repro.io.jsonl import atomic_writer

@@ -1,4 +1,4 @@
-"""Sharded parallel execution for the data factories.
+"""Sharded parallel execution for the data factories — crash-safe.
 
 Both generation pipelines (the §3 call simulator and the §4 corpus
 generator) are embarrassingly parallel once every unit of work draws
@@ -9,21 +9,69 @@ shard function over those chunks on a process pool and merges the
 results back **in submission order** — so parallel output is
 byte-identical to serial output.
 
-Fallback behaviour is deliberately boring: ``workers=1``, a single
-shard, or any pool-level failure (fork refused, unpicklable work,
-broken pool) silently degrades to in-process execution.  Parallelism
-here is an optimisation, never a correctness requirement.
+On top of the ordered merge sits the fault-tolerance layer (see
+``docs/performance.md`` §5):
+
+* **per-shard retry** — a shard whose worker crashes (raises, dies,
+  returns garbage) is requeued with deterministic seeded backoff
+  (:class:`~repro.resilience.policy.RetryPolicy`) up to
+  ``max_shard_retries`` times, without perturbing any other shard's
+  result — the substream contract makes a re-executed shard
+  byte-identical;
+* a **watchdog** (:mod:`repro.perf.watchdog`) that times every shard
+  against ``shard_timeout_s``, reclaims hung workers (restarting the
+  pool when a worker will not die politely) and records a
+  :class:`~repro.perf.watchdog.StragglerReport`;
+* an optional **final in-process fallback** — the last attempt of a
+  repeatedly failing shard runs in the coordinator process, outside any
+  worker, so transient pool trouble can never fail a run that the
+  serial path would have completed;
+* **checkpointed resume** — pass a
+  :class:`~repro.perf.checkpoint.CheckpointStore` and every completed
+  shard is committed atomically; an interrupted run restarted with the
+  same store re-executes only the missing shards;
+* a **chaos seam** — pass a
+  :class:`~repro.resilience.faults.ShardFaultInjector` and the engine
+  runs deterministically in-process, simulating worker crashes, hangs,
+  slowness and corrupt output on a
+  :class:`~repro.resilience.clock.ManualClock`.
+
+A shard that fails every attempt surfaces as a typed
+:class:`~repro.errors.ShardExecutionError` naming the shard — never a
+bare pool traceback.  Pool-level *infrastructure* failures (fork
+refused, unpicklable work) still degrade silently to in-process
+execution: parallelism is an optimisation, never a correctness
+requirement.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple, TypeVar
+from collections import deque
+from concurrent.futures import BrokenExecutor, CancelledError, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SchemaError, ShardExecutionError
+from repro.perf.watchdog import StragglerReport, Watchdog
+from repro.resilience.clock import Clock, MonotonicClock
+from repro.resilience.policy import RetryPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.perf.checkpoint import CheckpointStore
+    from repro.resilience.faults import ShardFaultInjector
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -92,66 +140,470 @@ def plan_shards(
     return shards
 
 
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Fault-tolerance knobs of the sharded executor.
+
+    Attributes:
+        max_shard_retries: how many times a failed shard is requeued
+            (total attempts = retries + 1; 0 = fail fast).
+        shard_timeout_s: per-shard time budget; a shard over budget is
+            a straggler, and a shard whose worker never returns is
+            reclaimed and requeued.  None disables the watchdog.
+        fallback_in_process: run the final attempt of a repeatedly
+            failing shard in the coordinator process, outside any pool
+            worker.  Guarantees a run only fails when the serial path
+            would have failed too.
+        backoff: backoff shape between attempts; delays are a pure
+            function of ``(seed, shard index, attempt)`` so retry
+            schedules are reproducible.  None uses RetryPolicy defaults.
+    """
+
+    max_shard_retries: int = 2
+    shard_timeout_s: Optional[float] = None
+    fallback_in_process: bool = True
+    backoff: Optional[RetryPolicy] = None
+
+    def __post_init__(self) -> None:
+        if self.max_shard_retries < 0:
+            raise ConfigError("max_shard_retries must be >= 0")
+        if self.shard_timeout_s is not None and self.shard_timeout_s <= 0:
+            raise ConfigError("shard_timeout_s must be positive")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.max_shard_retries + 1
+
+    def delays(self, key: str) -> Tuple[float, ...]:
+        """The deterministic backoff schedule for one shard key."""
+        if self.max_shard_retries == 0:
+            return ()
+        base = self.backoff or RetryPolicy()
+        return base.with_attempts(self.max_attempts).schedule(key)
+
+
+@dataclass
+class ExecutionReport:
+    """What one :meth:`ParallelMap.map_shards` call actually did.
+
+    Attributes:
+        mode: ``"pool"``, ``"in-process"`` or ``"resumed"`` (every shard
+            served from the checkpoint).
+        shards_total: shards in the plan.
+        shards_executed: shards actually run (and committed) this call.
+        shards_resumed: shards served from the checkpoint store.
+        retries: extra attempts beyond the first, summed over shards.
+        fallbacks: shards resolved by the final in-process fallback.
+        pool_restarts: process pools torn down to reclaim hung/dead
+            workers.
+        stragglers: the watchdog's report for this call.
+    """
+
+    mode: str = "in-process"
+    shards_total: int = 0
+    shards_executed: int = 0
+    shards_resumed: int = 0
+    retries: int = 0
+    fallbacks: int = 0
+    pool_restarts: int = 0
+    stragglers: StragglerReport = field(default_factory=StragglerReport)
+
+    def summary(self) -> str:
+        return (
+            f"{self.mode}: {self.shards_executed}/{self.shards_total} shards "
+            f"executed, {self.shards_resumed} resumed, {self.retries} "
+            f"retries, {self.fallbacks} fallbacks, {self.pool_restarts} "
+            f"pool restarts; {self.stragglers.summary()}"
+        )
+
+
+class _PoolUnavailable(Exception):
+    """Internal: the pool itself (not a shard) is unusable — go serial."""
+
+
 class ParallelMap:
-    """Ordered map of a shard function over a work list.
+    """Ordered, fault-tolerant map of a shard function over a work list.
 
     The shard function receives a *list of items* and returns a *list of
     results*; :meth:`map_shards` concatenates the per-shard results in
     shard order, so the output is exactly what a serial loop would have
-    produced.  The function (and its results) must be picklable for the
-    pool path; anything that isn't falls back to in-process execution.
+    produced — including across retries, requeues and resumes, because
+    every unit of work draws from its own RNG substream.  The function
+    (and its results) must be picklable for the pool path; anything that
+    isn't falls back to in-process execution.
     """
 
     def __init__(
         self,
         workers: int = 1,
         chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER,
+        policy: Optional[ExecutionPolicy] = None,
+        clock: Optional[Clock] = None,
+        chaos: Optional["ShardFaultInjector"] = None,
     ) -> None:
         self._workers = resolve_workers(workers)
         self._chunks_per_worker = chunks_per_worker
-        #: "pool" or "in-process" after the last :meth:`map_shards` call —
-        #: lets tests and the perf harness see which path actually ran.
+        self._policy = policy or ExecutionPolicy()
+        # Chaos simulation advances the injector's ManualClock; a real
+        # run measures on the monotonic clock.
+        self._clock = clock or (chaos.clock if chaos is not None
+                                else MonotonicClock())
+        self._chaos = chaos
+        #: "pool" / "in-process" / "resumed" after the last
+        #: :meth:`map_shards` call — tests and the perf harness read it.
         self.last_mode: str = "in-process"
+        #: Full :class:`ExecutionReport` of the last call.
+        self.last_report: ExecutionReport = ExecutionReport()
 
     @property
     def workers(self) -> int:
         return self._workers
 
+    @property
+    def policy(self) -> ExecutionPolicy:
+        return self._policy
+
+    # -- the main entry point -------------------------------------------
+
     def map_shards(
         self,
         fn: Callable[[List[T]], List[R]],
         items: Sequence[T],
+        checkpoint: Optional["CheckpointStore"] = None,
     ) -> List[R]:
-        """Apply ``fn`` per shard and merge results in original order."""
+        """Apply ``fn`` per shard and merge results in original order.
+
+        With ``checkpoint``, shards already committed by a previous
+        (possibly interrupted) run are loaded — after digest
+        verification — instead of re-executed, and every shard completed
+        here is committed as soon as it finishes, so a crash at any
+        point loses at most the shards in flight.
+        """
         items = list(items)
         shards = plan_shards(len(items), self._workers, self._chunks_per_worker)
-        if self._workers == 1 or len(shards) <= 1:
-            self.last_mode = "in-process"
-            return fn(items) if items else []
-        chunks = [items[s.start:s.stop] for s in shards]
+        report = ExecutionReport(shards_total=len(shards))
+        watchdog = Watchdog(self._policy.shard_timeout_s, clock=self._clock)
+        report.stragglers = watchdog.report
+        self._watchdog = watchdog
+        self.last_report = report
+        if not shards:
+            self.last_mode = report.mode = "in-process"
+            return []
+        chunks: Dict[int, List[T]] = {
+            s.index: items[s.start:s.stop] for s in shards
+        }
+        results: Dict[int, List[R]] = {}
+        if checkpoint is not None:
+            for shard in shards:
+                kept = checkpoint.load(shard)
+                if kept is not None:
+                    results[shard.index] = kept
+            report.shards_resumed = len(results)
+        pending = [s for s in shards if s.index not in results]
+        if not pending:
+            report.mode = "resumed"
+        elif (
+            self._workers > 1 and len(shards) > 1 and self._chaos is None
+        ):
+            try:
+                self._run_pool(fn, pending, chunks, results, report, checkpoint)
+                report.mode = "pool"
+            except _PoolUnavailable:
+                # Pool unavailable (sandbox, missing /dev/shm, unpicklable
+                # work, interpreter teardown, ...): the serial path is
+                # always correct, just slower.
+                remaining = [s for s in pending if s.index not in results]
+                self._run_serial(fn, remaining, chunks, results, report,
+                                 checkpoint)
+                report.mode = "in-process"
+        else:
+            self._run_serial(fn, pending, chunks, results, report, checkpoint)
+            report.mode = "in-process"
+        self.last_mode = report.mode
+        merged: List[R] = []
+        for shard in shards:
+            merged.extend(results[shard.index])
+        return merged
+
+    # -- in-process engine (also the chaos simulator) --------------------
+
+    def _run_serial(
+        self,
+        fn: Callable[[List[T]], List[R]],
+        shards: List[Shard],
+        chunks: Dict[int, List[T]],
+        results: Dict[int, List[R]],
+        report: ExecutionReport,
+        checkpoint: Optional["CheckpointStore"],
+    ) -> None:
+        for shard in shards:
+            part = self._run_shard_serial(fn, shard, chunks[shard.index], report)
+            results[shard.index] = part
+            report.shards_executed += 1
+            if checkpoint is not None:
+                checkpoint.commit(shard, part)
+
+    def _run_shard_serial(
+        self,
+        fn: Callable[[List[T]], List[R]],
+        shard: Shard,
+        chunk: List[T],
+        report: ExecutionReport,
+    ) -> List[R]:
+        """One shard, in-process, under the full retry/watchdog stack."""
+        from repro.resilience.faults import InjectedFault
+
+        policy = self._policy
+        delays = policy.delays(f"shard-{shard.index}")
+        last_error: Optional[BaseException] = None
+        for attempt in range(1, policy.max_attempts + 1):
+            # The final attempt of a chaos run models the in-process
+            # fallback: it executes outside the (simulated) worker, so
+            # injected worker faults cannot touch it.
+            bypass_chaos = (
+                self._chaos is not None
+                and policy.fallback_in_process
+                and attempt == policy.max_attempts
+                and policy.max_attempts > 1
+            )
+            action = "ok"
+            if self._chaos is not None and not bypass_chaos:
+                action = self._chaos.action(shard.index, attempt)
+            started = self._watchdog.start()
+            failure: Optional[BaseException] = None
+            result: Optional[List[R]] = None
+            if action == "crash":
+                failure = InjectedFault(
+                    f"injected worker crash (shard {shard.index}, "
+                    f"attempt {attempt})"
+                )
+            elif action == "hang":
+                budget = policy.shard_timeout_s or 0.0
+                self._simulate_stall(budget + 1.0)
+                failure = TimeoutError(
+                    f"shard {shard.index} worker hung (attempt {attempt})"
+                )
+            else:
+                if action == "slow":
+                    self._simulate_stall(self._chaos.slow_s)
+                try:
+                    result = fn(list(chunk))
+                except KeyboardInterrupt as exc:
+                    # An interrupt must abort promptly — typed, named,
+                    # but never retried.
+                    raise ShardExecutionError(shard.index, attempt, exc) from exc
+                except Exception as exc:
+                    failure = exc
+                if failure is None and self._chaos is not None and not bypass_chaos:
+                    result = self._chaos.deliver(shard.index, attempt, result)
+                if failure is None and not isinstance(result, list):
+                    failure = SchemaError(
+                        f"shard {shard.index} returned corrupt output "
+                        f"({type(result).__name__}, not a list)"
+                    )
+            self._watchdog.observe(
+                shard.index, attempt, started, completed=failure is None
+            )
+            if failure is None:
+                # Slow-but-complete results are kept: the substream
+                # contract makes them byte-identical regardless.
+                if bypass_chaos:
+                    report.fallbacks += 1
+                return result
+            last_error = failure
+            if attempt < policy.max_attempts:
+                report.retries += 1
+                if attempt - 1 < len(delays):
+                    self._clock.sleep(delays[attempt - 1])
+                continue
+        raise ShardExecutionError(
+            shard.index, policy.max_attempts, last_error
+        ) from last_error
+
+    def _simulate_stall(self, seconds: float) -> None:
+        """Advance simulated time (no-op on a real monotonic clock)."""
+        advance = getattr(self._clock, "advance", None)
+        if advance is not None and seconds > 0:
+            advance(seconds)
+
+    # -- pool engine ------------------------------------------------------
+
+    def _new_pool(self) -> ProcessPoolExecutor:
         try:
-            merged = self._run_pool(fn, chunks)
-            self.last_mode = "pool"
-            return merged
-        except (OSError, ValueError, RuntimeError, pickle.PicklingError,
-                AttributeError, TypeError):
-            # Pool unavailable (sandbox, missing /dev/shm, unpicklable
-            # work, interpreter teardown, ...): the serial path is always
-            # correct, just slower.
-            self.last_mode = "in-process"
-            return fn(items)
+            return ProcessPoolExecutor(max_workers=self._workers)
+        except (OSError, ValueError, RuntimeError) as exc:
+            raise _PoolUnavailable from exc
 
     def _run_pool(
         self,
         fn: Callable[[List[T]], List[R]],
-        chunks: List[List[T]],
-    ) -> List[R]:
-        merged: List[R] = []
-        with ProcessPoolExecutor(max_workers=self._workers) as pool:
-            # map() preserves submission order — the ordered merge.
-            for part in pool.map(fn, chunks):
-                merged.extend(part)
-        return merged
+        shards: List[Shard],
+        chunks: Dict[int, List[T]],
+        results: Dict[int, List[R]],
+        report: ExecutionReport,
+        checkpoint: Optional["CheckpointStore"],
+    ) -> None:
+        policy = self._policy
+        attempts: Dict[int, int] = {s.index: 0 for s in shards}
+        queue: Deque[Shard] = deque(shards)
+        pool = self._new_pool()
+        try:
+            while queue:
+                batch = list(queue)
+                queue.clear()
+                submitted = []
+                for shard in batch:
+                    attempts[shard.index] += 1
+                    try:
+                        future = pool.submit(fn, chunks[shard.index])
+                    except (RuntimeError, OSError) as exc:
+                        raise _PoolUnavailable from exc
+                    submitted.append((shard, future))
+                abandoned = False
+                for shard, future in submitted:
+                    if abandoned:
+                        # The pool was torn down under this future; a
+                        # result that finished anyway is kept, everything
+                        # else requeues uncharged (not the shard's fault).
+                        part = self._harvest(future)
+                        if isinstance(part, list):
+                            self._accept(shard, part, results, report,
+                                         checkpoint)
+                        else:
+                            attempts[shard.index] -= 1
+                            queue.append(shard)
+                        continue
+                    started = self._watchdog.start()
+                    attempt = attempts[shard.index]
+                    try:
+                        part = future.result(timeout=policy.shard_timeout_s)
+                    except FuturesTimeoutError:
+                        # Hung (or just glacial) worker: the watchdog
+                        # reclaims it.  A queued future cancels cleanly; a
+                        # running one only dies with its pool.
+                        self._watchdog.observe(
+                            shard.index, attempt, started, completed=False
+                        )
+                        if not future.cancel():
+                            pool.shutdown(wait=False, cancel_futures=True)
+                            pool = self._new_pool()
+                            report.pool_restarts += 1
+                            abandoned = True
+                        error: BaseException = TimeoutError(
+                            f"shard {shard.index} exceeded its "
+                            f"{policy.shard_timeout_s}s budget"
+                        )
+                        pool = self._resolve_failure(
+                            fn, shard, chunks, attempts, queue, results,
+                            report, checkpoint, error, pool,
+                        )
+                        continue
+                    except KeyboardInterrupt as exc:
+                        raise ShardExecutionError(
+                            shard.index, attempt, exc
+                        ) from exc
+                    except BrokenExecutor as exc:
+                        # A worker process died (crash, OOM-kill): the
+                        # whole pool is unusable.  Restart it and requeue.
+                        pool.shutdown(wait=False)
+                        pool = self._new_pool()
+                        report.pool_restarts += 1
+                        abandoned = True
+                        pool = self._resolve_failure(
+                            fn, shard, chunks, attempts, queue, results,
+                            report, checkpoint, exc, pool,
+                        )
+                        continue
+                    except (pickle.PicklingError, AttributeError,
+                            TypeError) as exc:
+                        # Unpicklable work/result is an infrastructure
+                        # problem, not a shard failure.
+                        raise _PoolUnavailable from exc
+                    except (Exception, CancelledError) as exc:
+                        pool = self._resolve_failure(
+                            fn, shard, chunks, attempts, queue, results,
+                            report, checkpoint, exc, pool,
+                        )
+                        continue
+                    if not isinstance(part, list):
+                        error = SchemaError(
+                            f"shard {shard.index} returned corrupt output "
+                            f"({type(part).__name__}, not a list)"
+                        )
+                        pool = self._resolve_failure(
+                            fn, shard, chunks, attempts, queue, results,
+                            report, checkpoint, error, pool,
+                        )
+                        continue
+                    self._watchdog.observe(
+                        shard.index, attempt, started, completed=True
+                    )
+                    self._accept(shard, part, results, report, checkpoint)
+        finally:
+            pool.shutdown(wait=False)
+
+    def _harvest(self, future) -> object:
+        """A completed future's result, or None when it has none to give."""
+        if not future.done():
+            return None
+        try:
+            return future.result(timeout=0)
+        except (Exception, CancelledError):
+            return None
+
+    def _accept(
+        self,
+        shard: Shard,
+        part: List[R],
+        results: Dict[int, List[R]],
+        report: ExecutionReport,
+        checkpoint: Optional["CheckpointStore"],
+    ) -> None:
+        results[shard.index] = part
+        report.shards_executed += 1
+        if checkpoint is not None:
+            checkpoint.commit(shard, part)
+
+    def _resolve_failure(
+        self,
+        fn: Callable[[List[T]], List[R]],
+        shard: Shard,
+        chunks: Dict[int, List[T]],
+        attempts: Dict[int, int],
+        queue: Deque[Shard],
+        results: Dict[int, List[R]],
+        report: ExecutionReport,
+        checkpoint: Optional["CheckpointStore"],
+        error: BaseException,
+        pool: ProcessPoolExecutor,
+    ) -> ProcessPoolExecutor:
+        """Requeue a failed shard, fall back in-process, or give up typed."""
+        policy = self._policy
+        attempt = attempts[shard.index]
+        if attempt < policy.max_attempts:
+            report.retries += 1
+            delays = policy.delays(f"shard-{shard.index}")
+            if attempt - 1 < len(delays):
+                self._clock.sleep(delays[attempt - 1])
+            queue.append(shard)
+            return pool
+        if policy.fallback_in_process:
+            # Last resort: execute the shard here, outside any worker.
+            try:
+                part = fn(list(chunks[shard.index]))
+            except (Exception, KeyboardInterrupt) as exc:
+                raise ShardExecutionError(
+                    shard.index, attempt + 1, exc
+                ) from exc
+            if not isinstance(part, list):
+                raise ShardExecutionError(
+                    shard.index, attempt + 1,
+                    SchemaError("in-process fallback returned corrupt output"),
+                )
+            report.fallbacks += 1
+            self._accept(shard, part, results, report, checkpoint)
+            return pool
+        raise ShardExecutionError(shard.index, attempt, error) from error
 
 
 def split_evenly(items: Sequence[T], workers: int) -> List[Tuple[int, List[T]]]:

@@ -1,0 +1,133 @@
+"""Per-shard watchdog: detect hung and straggling workers.
+
+A parallel run is only as fast as its slowest shard, and only as
+*reliable* as its ability to notice that a shard stopped making progress
+at all.  The :class:`Watchdog` owns the per-shard time budget: the
+executor stamps a start time before waiting on a shard and reports the
+outcome afterwards; any shard over budget lands in the
+:class:`StragglerReport` — either as ``"completed"`` (slow but done, its
+result is kept because the substream contract makes it byte-identical
+anyway) or ``"requeued"`` (hung or killed; the executor reclaims the
+worker and re-runs the shard).
+
+Time comes from an injectable :class:`~repro.resilience.clock.Clock`, so
+the chaos suite drives a :class:`~repro.resilience.clock.ManualClock`
+and a "30-second hang" costs the test suite nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.resilience.clock import Clock, MonotonicClock
+
+
+@dataclass(frozen=True)
+class StragglerRecord:
+    """One shard observed over its time budget.
+
+    Attributes:
+        shard_index: which shard straggled.
+        attempt: which attempt (counting from 1) blew the budget.
+        elapsed_s: how long the attempt took (clock time).
+        budget_s: the budget it was given.
+        action: ``"completed"`` (late result kept) or ``"requeued"``
+            (worker hung/killed; the shard was re-executed).
+    """
+
+    shard_index: int
+    attempt: int
+    elapsed_s: float
+    budget_s: float
+    action: str
+
+
+@dataclass
+class StragglerReport:
+    """Every straggler a run produced, in observation order."""
+
+    records: List[StragglerRecord] = field(default_factory=list)
+
+    def add(self, record: StragglerRecord) -> None:
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def n_requeued(self) -> int:
+        return sum(1 for r in self.records if r.action == "requeued")
+
+    @property
+    def n_slow(self) -> int:
+        return sum(1 for r in self.records if r.action == "completed")
+
+    def worst(self) -> Optional[StragglerRecord]:
+        if not self.records:
+            return None
+        return max(self.records, key=lambda r: r.elapsed_s)
+
+    def summary(self) -> str:
+        if not self.records:
+            return "no stragglers"
+        worst = self.worst()
+        return (
+            f"{len(self.records)} straggler(s): {self.n_requeued} requeued, "
+            f"{self.n_slow} slow-but-complete; worst shard "
+            f"{worst.shard_index} at {worst.elapsed_s:.3f}s "
+            f"(budget {worst.budget_s:.3f}s)"
+        )
+
+
+class Watchdog:
+    """Times shard attempts against a budget and records stragglers.
+
+    ``timeout_s=None`` disables the budget entirely — ``observe`` then
+    never records anything, which is the default for small runs.
+    """
+
+    def __init__(
+        self,
+        timeout_s: Optional[float] = None,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self.timeout_s = timeout_s
+        self._clock = clock or MonotonicClock()
+        self.report = StragglerReport()
+
+    def start(self) -> float:
+        """Stamp the start of a shard attempt; pass the token to observe."""
+        return self._clock.now()
+
+    def expired(self, started: float) -> bool:
+        """Has the budget for an attempt started at ``started`` passed?"""
+        if self.timeout_s is None:
+            return False
+        return (self._clock.now() - started) > self.timeout_s
+
+    def observe(
+        self,
+        shard_index: int,
+        attempt: int,
+        started: float,
+        completed: bool,
+    ) -> Optional[StragglerRecord]:
+        """Record the attempt if it blew its budget; return the record."""
+        if self.timeout_s is None:
+            return None
+        elapsed = self._clock.now() - started
+        if elapsed <= self.timeout_s:
+            return None
+        record = StragglerRecord(
+            shard_index=shard_index,
+            attempt=attempt,
+            elapsed_s=elapsed,
+            budget_s=self.timeout_s,
+            action="completed" if completed else "requeued",
+        )
+        self.report.add(record)
+        return record

@@ -29,7 +29,13 @@ from repro.resilience.executor import (
     ResilienceConfig,
     SourceExecutor,
 )
-from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    ShardFaultInjector,
+    WorkerFaultSpec,
+)
 from repro.resilience.health import HealthLedger, SourceHealth, health_table
 from repro.resilience.policy import (
     Fallback,
@@ -48,12 +54,15 @@ __all__ = [
     "FaultSpec",
     "FetchOutcome",
     "HealthLedger",
+    "InjectedFault",
     "ManualClock",
     "MonotonicClock",
     "ResilienceConfig",
     "RetryPolicy",
+    "ShardFaultInjector",
     "SourceExecutor",
     "SourceHealth",
+    "WorkerFaultSpec",
     "call_with_retry",
     "health_table",
 ]

@@ -41,6 +41,9 @@ from repro.starlink.subscribers import SubscriberModel
 
 if TYPE_CHECKING:
     from repro.perf.cache import ArtifactCache
+    from repro.perf.checkpoint import CheckpointStore
+    from repro.perf.parallel import ExecutionPolicy, ExecutionReport
+    from repro.resilience.faults import ShardFaultInjector
 
 
 @dataclass(frozen=True)
@@ -135,6 +138,8 @@ class RedditCorpus:
 
         from repro.io.jsonl import atomic_writer
 
+        from repro.social.schema import post_to_record
+
         with atomic_writer(path) as f:
             f.write(json.dumps({
                 "_header": True,
@@ -143,31 +148,14 @@ class RedditCorpus:
                 "span_end": self._config.span_end.isoformat(),
             }) + "\n")
             for p in self._posts:
-                record = {
-                    "post_id": p.post_id,
-                    "created": p.created.isoformat(),
-                    "author": p.author,
-                    "title": p.title,
-                    "text": p.text,
-                    "upvotes": p.upvotes,
-                    "n_comments": p.n_comments,
-                    "topic": p.topic,
-                    "comment_texts": list(p.comment_texts),
-                    "speed_test": None if p.speed_test is None else {
-                        "provider": p.speed_test.provider,
-                        "download_mbps": p.speed_test.download_mbps,
-                        "upload_mbps": p.speed_test.upload_mbps,
-                        "latency_ms": p.speed_test.latency_ms,
-                    },
-                }
-                f.write(json.dumps(record) + "\n")
+                f.write(json.dumps(post_to_record(p)) + "\n")
 
     @classmethod
     def from_jsonl(cls, path) -> "RedditCorpus":
         import json
 
         from repro.errors import SchemaError
-        from repro.social.schema import SpeedTestShare
+        from repro.social.schema import post_from_record
 
         posts: List[Post] = []
         config: Optional[CorpusConfig] = None
@@ -187,24 +175,12 @@ class RedditCorpus:
                         span_end=dt.date.fromisoformat(record["span_end"]),
                     )
                     continue
-                share = record.get("speed_test")
-                posts.append(Post(
-                    post_id=record["post_id"],
-                    created=dt.datetime.fromisoformat(record["created"]),
-                    author=record["author"],
-                    title=record["title"],
-                    text=record["text"],
-                    upvotes=record["upvotes"],
-                    n_comments=record["n_comments"],
-                    topic=record["topic"],
-                    comment_texts=tuple(record.get("comment_texts", ())),
-                    speed_test=None if share is None else SpeedTestShare(
-                        provider=share["provider"],
-                        download_mbps=share["download_mbps"],
-                        upload_mbps=share["upload_mbps"],
-                        latency_ms=share["latency_ms"],
-                    ),
-                ))
+                try:
+                    posts.append(post_from_record(record))
+                except (KeyError, ValueError, SchemaError) as exc:
+                    raise SchemaError(
+                        f"{path}:{line_no}: bad record: {exc}"
+                    ) from exc
         if config is None:
             raise SchemaError(f"{path}: missing corpus header line")
         return cls(posts, config)
@@ -280,6 +256,10 @@ class CorpusGenerator:
         self._share_rate = config.speed_share_count / max(
             1.0, config.posts_per_week * n_days / 7.0
         )
+        #: ExecutionReport / CheckpointStore of the last generate() call
+        #: (None until a run executes, and on cache hits).
+        self.last_execution: Optional["ExecutionReport"] = None
+        self.last_checkpoint: Optional["CheckpointStore"] = None
 
     # -- day-level ingredients -------------------------------------------
 
@@ -386,7 +366,13 @@ class CorpusGenerator:
 
     # -- main loop ---------------------------------------------------------
 
-    def generate(self, cache: Optional["ArtifactCache"] = None) -> RedditCorpus:
+    def generate(
+        self,
+        cache: Optional["ArtifactCache"] = None,
+        execution: Optional["ExecutionPolicy"] = None,
+        checkpoint_dir: Optional[str] = None,
+        chaos: Optional["ShardFaultInjector"] = None,
+    ) -> RedditCorpus:
         """Generate the full corpus (deterministic in the config).
 
         Each day is rendered independently on its own RNG substream —
@@ -394,12 +380,28 @@ class CorpusGenerator:
         byte-identical output either way.  With ``cache``, the corpus is
         loaded from (or persisted to) the content-addressed artifact
         cache instead of resimulating.
+
+        ``execution`` tunes the fault-tolerance layer (shard retries,
+        watchdog timeout, in-process fallback); ``checkpoint_dir``
+        enables checkpointed resume, keyed by this config's fingerprint;
+        ``chaos`` injects deterministic worker faults (tests only).
+        After a run, :attr:`last_execution` holds the
+        :class:`~repro.perf.parallel.ExecutionReport` and
+        :attr:`last_checkpoint` the store (both None on a cache hit).
         """
+        from functools import partial
+
+        self.last_execution = None
+        self.last_checkpoint = None
+        build = partial(
+            self._generate,
+            execution=execution, checkpoint_dir=checkpoint_dir, chaos=chaos,
+        )
         if cache is not None:
             return cache.load_or_build(
                 "corpus",
                 self._config,
-                build=self._generate,
+                build=build,
                 # The JSONL header only carries seed + span, so re-attach
                 # the full config the caller actually asked for.
                 load=lambda path: RedditCorpus(
@@ -407,15 +409,35 @@ class CorpusGenerator:
                 ),
                 dump=lambda corpus, path: corpus.to_jsonl(path),
             )
-        return self._generate()
+        return build()
 
-    def _generate(self) -> RedditCorpus:
+    def _generate(
+        self,
+        execution: Optional["ExecutionPolicy"] = None,
+        checkpoint_dir: Optional[str] = None,
+        chaos: Optional["ShardFaultInjector"] = None,
+    ) -> RedditCorpus:
         from repro.perf.parallel import ParallelMap
 
+        store = None
+        if checkpoint_dir is not None:
+            from repro.perf.cache import config_fingerprint
+            from repro.perf.checkpoint import CheckpointStore
+            from repro.social.schema import post_from_record, post_to_record
+
+            store = CheckpointStore(
+                checkpoint_dir,
+                run_key=config_fingerprint("corpus", self._config),
+                encode=post_to_record,
+                decode=post_from_record,
+            )
         days = list(self._base_volume.items())
-        posts = ParallelMap(self._config.workers).map_shards(
-            self._generate_day_shard, days
+        pm = ParallelMap(
+            self._config.workers, policy=execution, chaos=chaos
         )
+        posts = pm.map_shards(self._generate_day_shard, days, checkpoint=store)
+        self.last_execution = pm.last_report
+        self.last_checkpoint = store
         return RedditCorpus(posts, self._config)
 
     def _generate_day_shard(

@@ -104,3 +104,50 @@ class Post:
         parts = [self.full_text]
         parts.extend(self.comment_texts)
         return "\n".join(parts)
+
+
+def post_to_record(post: Post) -> dict:
+    """The canonical JSONL record for one post.
+
+    Shared by :meth:`RedditCorpus.to_jsonl` and the checkpoint layer, so
+    a resumed shard serialises byte-identically to a regenerated one.
+    """
+    return {
+        "post_id": post.post_id,
+        "created": post.created.isoformat(),
+        "author": post.author,
+        "title": post.title,
+        "text": post.text,
+        "upvotes": post.upvotes,
+        "n_comments": post.n_comments,
+        "topic": post.topic,
+        "comment_texts": list(post.comment_texts),
+        "speed_test": None if post.speed_test is None else {
+            "provider": post.speed_test.provider,
+            "download_mbps": post.speed_test.download_mbps,
+            "upload_mbps": post.speed_test.upload_mbps,
+            "latency_ms": post.speed_test.latency_ms,
+        },
+    }
+
+
+def post_from_record(record: dict) -> Post:
+    """Inverse of :func:`post_to_record`."""
+    share = record.get("speed_test")
+    return Post(
+        post_id=record["post_id"],
+        created=dt.datetime.fromisoformat(record["created"]),
+        author=record["author"],
+        title=record["title"],
+        text=record["text"],
+        upvotes=record["upvotes"],
+        n_comments=record["n_comments"],
+        topic=record["topic"],
+        comment_texts=tuple(record.get("comment_texts", ())),
+        speed_test=None if share is None else SpeedTestShare(
+            provider=share["provider"],
+            download_mbps=share["download_mbps"],
+            upload_mbps=share["upload_mbps"],
+            latency_ms=share["latency_ms"],
+        ),
+    )

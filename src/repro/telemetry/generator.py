@@ -45,6 +45,9 @@ from repro.telemetry.store import CallDataset
 
 if TYPE_CHECKING:
     from repro.perf.cache import ArtifactCache
+    from repro.perf.checkpoint import CheckpointStore
+    from repro.perf.parallel import ExecutionPolicy, ExecutionReport
+    from repro.resilience.faults import ShardFaultInjector
 
 
 @dataclass(frozen=True)
@@ -138,6 +141,10 @@ class CallDatasetGenerator:
         else:
             disabled = MitigationStack.disabled()
             self._stacks = {key: disabled for key in PLATFORMS}
+        #: ExecutionReport / CheckpointStore of the last generate() call
+        #: (None until a run executes, and on cache hits).
+        self.last_execution: Optional["ExecutionReport"] = None
+        self.last_checkpoint: Optional["CheckpointStore"] = None
 
     @property
     def config(self) -> GeneratorConfig:
@@ -294,7 +301,13 @@ class CallDatasetGenerator:
             self._build_call(self._call_rng(m.call_id), m) for m in meetings
         ]
 
-    def generate(self, cache: Optional["ArtifactCache"] = None) -> CallDataset:
+    def generate(
+        self,
+        cache: Optional["ArtifactCache"] = None,
+        execution: Optional["ExecutionPolicy"] = None,
+        checkpoint_dir: Optional[str] = None,
+        chaos: Optional["ShardFaultInjector"] = None,
+    ) -> CallDataset:
         """Simulate the full dataset (deterministic in the config).
 
         Meetings are scheduled from one stream, then every call is
@@ -309,18 +322,37 @@ class CallDatasetGenerator:
 
         With ``cache``, the dataset is loaded from (or persisted to) the
         content-addressed artifact cache instead of resimulating.
+
+        ``execution`` tunes the fault-tolerance layer (shard retries,
+        watchdog timeout, in-process fallback); ``checkpoint_dir``
+        enables checkpointed resume, keyed by this config's fingerprint;
+        ``chaos`` injects deterministic worker faults (tests only).
+        After a run, :attr:`last_execution` holds the
+        :class:`~repro.perf.parallel.ExecutionReport` and
+        :attr:`last_checkpoint` the store (both None on a cache hit).
         """
+        self.last_execution: Optional["ExecutionReport"] = None
+        self.last_checkpoint: Optional["CheckpointStore"] = None
+        build = partial(
+            self._generate,
+            execution=execution, checkpoint_dir=checkpoint_dir, chaos=chaos,
+        )
         if cache is not None:
             return cache.load_or_build(
                 "calls",
                 self._config,
-                build=self._generate,
+                build=build,
                 load=CallDataset.from_jsonl,
                 dump=lambda dataset, path: dataset.to_jsonl(path),
             )
-        return self._generate()
+        return build()
 
-    def _generate(self) -> CallDataset:
+    def _generate(
+        self,
+        execution: Optional["ExecutionPolicy"] = None,
+        checkpoint_dir: Optional[str] = None,
+        chaos: Optional["ShardFaultInjector"] = None,
+    ) -> CallDataset:
         schedule_rng = derive(self._config.seed, "telemetry", "calls")
         meetings = self._scheduler.sample_many(schedule_rng, self._config.n_calls)
         if self._config.persistent_users:
@@ -339,9 +371,22 @@ class CallDatasetGenerator:
             return dataset
         from repro.perf.parallel import ParallelMap
 
-        calls = ParallelMap(self._config.workers).map_shards(
-            self._build_call_shard, meetings
-        )
+        store: Optional["CheckpointStore"] = None
+        if checkpoint_dir is not None:
+            from repro.perf.cache import config_fingerprint
+            from repro.perf.checkpoint import CheckpointStore
+            from repro.telemetry.store import call_from_record, call_to_record
+
+            store = CheckpointStore(
+                checkpoint_dir,
+                run_key=config_fingerprint("calls", self._config),
+                encode=call_to_record,
+                decode=call_from_record,
+            )
+        pm = ParallelMap(self._config.workers, policy=execution, chaos=chaos)
+        calls = pm.map_shards(self._build_call_shard, meetings, checkpoint=store)
+        self.last_execution = pm.last_report
+        self.last_checkpoint = store
         return CallDataset(calls)
 
     def generate_sweep(

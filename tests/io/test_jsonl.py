@@ -138,3 +138,63 @@ class TestAtomicWrite:
             write_jsonl(path, [{"a": 1}, {"bad": object()}])
         assert read_jsonl(path) == [{"a": 1}]
         assert not (tmp_path / "out.jsonl.tmp").exists()
+
+
+@pytest.mark.chaos
+class TestTornWriteSalvage:
+    """A mid-write crash can tear the final line — even mid-character."""
+
+    def _export_bytes(self, records) -> bytes:
+        import json
+
+        return "".join(json.dumps(r) + "\n" for r in records).encode("utf-8")
+
+    def test_torn_final_line_is_quarantined(self, tmp_path):
+        from repro.io.jsonl import salvage_jsonl
+        from repro.resilience import FaultPlan
+
+        records = [{"i": i, "pad": "x" * 30} for i in range(20)]
+        data = self._export_bytes(records)
+        path = tmp_path / "torn.jsonl"
+        plan = FaultPlan(seed=5)
+        cut = plan.torn_write("export", path, data)
+        assert 0 < cut < len(data)
+        assert ("export", "torn") in plan.log
+
+        result = salvage_jsonl(path, quarantine=tmp_path / "torn.bad")
+        # Every fully-written line survives; only the torn tail is lost.
+        n_complete = data[:cut].count(b"\n")
+        assert len(result.records) >= n_complete
+        assert result.records[:n_complete] == tuple(records[:n_complete])
+        assert result.n_bad <= 1
+
+    def test_torn_multibyte_character_does_not_raise(self, tmp_path):
+        """The regression: text-mode reads died with UnicodeDecodeError."""
+        from repro.io.jsonl import salvage_jsonl
+
+        good = b'{"i": 0}\n{"i": 1}\n'
+        # "é" is the two bytes c3 a9 in UTF-8; cutting after c3 leaves a
+        # torn multibyte character at EOF.
+        torn = '{"word": "café"}'.encode("utf-8")[:-3]
+        assert torn.endswith(b"\xc3")
+        path = tmp_path / "torn.jsonl"
+        path.write_bytes(good + torn)
+
+        result = salvage_jsonl(path, quarantine=tmp_path / "torn.bad")
+        assert result.records == ({"i": 0}, {"i": 1})
+        assert result.n_bad == 1
+        assert "undecodable" in result.bad_lines[0][1] or "invalid JSON" in result.bad_lines[0][1]
+        assert (tmp_path / "torn.bad").exists()
+
+    def test_torn_write_is_deterministic(self, tmp_path):
+        from repro.resilience import FaultPlan
+
+        data = self._export_bytes([{"i": i} for i in range(50)])
+        cuts = []
+        for run in range(2):
+            path = tmp_path / f"torn-{run}.jsonl"
+            cuts.append(FaultPlan(seed=9).torn_write("export", path, data))
+        assert cuts[0] == cuts[1]
+        assert (tmp_path / "torn-0.jsonl").read_bytes() == (
+            tmp_path / "torn-1.jsonl"
+        ).read_bytes()

@@ -1,0 +1,286 @@
+"""Chaos at the pool layer: the crash-safe executor under injected faults.
+
+Everything here is deterministic — worker crashes, hangs, slowness and
+corrupt output come from a seeded :class:`FaultPlan` schedule, and time
+comes from its :class:`ManualClock` — so the suite can assert the two
+acceptance properties exactly:
+
+* a run that absorbs faults (crash-on-shard-k, hang, corrupt output)
+  produces output **byte-identical** to a fault-free serial run;
+* an interrupted checkpointed run restarted with the same store
+  re-executes **only the missing shards** and still matches the
+  uninterrupted output byte for byte.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.errors import ShardExecutionError
+from repro.perf import CheckpointStore, ExecutionPolicy, ParallelMap
+from repro.perf.cache import config_fingerprint
+from repro.resilience import FaultPlan, WorkerFaultSpec
+from repro.social import CorpusConfig, CorpusGenerator
+from repro.telemetry import CallDatasetGenerator, GeneratorConfig
+
+pytestmark = pytest.mark.chaos
+
+CALLS = dict(n_calls=16, seed=909, mos_sample_rate=0.2)
+CORPUS = dict(
+    seed=909,
+    span_start=dt.date(2022, 2, 1),
+    span_end=dt.date(2022, 3, 15),
+    author_pool_size=150,
+)
+
+
+def _square_shard(items):
+    return [i * i for i in items]
+
+
+def _chaos(seed=41, **spec):
+    plan = FaultPlan(seed=seed)
+    return plan, plan.worker_faults("w", WorkerFaultSpec(**spec))
+
+
+def _bytes_of(artifact, tmp_path, name):
+    path = tmp_path / name
+    artifact.to_jsonl(path)
+    return path.read_bytes()
+
+
+class TestChaosEngine:
+    """Plain shard functions through every injected failure mode."""
+
+    ITEMS = list(range(16))
+    SERIAL = [i * i for i in ITEMS]
+
+    def test_crash_is_retried_and_output_identical(self):
+        plan, chaos = _chaos(crash_on=((2, 1),))
+        pm = ParallelMap(4, chaos=chaos)
+        assert pm.map_shards(_square_shard, self.ITEMS) == self.SERIAL
+        assert pm.last_report.retries == 1
+        assert ("w", "shard2.crash") in plan.log
+
+    def test_hang_is_reclaimed_by_watchdog(self):
+        plan, chaos = _chaos(hang_on=((1, 1),))
+        pm = ParallelMap(
+            4, policy=ExecutionPolicy(shard_timeout_s=5.0), chaos=chaos
+        )
+        assert pm.map_shards(_square_shard, self.ITEMS) == self.SERIAL
+        report = pm.last_report
+        assert report.retries == 1
+        assert report.stragglers.n_requeued == 1
+        worst = report.stragglers.worst()
+        assert worst.shard_index == 1
+        assert worst.elapsed_s > worst.budget_s == 5.0
+        assert ("w", "shard1.hang") in plan.log
+
+    def test_slow_shard_result_is_kept(self):
+        # Slow-but-complete is a straggler, never a failure: the
+        # substream contract makes the late result byte-identical.
+        plan, chaos = _chaos(slow_on=(3,), slow_s=2.0)
+        pm = ParallelMap(
+            4, policy=ExecutionPolicy(shard_timeout_s=1.0), chaos=chaos
+        )
+        assert pm.map_shards(_square_shard, self.ITEMS) == self.SERIAL
+        report = pm.last_report
+        assert report.retries == 0
+        assert report.stragglers.n_requeued == 0
+        assert report.stragglers.n_slow == 1
+        assert report.stragglers.worst().action == "completed"
+
+    def test_corrupt_output_is_rejected_and_retried(self):
+        plan, chaos = _chaos(corrupt_on=((2, 1),))
+        pm = ParallelMap(4, chaos=chaos)
+        assert pm.map_shards(_square_shard, self.ITEMS) == self.SERIAL
+        assert pm.last_report.retries == 1
+        assert ("w", "shard2.corrupt") in plan.log
+
+    def test_exhausted_retries_surface_typed_error(self):
+        _, chaos = _chaos(crash_on=(2,))  # bare index: every attempt
+        pm = ParallelMap(
+            4,
+            policy=ExecutionPolicy(
+                max_shard_retries=1, fallback_in_process=False
+            ),
+            chaos=chaos,
+        )
+        with pytest.raises(ShardExecutionError, match="shard 2"):
+            pm.map_shards(_square_shard, self.ITEMS)
+        try:
+            pm.map_shards(_square_shard, self.ITEMS)
+        except ShardExecutionError as exc:
+            assert exc.shard_index == 2
+            assert exc.attempts == 2
+
+    def test_final_fallback_rescues_always_crashing_shard(self):
+        # The last attempt runs in the coordinator, outside the
+        # (simulated) worker — injected worker faults cannot touch it.
+        _, chaos = _chaos(crash_on=(2,))
+        pm = ParallelMap(4, chaos=chaos)  # default: fallback_in_process
+        assert pm.map_shards(_square_shard, self.ITEMS) == self.SERIAL
+        assert pm.last_report.fallbacks == 1
+
+    def test_fault_log_is_deterministic(self):
+        logs = []
+        for _ in range(2):
+            plan, chaos = _chaos(
+                crash_on=((1, 1),), corrupt_on=((3, 1),), hang_on=((5, 1),)
+            )
+            pm = ParallelMap(
+                8, policy=ExecutionPolicy(shard_timeout_s=2.0), chaos=chaos
+            )
+            assert pm.map_shards(_square_shard, self.ITEMS) == self.SERIAL
+            logs.append(tuple(plan.log))
+        assert logs[0] == logs[1]
+        assert logs[0] == (
+            ("w", "shard1.crash"),
+            ("w", "shard3.corrupt"),
+            ("w", "shard5.hang"),
+        )
+
+
+class TestChaosGenerators:
+    """The acceptance property, end to end through the real factories."""
+
+    def test_calls_crash_on_shard_k_matches_fault_free_serial(self, tmp_path):
+        serial = CallDatasetGenerator(
+            GeneratorConfig(workers=1, **CALLS)
+        ).generate()
+        plan = FaultPlan(seed=17)
+        chaos = plan.worker_faults(
+            "pool", WorkerFaultSpec(crash_on=((3, 1),), corrupt_on=((6, 1),))
+        )
+        gen = CallDatasetGenerator(GeneratorConfig(workers=4, **CALLS))
+        chaotic = gen.generate(chaos=chaos)
+        assert gen.last_execution.retries == 2
+        assert ("pool", "shard3.crash") in plan.log
+        assert ("pool", "shard6.corrupt") in plan.log
+        assert _bytes_of(serial, tmp_path, "serial.jsonl") == _bytes_of(
+            chaotic, tmp_path, "chaotic.jsonl"
+        )
+
+    def test_corpus_hang_matches_fault_free_serial(self, tmp_path):
+        serial = CorpusGenerator(CorpusConfig(workers=1, **CORPUS)).generate()
+        plan = FaultPlan(seed=17)
+        chaos = plan.worker_faults(
+            "pool", WorkerFaultSpec(hang_on=((0, 1),))
+        )
+        gen = CorpusGenerator(CorpusConfig(workers=4, **CORPUS))
+        chaotic = gen.generate(
+            execution=ExecutionPolicy(shard_timeout_s=3.0), chaos=chaos
+        )
+        report = gen.last_execution
+        assert report.retries == 1
+        assert report.stragglers.n_requeued == 1
+        assert _bytes_of(serial, tmp_path, "serial.jsonl") == _bytes_of(
+            chaotic, tmp_path, "chaotic.jsonl"
+        )
+
+
+class TestCheckpointedResume:
+    """Kill a run mid-flight; resume re-executes only what's missing."""
+
+    def test_interrupted_calls_run_resumes_only_missing_shards(self, tmp_path):
+        config = GeneratorConfig(workers=4, **CALLS)
+        ckpt = tmp_path / "ckpt"
+        # The "kill": shard 5 crashes on every attempt with retries and
+        # the in-process fallback disabled, so the run dies mid-flight
+        # exactly as a SIGKILL between shard commits would.
+        plan = FaultPlan(seed=23)
+        chaos = plan.worker_faults("pool", WorkerFaultSpec(crash_on=(5,)))
+        doomed = CallDatasetGenerator(config)
+        with pytest.raises(ShardExecutionError, match="shard 5"):
+            doomed.generate(
+                execution=ExecutionPolicy(
+                    max_shard_retries=0, fallback_in_process=False
+                ),
+                checkpoint_dir=str(ckpt),
+                chaos=chaos,
+            )
+        run_key = config_fingerprint("calls", config)
+        committed = CheckpointStore(ckpt, run_key=run_key).completed_indices()
+        assert committed == [0, 1, 2, 3, 4]  # everything before the crash
+
+        # Resume without chaos: only the 11 missing shards execute.
+        resumed_gen = CallDatasetGenerator(config)
+        resumed = resumed_gen.generate(checkpoint_dir=str(ckpt))
+        report = resumed_gen.last_execution
+        store = resumed_gen.last_checkpoint
+        assert report.shards_total == 16
+        assert report.shards_resumed == 5
+        assert report.shards_executed == 11
+        assert store.resumed == 5
+        assert store.invalid == 0
+
+        serial = CallDatasetGenerator(
+            GeneratorConfig(workers=1, **CALLS)
+        ).generate()
+        assert _bytes_of(serial, tmp_path, "serial.jsonl") == _bytes_of(
+            resumed, tmp_path, "resumed.jsonl"
+        )
+        assert store.discard() == 0
+        assert not ckpt.exists()
+
+    def test_completed_checkpoint_serves_every_shard(self, tmp_path):
+        config = GeneratorConfig(workers=2, **CALLS)
+        ckpt = tmp_path / "ckpt"
+        first_gen = CallDatasetGenerator(config)
+        first = first_gen.generate(checkpoint_dir=str(ckpt))
+        assert first_gen.last_execution.shards_executed == 8
+
+        second_gen = CallDatasetGenerator(config)
+        second = second_gen.generate(checkpoint_dir=str(ckpt))
+        report = second_gen.last_execution
+        assert report.mode == "resumed"
+        assert report.shards_executed == 0
+        assert report.shards_resumed == report.shards_total == 8
+        assert _bytes_of(first, tmp_path, "first.jsonl") == _bytes_of(
+            second, tmp_path, "second.jsonl"
+        )
+
+    def test_interrupted_corpus_run_resumes(self, tmp_path):
+        config = CorpusConfig(workers=2, **CORPUS)
+        ckpt = tmp_path / "ckpt"
+        plan = FaultPlan(seed=23)
+        chaos = plan.worker_faults("pool", WorkerFaultSpec(crash_on=(3,)))
+        doomed = CorpusGenerator(config)
+        with pytest.raises(ShardExecutionError, match="shard 3"):
+            doomed.generate(
+                execution=ExecutionPolicy(
+                    max_shard_retries=0, fallback_in_process=False
+                ),
+                checkpoint_dir=str(ckpt),
+                chaos=chaos,
+            )
+        resumed_gen = CorpusGenerator(config)
+        resumed = resumed_gen.generate(checkpoint_dir=str(ckpt))
+        report = resumed_gen.last_execution
+        assert report.shards_resumed == 3
+        assert report.shards_executed == report.shards_total - 3
+
+        serial = CorpusGenerator(CorpusConfig(workers=1, **CORPUS)).generate()
+        assert _bytes_of(serial, tmp_path, "serial.jsonl") == _bytes_of(
+            resumed, tmp_path, "resumed.jsonl"
+        )
+
+    def test_tampered_shard_file_is_re_executed(self, tmp_path):
+        config = GeneratorConfig(workers=2, **CALLS)
+        ckpt = tmp_path / "ckpt"
+        gen = CallDatasetGenerator(config)
+        first = gen.generate(checkpoint_dir=str(ckpt))
+        # Tear one committed shard file the way a crashed writer would.
+        victim = ckpt / "shard-00003.jsonl"
+        raw = victim.read_bytes()
+        victim.write_bytes(raw[: len(raw) // 2])
+
+        again_gen = CallDatasetGenerator(config)
+        again = again_gen.generate(checkpoint_dir=str(ckpt))
+        report = again_gen.last_execution
+        assert report.shards_resumed == 7
+        assert report.shards_executed == 1  # only the torn shard re-ran
+        assert again_gen.last_checkpoint.invalid == 1
+        assert _bytes_of(first, tmp_path, "first.jsonl") == _bytes_of(
+            again, tmp_path, "again.jsonl"
+        )

@@ -1,0 +1,174 @@
+"""Fault tolerance of the *real* process-pool engine.
+
+The chaos suite simulates worker faults deterministically; these tests
+make actual pool workers raise, die and hang, and assert the executor's
+contract: typed :class:`ShardExecutionError` naming the shard, pool
+restarts that requeue innocent shards uncharged, and the in-process
+fallback rescuing work the pool cannot finish.
+
+Every shard function must live at module level (pool workers unpickle it
+by reference).  The once-only faults coordinate through flag files so
+the retried attempt succeeds without any shared state in the test.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ShardExecutionError
+from repro.perf import ExecutionPolicy, ParallelMap
+from repro.resilience import RetryPolicy
+
+_MAIN_PID = os.getpid()
+
+#: Backoff with near-zero delays so retry tests stay fast on a real clock.
+_FAST = RetryPolicy(base_delay_s=0.001, max_delay_s=0.002)
+
+
+def _double_shard(items):
+    return [value * 2 for value in items]
+
+
+def _raise_on_negative(items):
+    if any(value < 0 for value in items):
+        raise ValueError("injected worker exception")
+    return [value * 2 for value in items]
+
+
+def _interrupt_on_negative(items):
+    if any(value < 0 for value in items):
+        raise KeyboardInterrupt
+    return [value * 2 for value in items]
+
+
+def _fail_outside_main(chunks):
+    out = []
+    for chunk in chunks:
+        pid, values = chunk[0], chunk[1:]
+        if os.getpid() != pid:
+            raise ValueError("only the coordinator may run this shard")
+        out.extend(value * 2 for value in values)
+    return out
+
+
+def _die_once(items):
+    """os._exit the worker the first time the flagged item is seen."""
+    out = []
+    for tag, flag, value in items:
+        if tag == "die":
+            path = Path(flag)
+            if not path.exists():
+                path.write_text("died")
+                os._exit(1)
+        out.append(value * 2)
+    return out
+
+
+def _hang_once(items):
+    import time
+
+    out = []
+    for tag, flag, value in items:
+        if tag == "hang":
+            path = Path(flag)
+            if not path.exists():
+                path.write_text("hung")
+                time.sleep(2.0)
+        out.append(value * 2)
+    return out
+
+
+ITEMS = list(range(8))
+EXPECTED = [value * 2 for value in ITEMS]
+
+
+def _pm(workers=2, **policy):
+    policy.setdefault("backoff", _FAST)
+    return ParallelMap(
+        workers, chunks_per_worker=2, policy=ExecutionPolicy(**policy)
+    )
+
+
+class TestTypedFailures:
+    def test_worker_exception_exhausts_retries_with_typed_error(self):
+        pm = _pm(max_shard_retries=1, fallback_in_process=False)
+        with pytest.raises(ShardExecutionError) as info:
+            pm.map_shards(_raise_on_negative, [0, 1, -2, 3, 4, 5, 6, 7])
+        exc = info.value
+        assert exc.shard_index == 1  # 8 items / 4 shards -> -2 lands in shard 1
+        assert exc.attempts == 2
+        assert isinstance(exc.last_error, ValueError)
+        assert "shard 1" in str(exc)
+        assert pm.last_report.retries == 1
+
+    def test_keyboard_interrupt_surfaces_immediately(self):
+        pm = _pm(max_shard_retries=2)
+        with pytest.raises(ShardExecutionError) as info:
+            pm.map_shards(_interrupt_on_negative, [0, 1, -2, 3, 4, 5, 6, 7])
+        assert info.value.shard_index == 1
+        # Interrupts are never retried: the run aborts on attempt 1.
+        assert pm.last_report.retries == 0
+
+    def test_fallback_also_failing_keeps_typed_error(self):
+        pm = _pm(max_shard_retries=0, fallback_in_process=True)
+        with pytest.raises(ShardExecutionError) as info:
+            pm.map_shards(_raise_on_negative, [0, 1, -2, 3, 4, 5, 6, 7])
+        assert info.value.shard_index == 1
+
+
+class TestInProcessFallback:
+    def test_fallback_rescues_shard_the_pool_cannot_run(self):
+        # Workers refuse the shard (wrong pid); only the final in-process
+        # attempt — running in the coordinator — can complete it.
+        items = [_MAIN_PID] + ITEMS
+        pm = _pm(workers=2, max_shard_retries=1)
+        pm._chunks_per_worker = 1  # one shard per worker; simpler split
+        result = pm.map_shards(_fail_outside_main, [items, items])
+        assert result == EXPECTED + EXPECTED
+        assert pm.last_report.fallbacks == 2
+        assert pm.last_report.retries == 2
+
+
+class TestDeadWorkers:
+    def test_killed_worker_restarts_pool_and_retries(self, tmp_path):
+        flag = tmp_path / "died.flag"
+        items = [
+            ("die" if value == 5 else "ok", str(flag), value)
+            for value in ITEMS
+        ]
+        pm = _pm(workers=2, max_shard_retries=2)
+        assert pm.map_shards(_die_once, items) == EXPECTED
+        assert flag.exists()
+        report = pm.last_report
+        assert report.pool_restarts >= 1
+        assert report.retries >= 1
+        assert report.shards_executed == report.shards_total
+
+    def test_hung_worker_is_reclaimed_by_watchdog(self, tmp_path):
+        flag = tmp_path / "hung.flag"
+        items = [
+            ("hang" if value == 5 else "ok", str(flag), value)
+            for value in ITEMS
+        ]
+        pm = _pm(workers=2, max_shard_retries=2, shard_timeout_s=0.2)
+        assert pm.map_shards(_hang_once, items) == EXPECTED
+        assert flag.exists()
+        report = pm.last_report
+        assert report.stragglers.n_requeued >= 1
+        straggler = report.stragglers.records[0]
+        assert straggler.action == "requeued"
+        assert straggler.budget_s == 0.2
+
+
+class TestPoolReporting:
+    def test_clean_pool_run_reports_pool_mode(self):
+        pm = _pm(workers=2)
+        assert pm.map_shards(_double_shard, ITEMS) == EXPECTED
+        report = pm.last_report
+        assert report.mode == pm.last_mode == "pool"
+        assert report.shards_total == report.shards_executed == 4
+        assert report.retries == 0
+        assert report.fallbacks == 0
+        assert report.pool_restarts == 0
+        assert "pool: 4/4 shards executed" in report.summary()

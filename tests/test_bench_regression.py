@@ -1,0 +1,82 @@
+"""Unit tests for tools/check_bench_regression.py's edge cases.
+
+The gate runs in CI pipelines that may not have produced a benchmark
+trajectory yet: absence (and an empty/short ``runs`` list) must be a
+clean pass with a clear message, while a file that exists but cannot be
+parsed is broken state and must fail loudly.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+TOOL = REPO / "tools" / "check_bench_regression.py"
+
+
+def _load_tool():
+    spec = importlib.util.spec_from_file_location("check_bench_regression", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def _write(tmp_path, payload) -> Path:
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def test_missing_file_exits_0(tmp_path, capsys):
+    tool = _load_tool()
+    assert tool.check(tmp_path / "absent.json") == 0
+    out = capsys.readouterr().out
+    assert "no benchmark trajectory yet" in out
+    assert "nothing to compare" in out
+
+
+def test_empty_runs_exits_0(tmp_path, capsys):
+    tool = _load_tool()
+    assert tool.check(_write(tmp_path, {"schema": 1, "runs": []})) == 0
+    assert "nothing to compare" in capsys.readouterr().out
+
+
+def test_missing_runs_key_exits_0(tmp_path, capsys):
+    tool = _load_tool()
+    assert tool.check(_write(tmp_path, {"schema": 1})) == 0
+    assert "nothing to compare" in capsys.readouterr().out
+
+
+def test_single_run_exits_0(tmp_path):
+    tool = _load_tool()
+    runs = [{"scale": "full",
+             "results": {"calls_cold_s": 1.0, "corpus_cold_s": 1.0}}]
+    assert tool.check(_write(tmp_path, {"schema": 1, "runs": runs})) == 0
+
+
+def test_malformed_json_exits_2(tmp_path):
+    tool = _load_tool()
+    path = tmp_path / "BENCH_perf.json"
+    path.write_text("{truncated")
+    assert tool.check(path) == 2
+
+
+def test_non_object_trajectory_exits_2(tmp_path):
+    tool = _load_tool()
+    assert tool.check(_write(tmp_path, [1, 2, 3])) == 2
+
+
+def test_non_list_runs_exits_2(tmp_path):
+    tool = _load_tool()
+    assert tool.check(_write(tmp_path, {"runs": "oops"})) == 2
+
+
+def test_regression_still_detected(tmp_path):
+    tool = _load_tool()
+    runs = [
+        {"scale": "full",
+         "results": {"calls_cold_s": 1.0, "corpus_cold_s": 1.0}},
+        {"scale": "full",
+         "results": {"calls_cold_s": 2.0, "corpus_cold_s": 1.0}},
+    ]
+    assert tool.check(_write(tmp_path, {"schema": 1, "runs": runs})) == 1

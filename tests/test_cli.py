@@ -116,3 +116,48 @@ class TestParser:
     def test_unknown_subcommand(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestRobustnessFlags:
+    def _generate(self, out, *extra):
+        return main([
+            "generate-calls", "--n-calls", "12", "--seed", "7",
+            "--workers", "2", "--out", str(out), *extra,
+        ])
+
+    def test_execution_summary_printed(self, tmp_path, capsys):
+        out = tmp_path / "calls.jsonl"
+        assert self._generate(out, "--max-shard-retries", "1",
+                              "--shard-timeout", "30") == 0
+        text = capsys.readouterr().out
+        assert "execution:" in text
+        assert "shards executed" in text
+
+    def test_resume_checkpoint_discarded_after_success(self, tmp_path, capsys):
+        out = tmp_path / "calls.jsonl"
+        assert self._generate(out, "--resume") == 0
+        # The default checkpoint directory sits next to --out and is
+        # discarded once the run lands.
+        assert not (tmp_path / "calls.jsonl.ckpt").exists()
+
+    def test_kept_checkpoint_serves_resumed_run(self, tmp_path, capsys):
+        out = tmp_path / "calls.jsonl"
+        assert self._generate(out, "--resume", "--keep-checkpoint") == 0
+        first = capsys.readouterr().out
+        assert "checkpoint kept:" in first
+        ckpt = tmp_path / "calls.jsonl.ckpt"
+        assert (ckpt / "manifest.json").exists()
+        first_bytes = out.read_bytes()
+
+        assert self._generate(out, "--resume") == 0
+        second = capsys.readouterr().out
+        assert "resumed:" in second          # every shard came from disk
+        assert out.read_bytes() == first_bytes
+        assert not ckpt.exists()             # discarded after the rerun
+
+    def test_explicit_checkpoint_dir(self, tmp_path, capsys):
+        out = tmp_path / "calls.jsonl"
+        ckpt = tmp_path / "elsewhere"
+        assert self._generate(out, "--checkpoint-dir", str(ckpt),
+                              "--keep-checkpoint") == 0
+        assert (ckpt / "manifest.json").exists()

@@ -58,3 +58,38 @@ def test_cli_entrypoint(tmp_path):
     (tmp_path / "bad.py").write_text("x = 1\n")
     assert tool.main(["prog", str(tmp_path)]) == 0
     assert tool.main(["prog", str(tmp_path / "missing")]) == 2
+
+
+def test_strict_dirs_flag_narrow_swallow(tmp_path):
+    """In repro/perf and repro/resilience, even narrow swallows are banned."""
+    tool = _load_tool()
+    for subdir in (("repro", "perf"), ("repro", "resilience")):
+        target = tmp_path.joinpath(*subdir)
+        target.mkdir(parents=True, exist_ok=True)
+        bad = target / "x.py"
+        bad.write_text("try:\n    x()\nexcept OSError:\n    pass\n")
+        violations = tool.check_file(bad)
+        assert len(violations) == 1, subdir
+        assert "swallows" in violations[0][2]
+
+
+def test_strict_rule_does_not_apply_elsewhere(tmp_path):
+    tool = _load_tool()
+    target = tmp_path / "repro" / "io"
+    target.mkdir(parents=True)
+    ok = target / "x.py"
+    ok.write_text("try:\n    x()\nexcept OSError:\n    pass\n")
+    assert tool.check_file(ok) == []
+
+
+def test_strict_dirs_allow_handled_narrow_excepts(tmp_path):
+    """Counting / logging / re-routing the failure satisfies the rule."""
+    tool = _load_tool()
+    target = tmp_path / "repro" / "perf"
+    target.mkdir(parents=True)
+    ok = target / "x.py"
+    ok.write_text(
+        "try:\n    x()\nexcept OSError:\n    races += 1\n"
+        "try:\n    y()\nexcept ValueError as exc:\n    log(exc)\n"
+    )
+    assert tool.check_file(ok) == []

@@ -10,8 +10,10 @@ Usage::
 
     python tools/check_bench_regression.py [BENCH_perf.json]
 
-Exit codes: 0 ok (or fewer than two comparable runs), 1 regression
-found, 2 unreadable trajectory.
+Exit codes: 0 ok — including "no trajectory file yet" and "fewer than
+two comparable runs", both normal on a fresh checkout or first run —
+1 regression found, 2 malformed trajectory (a file that exists but
+cannot be parsed is broken state worth failing on, unlike absence).
 """
 
 from __future__ import annotations
@@ -40,11 +42,25 @@ def _latest_comparable(runs: List[dict]) -> Optional[List[dict]]:
 
 
 def check(path: Path) -> int:
+    if not path.exists():
+        print(f"{path}: no benchmark trajectory yet; nothing to compare "
+              f"(run benchmarks/perf to start one)")
+        return 0
     try:
         data = json.loads(path.read_text(encoding="utf-8"))
-        runs = data["runs"]
-    except (OSError, ValueError, KeyError) as exc:
+    except (OSError, ValueError) as exc:
         print(f"error: cannot read trajectory {path}: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(data, dict):
+        print(f"error: {path}: trajectory must be a JSON object",
+              file=sys.stderr)
+        return 2
+    runs = data.get("runs")
+    if runs is None or runs == []:
+        print(f"{path}: no runs recorded yet; nothing to compare")
+        return 0
+    if not isinstance(runs, list):
+        print(f"error: {path}: 'runs' must be a list", file=sys.stderr)
         return 2
     pair = _latest_comparable(runs)
     if pair is None:

@@ -1,13 +1,21 @@
 #!/usr/bin/env python
 """AST lint: forbid silent exception swallowing in ``src/``.
 
-Two patterns are banned:
+Two patterns are banned everywhere:
 
 * bare ``except:`` — catches ``KeyboardInterrupt``/``SystemExit`` and
   hides programming errors;
 * ``except Exception:`` (or ``except BaseException:``) whose handler
   body is only ``pass``/``...`` — the classic silent swallow that turns
   a broken source into a silently wrong answer.
+
+Inside the fault-handling subsystems — ``repro/perf/`` and
+``repro/resilience/`` — the rule is stricter: *any* except handler
+whose body only swallows (``pass``/``...``) is flagged, however narrow
+the caught type.  That code's whole job is to observe failures; a
+handler there must at minimum count, log, or re-route what it caught
+(``continue``/``return`` with a recorded outcome are fine — a bare
+``pass`` is not).
 
 The resilience layer exists precisely so code never needs these: route
 failures through ``repro.errors`` types and the health ledger instead.
@@ -26,6 +34,20 @@ from typing import List, Tuple
 Violation = Tuple[Path, int, str]
 
 _BROAD = {"Exception", "BaseException"}
+
+#: Directory suffixes (as contiguous path parts) where the strict rule
+#: applies: any swallow-only handler is a violation, narrow types too.
+STRICT_DIRS = (("repro", "perf"), ("repro", "resilience"))
+
+
+def _is_strict(path: Path) -> bool:
+    parts = Path(path).parts
+    for suffix in STRICT_DIRS:
+        n = len(suffix)
+        for i in range(len(parts) - n):
+            if parts[i:i + n] == suffix:
+                return True
+    return False
 
 
 def _is_swallow(body: List[ast.stmt]) -> bool:
@@ -52,6 +74,7 @@ def check_file(path: Path) -> List[Violation]:
     except SyntaxError as exc:
         return [(path, exc.lineno or 0, f"syntax error: {exc.msg}")]
     violations: List[Violation] = []
+    strict = _is_strict(path)
     for node in ast.walk(tree):
         if not isinstance(node, ast.ExceptHandler):
             continue
@@ -63,6 +86,12 @@ def check_file(path: Path) -> List[Violation]:
             violations.append(
                 (path, node.lineno,
                  "'except Exception: pass' silently swallows failures")
+            )
+        elif strict and _is_swallow(node.body):
+            violations.append(
+                (path, node.lineno,
+                 "handler silently swallows a failure in a fault-handling "
+                 "module; count, log, or re-route it")
             )
     return violations
 
