@@ -6,7 +6,12 @@ and asserts the PR's headline performance contracts:
 * a warm (cache-hit) load is at least 5x faster than cold generation;
 * the batch sentiment path beats per-text scoring;
 * parallel output is not just fast but *correct* (byte-identity is
-  covered by tier-1 tests; here we only require it ran).
+  covered by tier-1 tests; here we only require it ran);
+* the single-pass ``curve_matrix`` beats the per-curve loop by >= 5x;
+* the bulk columnar signal export beats the record loop;
+* parallel corpus generation is never *slower* than serial — on hosts
+  where sharding cannot pay, the min-work heuristic must fall back to
+  the serial path (``auto-serial``, speedup 1.0 by definition).
 
 Excluded from tier-1 by default — select with::
 
@@ -53,3 +58,15 @@ class TestPerfContracts:
         assert perf_results["sentiment_batch_pps"] > 0
         assert perf_results["calls_n"] > 0
         assert perf_results["corpus_n_posts"] > 0
+
+    def test_curve_matrix_at_least_5x_per_curve_loop(self, perf_results):
+        assert perf_results["analysis_curve_matrix_speedup"] >= 5.0
+
+    def test_columnar_signals_beat_record_loop(self, perf_results):
+        assert perf_results["analysis_signals_speedup"] > 1.0
+
+    def test_corpus_parallel_never_slower(self, perf_results):
+        assert perf_results["corpus_parallel_speedup"] >= 1.0
+        assert perf_results["corpus_parallel_mode"] in (
+            "pool", "in-process", "auto-serial"
+        )

@@ -15,10 +15,13 @@ import datetime as dt
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.timeline import DailySeries
 from repro.errors import AnalysisError
 from repro.nlp.keywords import OUTAGE_KEYWORDS, KeywordDictionary
 from repro.nlp.sentiment import SentimentAnalyzer, SentimentScores
+from repro.perf.columnar import corpus_columns
 from repro.social.corpus import RedditCorpus
 
 
@@ -69,10 +72,29 @@ def outage_keyword_series(
         negative_only: apply the paper's negative-sentiment filter
             (threads with positive or neutral sentiment are dropped).
     """
-    analyzer = analyzer or SentimentAnalyzer()
     start, end = corpus.config.span_start, corpus.config.span_end
     occurrences = DailySeries.zeros(start, end)
     threads = DailySeries.zeros(start, end)
+    if (
+        negative_only
+        and scores is None
+        and isinstance(corpus, RedditCorpus)
+        and (analyzer is None or isinstance(analyzer, SentimentAnalyzer))
+    ):
+        # Columnar path: the shared sentiment block replaces per-post
+        # scoring; the `negative_dominant` mask is the same comparison
+        # as the reject filter below, so only keyword counting remains.
+        cols = corpus_columns(corpus)
+        block = cols.sentiment(analyzer)
+        for i in np.flatnonzero(block.negative_dominant).tolist():
+            post = cols.posts[i]
+            count = dictionary.count_matches(post.thread_text)
+            if count > 0:
+                occurrences.add(post.date, count)
+                threads.add(post.date)
+        return OutageSeries(occurrences=occurrences, threads=threads)
+
+    analyzer = analyzer or SentimentAnalyzer()
     for post in corpus:
         if negative_only:
             s = scores.get(post.post_id) if scores else None

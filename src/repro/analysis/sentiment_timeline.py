@@ -12,9 +12,12 @@ import datetime as dt
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.timeline import DailySeries
 from repro.errors import AnalysisError
 from repro.nlp.sentiment import SentimentAnalyzer, SentimentScores
+from repro.perf.columnar import corpus_columns
 from repro.social.corpus import RedditCorpus
 from repro.social.schema import Post
 
@@ -58,7 +61,17 @@ def sentiment_timeline(
     corpus: RedditCorpus,
     analyzer: Optional[SentimentAnalyzer] = None,
 ) -> SentimentTimeline:
-    """Score every post and build the daily strong-sentiment series."""
+    """Score every post and build the daily strong-sentiment series.
+
+    A plain corpus takes the columnar path: the shared per-day index and
+    sentiment block (``repro.perf.columnar``) replace the per-analysis
+    corpus scan, and with the default analyzer the block is scored once
+    and reused by the outage monitor, the fulcrum and the USaaS export.
+    """
+    if isinstance(corpus, RedditCorpus) and (
+        analyzer is None or isinstance(analyzer, SentimentAnalyzer)
+    ):
+        return _sentiment_timeline_columnar(corpus, analyzer)
     analyzer = analyzer or SentimentAnalyzer()
     start = corpus.config.span_start
     end = corpus.config.span_end
@@ -76,4 +89,35 @@ def sentiment_timeline(
         strong_positive=strong_pos,
         strong_negative=strong_neg,
         scores=scores,
+    )
+
+
+def _sentiment_timeline_columnar(
+    corpus: RedditCorpus, analyzer: Optional[SentimentAnalyzer]
+) -> SentimentTimeline:
+    cols = corpus_columns(corpus)
+    start = cols.span_start
+    end = cols.span_end
+    strong_pos = DailySeries.zeros(start, end)
+    strong_neg = DailySeries.zeros(start, end)
+    block = cols.sentiment(analyzer)
+    pos_mask = block.strong_positive
+    # The record path's elif: a strong-both post counts as positive only.
+    neg_mask = block.strong_negative & ~pos_mask
+    day = cols.day_index
+    n_days = cols.n_days
+    # Only strong posts hit DailySeries.add in the record path, so only
+    # those may raise for an out-of-span date — first one in post order.
+    oob = (pos_mask | neg_mask) & ((day < 0) | (day >= n_days))
+    if oob.any():
+        i = int(np.flatnonzero(oob)[0])
+        raise AnalysisError(
+            f"{cols.created[i].date()} outside span {start}..{end}"
+        )
+    strong_pos.values[:] = np.bincount(day[pos_mask], minlength=n_days)
+    strong_neg.values[:] = np.bincount(day[neg_mask], minlength=n_days)
+    return SentimentTimeline(
+        strong_positive=strong_pos,
+        strong_negative=strong_neg,
+        scores=dict(zip(cols.post_id, block.scores)),
     )

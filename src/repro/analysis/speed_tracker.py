@@ -20,6 +20,7 @@ from repro.errors import AnalysisError, ExtractionError
 from repro.ocr.engine import OcrEngine
 from repro.ocr.noise import NoiseModel
 from repro.ocr.render import render_screenshot
+from repro.perf.columnar import corpus_columns
 from repro.rng import derive
 from repro.social.corpus import RedditCorpus
 
@@ -105,7 +106,12 @@ def track_speeds(
     engine = engine or OcrEngine()
     rng = derive(seed, "analysis", "speed-ocr")
 
-    shares = corpus.speed_shares()
+    # Share the one columnar corpus scan with the other §4 analyses
+    # instead of re-walking every post for its speed test.
+    if isinstance(corpus, RedditCorpus):
+        shares = corpus_columns(corpus).speed_share_posts()
+    else:
+        shares = corpus.speed_shares()
     per_month: Dict[Month, List[float]] = {}
     per_provider_month: Dict[str, Dict[Month, List[float]]] = {}
     n_extracted = 0

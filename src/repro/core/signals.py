@@ -17,7 +17,9 @@ from __future__ import annotations
 import datetime as dt
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.errors import SchemaError
 
@@ -141,6 +143,81 @@ class SignalSeries:
     def extend(self, signals: Iterable[Signal]) -> None:
         for signal in signals:
             self.append(signal)
+
+    def extend_columns(
+        self,
+        kind: Union[SignalKind, Sequence[SignalKind]],
+        timestamps: Sequence[dt.datetime],
+        network: Union[str, Sequence[str]],
+        metric: Union[str, Sequence[str]],
+        values: Sequence[float],
+        service: Union[None, str, Sequence[Optional[str]]] = None,
+        weight: Union[float, Sequence[float]] = 1.0,
+        attrs: Sequence[Tuple[Tuple[str, str], ...]] = (),
+    ) -> int:
+        """Bulk-append one signal per row of the given columns.
+
+        The columnar analogue of N :meth:`append` calls: every argument
+        is either a scalar (broadcast to all rows) or a length-n column.
+        ``attrs`` rows must already be sorted key tuples (what the
+        ``ImplicitSignal``/``ExplicitSignal`` constructors produce);
+        ``attrs=()`` broadcasts the empty tuple.  Values are validated
+        with the same checks — and the same error messages — as
+        :meth:`Signal.__post_init__`, then the Signal objects are built
+        directly, skipping per-field dataclass machinery.  Returns the
+        number of signals appended.
+        """
+        n = len(timestamps)
+
+        def column(name: str, col, scalar: bool) -> list:
+            if scalar:
+                return [col] * n
+            if isinstance(col, np.ndarray):
+                col = col.tolist()
+            else:
+                col = list(col)
+            if len(col) != n:
+                raise SchemaError(
+                    f"extend_columns: {name} has length {len(col)}, "
+                    f"expected {n}"
+                )
+            return col
+
+        kinds = column("kind", kind, isinstance(kind, SignalKind))
+        networks = column("network", network, isinstance(network, str))
+        metrics = column("metric", metric, isinstance(metric, str))
+        value_col = column("values", values, False)
+        services = column(
+            "service", service, service is None or isinstance(service, str)
+        )
+        weights = column(
+            "weight", weight, isinstance(weight, (int, float))
+        )
+        attrs_col = column("attrs", attrs, attrs == ())
+
+        new_signals: List[Signal] = []
+        for i in range(n):
+            net = networks[i]
+            met = metrics[i]
+            w = weights[i]
+            if not net:
+                raise SchemaError("signal requires a network")
+            if not met:
+                raise SchemaError("signal requires a metric name")
+            if w < 0:
+                raise SchemaError(f"weight must be non-negative, got {w}")
+            s = object.__new__(Signal)
+            s.__dict__["kind"] = kinds[i]
+            s.__dict__["timestamp"] = timestamps[i]
+            s.__dict__["network"] = net
+            s.__dict__["metric"] = met
+            s.__dict__["value"] = value_col[i]
+            s.__dict__["service"] = services[i]
+            s.__dict__["weight"] = w
+            s.__dict__["attrs"] = attrs_col[i]
+            new_signals.append(s)
+        self._signals.extend(new_signals)
+        return n
 
     def filter(
         self,

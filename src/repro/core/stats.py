@@ -94,6 +94,100 @@ def _as_1d(values: Sequence[float], name: str) -> np.ndarray:
     return arr
 
 
+_REDUCERS: dict = {
+    "mean": np.mean,
+    "median": np.median,
+    "p95": lambda a: np.percentile(a, 95),
+    "count": len,
+}
+
+
+@dataclass(frozen=True)
+class BinGrouping:
+    """The key-side half of :func:`bin_statistic`, reusable across values.
+
+    Binning the key (searchsorted + stable sort by bin) is the expensive
+    part of a curve; the grouping captures it once so many value columns
+    can be reduced against the same key — the engine under
+    :func:`repro.engagement.curve_matrix`.
+
+    ``order`` is a stable sort of the in-range sample indices by bin, so
+    each bin's slice visits members in original sample order — exactly
+    the sequence the naive per-bin mask produced, which keeps reductions
+    bit-identical to the record path.
+    """
+
+    edges: np.ndarray
+    centers: np.ndarray
+    order: np.ndarray
+    counts: np.ndarray
+    _starts: np.ndarray
+    n_keys: int
+
+    @property
+    def n_bins(self) -> int:
+        return len(self.centers)
+
+    def reduce(self, values: Sequence[float], statistic: str = "mean") -> BinnedCurve:
+        """Summarise one value column against the captured grouping."""
+        val_arr = _as_1d(values, "values")
+        if self.n_keys != len(val_arr):
+            raise AnalysisError(
+                f"key and values must align: {self.n_keys} != {len(val_arr)}"
+            )
+        if statistic not in _REDUCERS:
+            raise AnalysisError(f"unknown statistic {statistic!r}")
+        reducer: Callable = _REDUCERS[statistic]
+
+        stat = np.full(self.n_bins, np.nan)
+        sorted_vals = val_arr[self.order]
+        for b in range(self.n_bins):
+            start = self._starts[b]
+            members = sorted_vals[start : start + self.counts[b]]
+            if len(members):
+                stat[b] = float(reducer(members))
+        return BinnedCurve(
+            edges=self.edges,
+            centers=self.centers,
+            stat=stat,
+            counts=self.counts.copy(),
+        )
+
+
+def bin_grouping(key: Sequence[float], edges: Sequence[float]) -> BinGrouping:
+    """Bin ``key`` by ``edges`` once, for reuse across value columns.
+
+    Samples with a key outside ``[edges[0], edges[-1]]`` are dropped, which
+    matches the paper's practice of restricting each panel to a fixed range.
+    """
+    key_arr = _as_1d(key, "key")
+    edge_arr = np.asarray(edges, dtype=float)
+    if edge_arr.ndim != 1 or len(edge_arr) < 2:
+        raise AnalysisError("edges must contain at least two values")
+    if not np.all(np.diff(edge_arr) > 0):
+        raise AnalysisError("edges must be strictly increasing")
+
+    n_bins = len(edge_arr) - 1
+    idx = np.searchsorted(edge_arr, key_arr, side="right") - 1
+    # Fold the right edge into the final bin so edges[-1] is inclusive.
+    idx[key_arr == edge_arr[-1]] = n_bins - 1
+    in_range = (idx >= 0) & (idx < n_bins)
+
+    sel = np.flatnonzero(in_range)
+    order = sel[np.argsort(idx[sel], kind="stable")]
+    counts = np.bincount(idx[sel], minlength=n_bins).astype(int)
+    starts = np.concatenate([[0], np.cumsum(counts[:-1])])
+    centers = (edge_arr[:-1] + edge_arr[1:]) / 2
+    return BinGrouping(
+        edges=edge_arr,
+        centers=centers,
+        order=order,
+        counts=counts,
+        _starts=starts,
+        n_keys=len(key_arr),
+    )
+
+
 def bin_statistic(
     key: Sequence[float],
     values: Sequence[float],
@@ -112,8 +206,10 @@ def bin_statistic(
         edges: monotonically increasing bin edges.
         statistic: ``"mean"``, ``"median"``, ``"p95"``, or ``"count"``.
 
-    Samples with a key outside ``[edges[0], edges[-1]]`` are dropped, which
-    matches the paper's practice of restricting each panel to a fixed range.
+    Numpy float arrays pass through without copying; Python lists are
+    converted once.  Samples with a key outside ``[edges[0], edges[-1]]``
+    are dropped, which matches the paper's practice of restricting each
+    panel to a fixed range.
     """
     key_arr = _as_1d(key, "key")
     val_arr = _as_1d(values, "values")
@@ -121,38 +217,7 @@ def bin_statistic(
         raise AnalysisError(
             f"key and values must align: {len(key_arr)} != {len(val_arr)}"
         )
-    edge_arr = np.asarray(edges, dtype=float)
-    if edge_arr.ndim != 1 or len(edge_arr) < 2:
-        raise AnalysisError("edges must contain at least two values")
-    if not np.all(np.diff(edge_arr) > 0):
-        raise AnalysisError("edges must be strictly increasing")
-
-    n_bins = len(edge_arr) - 1
-    idx = np.searchsorted(edge_arr, key_arr, side="right") - 1
-    # Fold the right edge into the final bin so edges[-1] is inclusive.
-    idx[key_arr == edge_arr[-1]] = n_bins - 1
-    in_range = (idx >= 0) & (idx < n_bins)
-
-    stat = np.full(n_bins, np.nan)
-    counts = np.zeros(n_bins, dtype=int)
-    reducers: dict = {
-        "mean": np.mean,
-        "median": np.median,
-        "p95": lambda a: np.percentile(a, 95),
-        "count": len,
-    }
-    if statistic not in reducers:
-        raise AnalysisError(f"unknown statistic {statistic!r}")
-    reducer: Callable = reducers[statistic]
-
-    for b in range(n_bins):
-        members = val_arr[in_range & (idx == b)]
-        counts[b] = len(members)
-        if len(members):
-            stat[b] = float(reducer(members))
-
-    centers = (edge_arr[:-1] + edge_arr[1:]) / 2
-    return BinnedCurve(edges=edge_arr, centers=centers, stat=stat, counts=counts)
+    return bin_grouping(key_arr, edges).reduce(val_arr, statistic)
 
 
 def pearson(x: Sequence[float], y: Sequence[float]) -> float:

@@ -22,7 +22,9 @@ service, which metrics — and the service:
 from repro.core.usaas.adapters import (
     FallbackSentimentChain,
     social_signals,
+    social_signals_records,
     telemetry_signals,
+    telemetry_signals_records,
 )
 from repro.core.usaas.bias import BiasCorrector
 from repro.core.usaas.correlator import CorrelationFinding, correlate_series
@@ -56,6 +58,8 @@ __all__ = [
     "correlate_series",
     "scrub_author",
     "social_signals",
+    "social_signals_records",
     "summarize_insights",
     "telemetry_signals",
+    "telemetry_signals_records",
 ]

@@ -11,10 +11,19 @@ from __future__ import annotations
 import datetime as dt
 from typing import Callable, Dict, Optional
 
-from repro.core.signals import ExplicitSignal, ImplicitSignal, Signal, SignalSeries
+import numpy as np
+
+from repro.core.signals import (
+    ExplicitSignal,
+    ImplicitSignal,
+    Signal,
+    SignalKind,
+    SignalSeries,
+)
 from repro.core.usaas.privacy import scrub_author
 from repro.errors import QueryError, SchemaError
 from repro.nlp.sentiment import SentimentAnalyzer, SentimentScores
+from repro.perf.columnar import corpus_columns, participant_columns
 from repro.resilience.policy import Fallback
 from repro.social.corpus import RedditCorpus
 from repro.telemetry.store import CallDataset
@@ -67,6 +76,16 @@ class FallbackSentimentChain:
         return result.value
 
 
+#: Per-participant signal layout: four implicit rows, then the sparse
+#: explicit rating row.  Order matters — it is the record-path order.
+_TELEMETRY_METRICS = np.array(
+    ["presence", "cam_on", "mic_on", "drop_off", "rating"], dtype=object
+)
+_TELEMETRY_KINDS = np.array(
+    [SignalKind.IMPLICIT] * 4 + [SignalKind.EXPLICIT], dtype=object
+)
+
+
 def telemetry_signals(
     dataset: CallDataset,
     network: str,
@@ -75,12 +94,31 @@ def telemetry_signals(
 ) -> SignalSeries:
     """Export a call dataset as implicit (+ sparse explicit) signals.
 
+    A plain ``CallDataset`` with a single ``network`` label takes the
+    columnar bulk-export path (signal-for-signal identical to
+    :func:`telemetry_signals_records`, which remains the reference
+    implementation and handles per-participant ``network_of``).
+
     Args:
         network: network label for every session, unless ``network_of``
             is given.
         network_of: optional ``participant -> network-name`` attribution
             function (a real deployment would map client IPs to ASes).
     """
+    if not network and network_of is None:
+        raise QueryError("either network or network_of is required")
+    if isinstance(dataset, CallDataset) and network_of is None:
+        return _telemetry_signals_columnar(dataset, network, service)
+    return telemetry_signals_records(dataset, network, service, network_of)
+
+
+def telemetry_signals_records(
+    dataset: CallDataset,
+    network: str,
+    service: str = "teams",
+    network_of: Optional[Callable] = None,
+) -> SignalSeries:
+    """Record-at-a-time reference implementation of :func:`telemetry_signals`."""
     if not network and network_of is None:
         raise QueryError("either network or network_of is required")
     series = SignalSeries()
@@ -108,6 +146,60 @@ def telemetry_signals(
     return series
 
 
+def _telemetry_signals_columnar(
+    dataset: CallDataset, network: str, service: str
+) -> SignalSeries:
+    cols = participant_columns(dataset)
+    n = len(cols)
+    series = SignalSeries()
+    if n == 0:
+        return series
+
+    # Interleave: participant i contributes rows [starts[i], starts[i]+sizes[i])
+    # — 4 implicit signals plus the rating row when one exists — so the
+    # flat signal order equals the nested record-path loops exactly.
+    rated = ~np.isnan(cols.rating)
+    sizes = 4 + rated.astype(np.int64)
+    starts = np.cumsum(sizes) - sizes
+    total = int(sizes.sum())
+    row = np.repeat(np.arange(n), sizes)
+    pos = np.arange(total) - starts[row]
+
+    vmat = np.empty((5, n))
+    vmat[0] = cols.presence_pct
+    vmat[1] = cols.cam_on_pct
+    vmat[2] = cols.mic_on_pct
+    vmat[3] = 100.0 * cols.dropped_early
+    vmat[4] = cols.rating  # NaN rows are never selected (pos 4 needs rated)
+
+    scrubbed: Dict[str, str] = {}
+    attrs_rows = []
+    for i in range(n):
+        uid = cols.user_id[i]
+        author = scrubbed.get(uid)
+        if author is None:
+            author = scrub_author(uid)
+            scrubbed[uid] = author
+        attrs_rows.append((
+            ("country", cols.country[i]),
+            ("platform", cols.platform[i]),
+            ("user", author),
+        ))
+
+    row_list = row.tolist()
+    series.extend_columns(
+        _TELEMETRY_KINDS[pos].tolist(),
+        [cols.call_start[r] for r in row_list],
+        network,
+        _TELEMETRY_METRICS[pos].tolist(),
+        vmat[pos, row],
+        service=service,
+        weight=1.0,
+        attrs=[attrs_rows[r] for r in row_list],
+    )
+    return series
+
+
 def social_signals(
     corpus: RedditCorpus,
     network: str = "starlink",
@@ -121,7 +213,34 @@ def social_signals(
     weighted by popularity (upvotes + comments), so that one viral thread
     counts for the crowd behind it — which is also why the bias corrector
     exists downstream.
+
+    A plain corpus scored by the lexicon analyzer takes the columnar
+    path, sharing the corpus-wide sentiment block with the §4 analyses;
+    precomputed ``scores`` or a custom scorer (e.g.
+    :class:`FallbackSentimentChain`) fall back to
+    :func:`social_signals_records`, the reference implementation.
     """
+    if (
+        scores is None
+        and isinstance(corpus, RedditCorpus)
+        and (analyzer is None or isinstance(analyzer, SentimentAnalyzer))
+    ):
+        return _social_signals_columnar(
+            corpus, network, analyzer, service_of_topic
+        )
+    return social_signals_records(
+        corpus, network, scores, analyzer, service_of_topic
+    )
+
+
+def social_signals_records(
+    corpus: RedditCorpus,
+    network: str = "starlink",
+    scores: Optional[Dict[str, SentimentScores]] = None,
+    analyzer: Optional[SentimentAnalyzer] = None,
+    service_of_topic: Optional[Dict[str, str]] = None,
+) -> SignalSeries:
+    """Post-at-a-time reference implementation of :func:`social_signals`."""
     analyzer = analyzer or SentimentAnalyzer()
     series = SignalSeries()
     for post in corpus:
@@ -152,4 +271,76 @@ def social_signals(
                     topic=post.topic,
                 )
             )
+    return series
+
+
+_SOCIAL_METRICS = np.array(
+    ["sentiment_polarity", "reported_downlink_mbps"], dtype=object
+)
+
+
+def _social_signals_columnar(
+    corpus: RedditCorpus,
+    network: str,
+    analyzer: Optional[SentimentAnalyzer],
+    service_of_topic: Optional[Dict[str, str]],
+) -> SignalSeries:
+    cols = corpus_columns(corpus)
+    n = len(cols)
+    series = SignalSeries()
+    if n == 0:
+        return series
+    block = cols.sentiment(analyzer)
+
+    # Interleave: one polarity signal per post, plus the speed-report
+    # signal right after it for posts carrying a speed test — the exact
+    # record-path order.
+    has_speed = np.zeros(n, dtype=np.int64)
+    has_speed[cols.speed_indices] = 1
+    sizes = 1 + has_speed
+    starts = np.cumsum(sizes) - sizes
+    total = int(sizes.sum())
+    row = np.repeat(np.arange(n), sizes)
+    pos = np.arange(total) - starts[row]
+
+    vmat = np.empty((2, n))
+    vmat[0] = block.polarity
+    vmat[1] = np.nan
+    speed_idx = cols.speed_indices.tolist()
+    vmat[1, cols.speed_indices] = np.fromiter(
+        (cols.posts[i].speed_test.download_mbps for i in speed_idx),
+        dtype=float,
+        count=len(speed_idx),
+    )
+    wmat = np.empty((2, n))
+    wmat[0] = np.maximum(1.0, cols.popularity)
+    wmat[1] = 1.0
+
+    topic_service = service_of_topic or {}
+    scrubbed: Dict[str, str] = {}
+    attrs_rows = []
+    services_row = []
+    for i in range(n):
+        author = scrubbed.get(cols.author[i])
+        if author is None:
+            author = scrub_author(cols.author[i])
+            scrubbed[cols.author[i]] = author
+        attrs_rows.append((("topic", cols.topic[i]), ("user", author)))
+        services_row.append(topic_service.get(cols.topic[i]))
+
+    row_list = row.tolist()
+    pos_list = pos.tolist()
+    series.extend_columns(
+        SignalKind.EXPLICIT,
+        [cols.created[r] for r in row_list],
+        network,
+        _SOCIAL_METRICS[pos].tolist(),
+        vmat[pos, row],
+        service=[
+            services_row[r] if p == 0 else None
+            for p, r in zip(pos_list, row_list)
+        ],
+        weight=wmat[pos, row],
+        attrs=[attrs_rows[r] for r in row_list],
+    )
     return series

@@ -21,7 +21,7 @@ from repro.engagement.adjustment import (
     adjusted_curve,
     composition_bias_demo,
 )
-from repro.engagement.binning import engagement_curve
+from repro.engagement.binning import curve_matrix, engagement_curve
 from repro.engagement.early_warning import (
     DetectionOutcome,
     DriftDetector,
@@ -54,6 +54,7 @@ __all__ = [
     "PredictionReport",
     "compound_presence_grid",
     "control_windows_except",
+    "curve_matrix",
     "engagement_curve",
     "engagement_frame",
     "fig1_curves",

@@ -1,23 +1,51 @@
-"""Engagement-vs-condition binning: the Fig. 1 primitive."""
+"""Engagement-vs-condition binning: the Fig. 1 primitive.
+
+Two input shapes, one contract.  :func:`engagement_curve` accepts either
+an iterable of participant records (the original path) or a columnar
+source (a :class:`~repro.telemetry.store.CallDataset` or prebuilt
+:class:`~repro.perf.columnar.ParticipantColumns`), and the two paths are
+float-for-float identical — property-tested in
+``tests/perf/test_columnar.py``.  :func:`curve_matrix` is the columnar
+fast path for a whole Fig. 1-style grid: each network metric is binned
+once and every engagement column is reduced against that one grouping.
+"""
 
 from __future__ import annotations
 
-from typing import Iterable, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 import numpy as np
 
-from repro.core.stats import BinnedCurve, bin_statistic
+from repro.core.stats import BinnedCurve, bin_grouping, bin_statistic
 from repro.engagement.cohort import ConditionWindow, apply_windows
 from repro.errors import AnalysisError
+from repro.perf.columnar import ParticipantColumns, participant_columns
 from repro.telemetry.schema import (
     ENGAGEMENT_METRICS,
     NETWORK_METRICS,
     ParticipantRecord,
 )
+from repro.telemetry.store import CallDataset
+
+ParticipantPool = Union[
+    CallDataset, ParticipantColumns, Iterable[ParticipantRecord]
+]
+
+
+def _mask_sparse_bins(curve: BinnedCurve, min_bin_count: int) -> BinnedCurve:
+    """NaN out bins with fewer than ``min_bin_count`` samples."""
+    if min_bin_count <= 1:
+        return curve
+    stat = curve.stat.copy()
+    stat[curve.counts < min_bin_count] = np.nan
+    return BinnedCurve(
+        edges=curve.edges, centers=curve.centers,
+        stat=stat, counts=curve.counts,
+    )
 
 
 def engagement_curve(
-    participants: Iterable[ParticipantRecord],
+    participants: ParticipantPool,
     network_metric: str,
     engagement_metric: str,
     edges: Sequence[float],
@@ -29,7 +57,10 @@ def engagement_curve(
     """Bin sessions by a network metric and summarise an engagement metric.
 
     Args:
-        participants: sessions to analyse (already cohort-filtered).
+        participants: sessions to analyse (already cohort-filtered) — an
+            iterable of records, a ``CallDataset``, or prebuilt
+            ``ParticipantColumns`` (the latter two take the zero-getattr
+            columnar path).
         network_metric: x-axis metric, one of ``NETWORK_METRICS``.
         engagement_metric: y-axis metric, one of ``ENGAGEMENT_METRICS``
             or ``"dropped_early"`` (the §3.2 drop-off observation).
@@ -49,25 +80,107 @@ def engagement_curve(
     if engagement_metric not in valid_engagement:
         raise AnalysisError(f"unknown engagement metric {engagement_metric!r}")
 
-    pool = list(participants)
+    if isinstance(participants, (ParticipantColumns, CallDataset)):
+        cols = participant_columns(participants)
+        keys = cols.metric(network_metric, network_stat)
+        values = cols.engagement_values(engagement_metric)
+        if control_windows is not None:
+            mask = cols.window_mask(control_windows)
+            keys = keys[mask]
+            values = values[mask]
+        if len(keys) == 0:
+            raise AnalysisError(
+                f"no sessions left for {network_metric} after control windows"
+            )
+        curve = bin_statistic(keys, values, edges, statistic=statistic)
+        return _mask_sparse_bins(curve, min_bin_count)
+
+    keys: List[float] = []
+    values: List[float] = []
     if control_windows is not None:
-        pool = apply_windows(pool, control_windows)
-    if not pool:
+        pool = apply_windows(list(participants), control_windows)
+    else:
+        pool = participants  # stream; no list() materialisation needed
+    if engagement_metric == "dropped_early":
+        for p in pool:
+            keys.append(p.metric(network_metric, network_stat))
+            values.append(100.0 * float(p.dropped_early))
+    else:
+        for p in pool:
+            keys.append(p.metric(network_metric, network_stat))
+            values.append(getattr(p, engagement_metric))
+    if not keys:
         raise AnalysisError(
             f"no sessions left for {network_metric} after control windows"
         )
-
-    keys = [p.metric(network_metric, network_stat) for p in pool]
-    if engagement_metric == "dropped_early":
-        values = [100.0 * float(p.dropped_early) for p in pool]
-    else:
-        values = [getattr(p, engagement_metric) for p in pool]
     curve = bin_statistic(keys, values, edges, statistic=statistic)
-    if min_bin_count > 1:
-        stat = curve.stat.copy()
-        stat[curve.counts < min_bin_count] = np.nan
-        curve = BinnedCurve(
-            edges=curve.edges, centers=curve.centers,
-            stat=stat, counts=curve.counts,
-        )
-    return curve
+    return _mask_sparse_bins(curve, min_bin_count)
+
+
+def curve_matrix(
+    participants: ParticipantPool,
+    edges: Dict[str, Sequence[float]],
+    engagement_metrics: Optional[Sequence[str]] = None,
+    control_windows: Optional[Dict[str, Iterable[ConditionWindow]]] = None,
+    network_stat: str = "mean",
+    statistic: str = "mean",
+    min_bin_count: int = 1,
+) -> Dict[str, Dict[str, BinnedCurve]]:
+    """All engagement × network curves in one grouping pass per metric.
+
+    The per-curve path bins the same key column M times (once per
+    engagement metric); here each network metric in ``edges`` is binned
+    **once** and every engagement column is reduced against that shared
+    :class:`~repro.core.stats.BinGrouping`.  Output is
+    ``{network_metric: {engagement_metric: BinnedCurve}}`` and every
+    curve is bit-identical to the corresponding
+    :func:`engagement_curve` call.
+
+    Args:
+        participants: as for :func:`engagement_curve`.
+        edges: per-network-metric bin edges (also selects the panels).
+        engagement_metrics: y-axis metrics; defaults to
+            ``ENGAGEMENT_METRICS``.
+        control_windows: optional per-network-metric window lists (e.g.
+            ``{m: control_windows_except(m) for m in edges}``).
+    """
+    names = (
+        list(engagement_metrics)
+        if engagement_metrics is not None
+        else list(ENGAGEMENT_METRICS)
+    )
+    for network_metric in edges:
+        if network_metric not in NETWORK_METRICS:
+            raise AnalysisError(f"unknown network metric {network_metric!r}")
+    valid_engagement = ENGAGEMENT_METRICS + ("dropped_early",)
+    for name in names:
+        if name not in valid_engagement:
+            raise AnalysisError(f"unknown engagement metric {name!r}")
+
+    cols = participant_columns(participants)
+    if len(cols) == 0:
+        raise AnalysisError("no participants to analyse")
+
+    value_columns = {name: cols.engagement_values(name) for name in names}
+    curves: Dict[str, Dict[str, BinnedCurve]] = {}
+    for network_metric, metric_edges in edges.items():
+        keys = cols.metric(network_metric, network_stat)
+        windows = (control_windows or {}).get(network_metric)
+        if windows is not None:
+            mask = cols.window_mask(windows)
+            keys = keys[mask]
+            panel_values = {n: col[mask] for n, col in value_columns.items()}
+        else:
+            panel_values = value_columns
+        if len(keys) == 0:
+            raise AnalysisError(
+                f"no sessions left for {network_metric} after control windows"
+            )
+        grouping = bin_grouping(keys, metric_edges)
+        curves[network_metric] = {
+            name: _mask_sparse_bins(
+                grouping.reduce(panel_values[name], statistic), min_bin_count
+            )
+            for name in names
+        }
+    return curves

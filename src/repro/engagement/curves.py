@@ -13,10 +13,11 @@ from typing import Dict, Iterable, List, Optional
 import numpy as np
 
 from repro.core.stats import BinnedCurve
-from repro.engagement.binning import engagement_curve
+from repro.engagement.binning import curve_matrix
 from repro.engagement.cohort import ConditionWindow, control_windows_except
 from repro.engagement.metrics import normalize_to_best
 from repro.errors import AnalysisError
+from repro.perf.columnar import participant_columns
 from repro.telemetry.schema import ENGAGEMENT_METRICS, ParticipantRecord
 
 # Panel x-axis edges matching the ranges shown in Fig. 1.
@@ -99,8 +100,8 @@ def fig1_curves(
             for the §3.2 "at 3%+ loss the chance of dropping off increases"
             observation.
     """
-    pool: List[ParticipantRecord] = list(participants)
-    if not pool:
+    cols = participant_columns(participants)
+    if len(cols) == 0:
         raise AnalysisError("no participants to analyse")
     edge_map = dict(DEFAULT_EDGES)
     if edges:
@@ -110,21 +111,16 @@ def fig1_curves(
     if include_drop:
         engagement_names.append("dropped_early")
 
-    curves: Dict[str, Dict[str, BinnedCurve]] = {}
-    for network_metric, metric_edges in edge_map.items():
-        windows: Optional[List[ConditionWindow]] = (
-            control_windows_except(network_metric) if use_control_windows else None
-        )
-        curves[network_metric] = {
-            name: engagement_curve(
-                pool,
-                network_metric,
-                name,
-                metric_edges,
-                control_windows=windows,
-                network_stat=network_stat,
-                min_bin_count=min_bin_count,
-            )
-            for name in engagement_names
-        }
-    return Fig1Result(curves=curves)
+    windows: Optional[Dict[str, List[ConditionWindow]]] = (
+        {m: control_windows_except(m) for m in edge_map}
+        if use_control_windows
+        else None
+    )
+    return Fig1Result(curves=curve_matrix(
+        cols,
+        edge_map,
+        engagement_metrics=engagement_names,
+        control_windows=windows,
+        network_stat=network_stat,
+        min_bin_count=min_bin_count,
+    ))

@@ -11,10 +11,13 @@ makes them order-free and therefore shardable.  This package provides:
   interrupted run resumed with ``--resume`` re-executes only the
   missing shards;
 * :class:`ArtifactCache` — content-addressed persistence of generated
-  datasets keyed on a config fingerprint + schema version.
+  datasets keyed on a config fingerprint + schema version;
+* :mod:`repro.perf.columnar` — the struct-of-arrays query layer the
+  analysis read paths run on (:func:`participant_columns`,
+  :func:`corpus_columns`).
 
-See ``docs/performance.md`` for the architecture (and its §5 for the
-failure and resume model).
+See ``docs/performance.md`` for the architecture (its §4 for the
+failure and resume model, §6 for the columnar layer).
 """
 
 from repro.perf.cache import (
@@ -23,6 +26,14 @@ from repro.perf.cache import (
     CacheStats,
     config_fingerprint,
     default_cache_root,
+)
+from repro.perf.columnar import (
+    COLUMNS_SCHEMA,
+    CorpusColumns,
+    ParticipantColumns,
+    SentimentBlock,
+    corpus_columns,
+    participant_columns,
 )
 from repro.perf.checkpoint import (
     CHECKPOINT_SCHEMA_VERSION,
@@ -47,12 +58,18 @@ __all__ = [
     "CacheStats",
     "CHECKPOINT_SCHEMA_VERSION",
     "CheckpointStore",
+    "COLUMNS_SCHEMA",
+    "CorpusColumns",
     "config_fingerprint",
+    "corpus_columns",
     "default_cache_root",
     "DEFAULT_CHUNKS_PER_WORKER",
     "ExecutionPolicy",
     "ExecutionReport",
     "ParallelMap",
+    "ParticipantColumns",
+    "participant_columns",
+    "SentimentBlock",
     "Shard",
     "StragglerRecord",
     "StragglerReport",

@@ -113,13 +113,17 @@ def plan_shards(
     n_items: int,
     workers: int,
     chunks_per_worker: int = DEFAULT_CHUNKS_PER_WORKER,
+    min_items_per_shard: int = 1,
 ) -> List[Shard]:
     """Cut ``n_items`` into contiguous, order-preserving shards.
 
     The plan covers every item exactly once, never emits an empty shard,
     and targets ``workers * chunks_per_worker`` shards so that stragglers
     (shards that happen to contain expensive units) don't serialise the
-    whole run behind one worker.
+    whole run behind one worker.  ``min_items_per_shard`` caps the shard
+    count from the other side: shards too small to amortise pool dispatch
+    and pickling are merged (a small work list collapses to one shard,
+    which the executor then runs in-process).
     """
     if n_items < 0:
         raise ConfigError("n_items must be non-negative")
@@ -127,9 +131,15 @@ def plan_shards(
         raise ConfigError("workers must be >= 1 (resolve_workers first)")
     if chunks_per_worker < 1:
         raise ConfigError("chunks_per_worker must be >= 1")
+    if min_items_per_shard < 1:
+        raise ConfigError("min_items_per_shard must be >= 1")
     if n_items == 0:
         return []
-    n_shards = min(n_items, workers * chunks_per_worker)
+    n_shards = min(
+        n_items,
+        workers * chunks_per_worker,
+        max(1, n_items // min_items_per_shard),
+    )
     base, extra = divmod(n_items, n_shards)
     shards: List[Shard] = []
     start = 0
@@ -187,8 +197,10 @@ class ExecutionReport:
     """What one :meth:`ParallelMap.map_shards` call actually did.
 
     Attributes:
-        mode: ``"pool"``, ``"in-process"`` or ``"resumed"`` (every shard
-            served from the checkpoint).
+        mode: ``"pool"``, ``"in-process"``, ``"auto-serial"`` (the
+            min-work heuristic collapsed a would-be pool run into one
+            in-process shard) or ``"resumed"`` (every shard served from
+            the checkpoint).
         shards_total: shards in the plan.
         shards_executed: shards actually run (and committed) this call.
         shards_resumed: shards served from the checkpoint store.
@@ -240,9 +252,11 @@ class ParallelMap:
         policy: Optional[ExecutionPolicy] = None,
         clock: Optional[Clock] = None,
         chaos: Optional["ShardFaultInjector"] = None,
+        min_items_per_shard: int = 1,
     ) -> None:
         self._workers = resolve_workers(workers)
         self._chunks_per_worker = chunks_per_worker
+        self._min_items_per_shard = min_items_per_shard
         self._policy = policy or ExecutionPolicy()
         # Chaos simulation advances the injector's ManualClock; a real
         # run measures on the monotonic clock.
@@ -280,7 +294,28 @@ class ParallelMap:
         point loses at most the shards in flight.
         """
         items = list(items)
-        shards = plan_shards(len(items), self._workers, self._chunks_per_worker)
+        # The min-work heuristic only reshapes plans it is safe to
+        # reshape: chaos schedules and checkpoint manifests are both
+        # keyed by shard index, so those runs keep the canonical plan.
+        heuristic_active = (
+            self._min_items_per_shard > 1
+            and self._workers > 1
+            and self._chaos is None
+            and checkpoint is None
+        )
+        shards = plan_shards(
+            len(items),
+            self._workers,
+            self._chunks_per_worker,
+            self._min_items_per_shard if heuristic_active else 1,
+        )
+        # "auto-serial": the heuristic collapsed a plan that would have
+        # gone to the pool into a single in-process shard.
+        auto_serial = (
+            heuristic_active
+            and len(shards) == 1
+            and min(len(items), self._workers * self._chunks_per_worker) > 1
+        )
         report = ExecutionReport(shards_total=len(shards))
         watchdog = Watchdog(self._policy.shard_timeout_s, clock=self._clock)
         report.stragglers = watchdog.report
@@ -318,7 +353,7 @@ class ParallelMap:
                 report.mode = "in-process"
         else:
             self._run_serial(fn, pending, chunks, results, report, checkpoint)
-            report.mode = "in-process"
+            report.mode = "auto-serial" if auto_serial else "in-process"
         self.last_mode = report.mode
         merged: List[R] = []
         for shard in shards:

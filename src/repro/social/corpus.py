@@ -45,6 +45,13 @@ if TYPE_CHECKING:
     from repro.perf.parallel import ExecutionPolicy, ExecutionReport
     from repro.resilience.faults import ShardFaultInjector
 
+#: A corpus day renders in well under a millisecond, so a shard needs
+#: a few hundred of them before pool dispatch + pickling pays for
+#: itself; smaller plans collapse to one in-process shard
+#: (``last_execution.mode == "auto-serial"``), which is byte-identical
+#: to the pool path by the substream contract.
+MIN_DAYS_PER_SHARD = 200
+
 
 @dataclass(frozen=True)
 class CorpusConfig:
@@ -433,7 +440,10 @@ class CorpusGenerator:
             )
         days = list(self._base_volume.items())
         pm = ParallelMap(
-            self._config.workers, policy=execution, chaos=chaos
+            self._config.workers,
+            policy=execution,
+            chaos=chaos,
+            min_items_per_shard=MIN_DAYS_PER_SHARD,
         )
         posts = pm.map_shards(self._generate_day_shard, days, checkpoint=store)
         self.last_execution = pm.last_report

@@ -36,6 +36,9 @@ class CallDataset:
         if not isinstance(call, CallRecord):
             raise SchemaError(f"expected CallRecord, got {type(call).__name__}")
         self._calls.append(call)
+        # Columns built by repro.perf.columnar are memoized here; a
+        # mutation must drop them so the next query rebuilds.
+        self.__dict__.pop("_columnar_cache", None)
 
     def participants(self) -> Iterator[ParticipantRecord]:
         """All participant sessions across all calls."""

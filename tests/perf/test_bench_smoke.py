@@ -44,9 +44,30 @@ class TestHarnessSmoke:
             "corpus_cold_s", "corpus_warm_s", "corpus_warm_speedup",
             "sentiment_per_text_pps", "sentiment_batch_pps",
             "sentiment_batch_speedup",
+            "analysis_columns_build_s", "analysis_curves_record_s",
+            "analysis_curve_matrix_s", "analysis_curve_matrix_speedup",
+            "analysis_signals_record_s", "analysis_signals_columnar_s",
+            "analysis_signals_speedup", "analysis_timeline_cold_s",
+            "analysis_timeline_warm_s", "analysis_timeline_reuse_speedup",
         ):
             assert key in results, key
             assert results[key] > 0
+
+    def test_parallel_modes_reported(self, smoke_run):
+        results, _ = smoke_run
+        valid = {"serial", "pool", "in-process", "auto-serial"}
+        assert results["calls_parallel_mode"] in valid
+        assert results["corpus_parallel_mode"] in valid
+        if results["corpus_parallel_mode"] == "auto-serial":
+            # Identical code path ran — the honest speedup is 1.0.
+            assert results["corpus_parallel_speedup"] == 1.0
+
+    def test_analysis_counts(self, smoke_run):
+        results, _ = smoke_run
+        assert results["analysis_participants_n"] > 0
+        assert results["analysis_signals_n"] >= (
+            4 * results["analysis_participants_n"]
+        )
 
     def test_workloads_nonempty(self, smoke_run):
         results, _ = smoke_run

@@ -46,6 +46,23 @@ class TestPlanShards:
             plan_shards(10, 0)
         with pytest.raises(ConfigError):
             plan_shards(10, 2, chunks_per_worker=0)
+        with pytest.raises(ConfigError):
+            plan_shards(10, 2, min_items_per_shard=0)
+
+    def test_min_items_per_shard_caps_shard_count(self):
+        # 365 items, floor of 200 per shard -> one shard only.
+        assert len(plan_shards(365, 2, min_items_per_shard=200)) == 1
+        # 400 items allow two shards of >= 200.
+        assert len(plan_shards(400, 2, min_items_per_shard=200)) == 2
+        # The floor never *raises* the count above the worker target.
+        assert len(plan_shards(1000, 2, chunks_per_worker=4,
+                               min_items_per_shard=10)) == 8
+
+    def test_min_items_per_shard_still_covers_all_items(self):
+        for n_items in (1, 199, 200, 399, 1000):
+            shards = plan_shards(n_items, 4, min_items_per_shard=200)
+            covered = [i for s in shards for i in range(s.start, s.stop)]
+            assert covered == list(range(n_items))
 
 
 class TestResolveWorkers:
@@ -80,6 +97,40 @@ class TestParallelMap:
 
         assert pm.map_shards(fn, list(range(50))) == list(range(1, 51))
         assert pm.last_mode == "in-process"
+
+    def test_auto_serial_when_floor_collapses_plan(self):
+        pm = ParallelMap(workers=2, min_items_per_shard=100)
+        items = list(range(50))  # under the floor -> one shard
+        assert pm.map_shards(_double_all, items) == [2 * x for x in items]
+        assert pm.last_mode == "auto-serial"
+        assert pm.last_report.mode == "auto-serial"
+        assert pm.last_report.shards_total == 1
+
+    def test_no_auto_serial_when_work_clears_floor(self):
+        pm = ParallelMap(workers=2, min_items_per_shard=10)
+        items = list(range(200))
+        assert pm.map_shards(_double_all, items) == [2 * x for x in items]
+        assert pm.last_mode != "auto-serial"
+
+    def test_heuristic_inert_for_serial_executor(self):
+        # workers=1 was never going to the pool: plain in-process mode.
+        pm = ParallelMap(workers=1, min_items_per_shard=100)
+        assert pm.map_shards(_double_all, [1, 2, 3]) == [2, 4, 6]
+        assert pm.last_mode == "in-process"
+
+    def test_heuristic_off_under_checkpoint(self, tmp_path):
+        # Checkpoint manifests are keyed by shard index, so the floor
+        # must not reshape a resumable plan.
+        from repro.perf import CheckpointStore
+
+        pm = ParallelMap(workers=2, min_items_per_shard=100)
+        store = CheckpointStore(tmp_path / "ckpt", run_key="t")
+        items = list(range(50))
+        assert pm.map_shards(
+            _double_all, items, checkpoint=store
+        ) == [2 * x for x in items]
+        assert pm.last_mode != "auto-serial"
+        assert pm.last_report.shards_total > 1
 
     def test_split_evenly_matches_plan(self):
         pairs = split_evenly(list(range(10)), 3)

@@ -24,7 +24,17 @@ from pathlib import Path
 from typing import Dict, List, Optional
 
 #: Cold-path metrics guarded against regression (seconds; lower = better).
-GUARDED_METRICS = ("calls_cold_s", "corpus_cold_s")
+#: The analysis entries guard the columnar read paths: column-block
+#: build, the single-pass curve matrix, the bulk signal export and the
+#: cold (score-everything) sentiment timeline.
+GUARDED_METRICS = (
+    "calls_cold_s",
+    "corpus_cold_s",
+    "analysis_columns_build_s",
+    "analysis_curve_matrix_s",
+    "analysis_signals_columnar_s",
+    "analysis_timeline_cold_s",
+)
 
 #: Allowed slowdown before the check fails.
 THRESHOLD = 0.30
@@ -82,7 +92,7 @@ def check(path: Path) -> int:
             failures[metric] = (
                 f"{before:.3f}s -> {after:.3f}s ({ratio:.2f}x)"
             )
-        print(f"  {metric:16s} {before:8.3f}s -> {after:8.3f}s "
+        print(f"  {metric:26s} {before:8.3f}s -> {after:8.3f}s "
               f"({ratio:5.2f}x)  {verdict}")
     if failures:
         print(
