@@ -17,7 +17,13 @@ The suite measures the three levers this repo pulls for scale:
   :func:`~repro.engagement.curve_matrix` against per-curve
   :func:`~repro.engagement.engagement_curve` loops, bulk signal
   export, and the shared-sentiment-block timeline reuse.  Each
-  speedup is only recorded after asserting the outputs are equal.
+  speedup is only recorded after asserting the outputs are equal;
+* **serving phase** — a deterministic overload soak
+  (:mod:`repro.serving.soak`) at 5x capacity on a ``ManualClock``:
+  shed rate and p50/p99 *admitted* latency are simulated-clock
+  quantities derived purely from the seed, so they are byte-stable
+  across hosts and any drift is a real behaviour change, not noise.
+  The wall-clock cost of running the soak is recorded separately.
 
 Results append to a machine-readable trajectory file
 (``BENCH_perf.json`` at the repo root) so subsequent PRs can show
@@ -58,6 +64,7 @@ class PerfScale:
     author_pool_size: int
     workers: int
     seed: int = 20231128
+    soak_duration_s: float = 4.0
 
     @classmethod
     def full(cls) -> "PerfScale":
@@ -69,6 +76,7 @@ class PerfScale:
             corpus_end=dt.date(2022, 12, 31),
             author_pool_size=1500,
             workers=2,
+            soak_duration_s=20.0,
         )
 
     @classmethod
@@ -81,6 +89,7 @@ class PerfScale:
             corpus_end=dt.date(2022, 3, 21),
             author_pool_size=120,
             workers=2,
+            soak_duration_s=4.0,
         )
 
 
@@ -279,6 +288,62 @@ def run_perf_suite(
         "seconds"
     ] / max(1e-9, timeline_warm["seconds"])
 
+    # --- serving phase: deterministic overload soak ---------------------
+    from repro.core.usaas import UsaasQuery
+    from repro.resilience import FaultPlan, ManualClock
+    from repro.resilience.faults import LoadSpikeSpec
+    from repro.serving import UsaasServer, run_soak
+    from repro.serving.soak import (
+        estimated_service_time_s,
+        synthetic_soak_service,
+    )
+
+    slow_s = 0.05
+
+    def soak_once():
+        clock = ManualClock()
+        plan = FaultPlan(seed=scale.seed, clock=clock)
+        service = synthetic_soak_service(plan, slow_s=slow_s)
+        rate = 5.0 / estimated_service_time_s(slow_s)
+        arrivals = plan.load_spikes("perf-soak", LoadSpikeSpec(
+            rate_per_s=rate,
+            duration_s=scale.soak_duration_s,
+            priority_mix=(
+                ("interactive", 0.6), ("batch", 0.3), ("monitoring", 0.1),
+            ),
+            deadline_s=1.0,
+        ))
+        server = UsaasServer(service, max_pending=8, shed_policy="priority")
+        query = UsaasQuery(network="starlink", service="teams")
+        return run_soak(server, arrivals, query_for=lambda arrival: query)
+
+    soak = _timed(soak_once)
+    report = soak["value"]
+    if not report.accounted:
+        raise AssertionError(
+            "soak accounting violated: submitted != sum of terminal states"
+        )
+    if not report.drain.clean:
+        raise AssertionError(
+            f"soak drain left work behind: {report.drain.summary()}"
+        )
+    results["serving_soak_wall_s"] = soak["seconds"]
+    results["serving_arrivals_n"] = report.arrivals
+    results["serving_served"] = report.served
+    results["serving_served_degraded"] = report.served_degraded
+    results["serving_shed"] = report.shed
+    results["serving_deadline_exceeded"] = report.deadline_exceeded
+    results["serving_shed_rate"] = report.shed_rate
+    # Simulated-clock latency of *admitted* queries: purely seed-derived,
+    # so these two are guarded by the regression gate — any drift is a
+    # behaviour change in admission/deadline/shedding, never host noise.
+    results["serving_p50_admitted_s"] = report.metrics.p50_latency_s()
+    results["serving_p99_admitted_s"] = report.metrics.p99_latency_s()
+    results["serving_simulated_s"] = report.final_clock_s
+    results["serving_arrivals_per_wall_s"] = report.arrivals / max(
+        1e-9, soak["seconds"]
+    )
+
     results["cache_stats"] = cache.stats().summary()
     return results
 
@@ -297,6 +362,7 @@ def make_entry(scale: PerfScale, results: Dict[str, Any]) -> Dict[str, Any]:
             "author_pool_size": scale.author_pool_size,
             "workers": scale.workers,
             "seed": scale.seed,
+            "soak_duration_s": scale.soak_duration_s,
         },
         "results": results,
     }

@@ -11,7 +11,10 @@ and asserts the PR's headline performance contracts:
 * the bulk columnar signal export beats the record loop;
 * parallel corpus generation is never *slower* than serial — on hosts
   where sharding cannot pay, the min-work heuristic must fall back to
-  the serial path (``auto-serial``, speedup 1.0 by definition).
+  the serial path (``auto-serial``, speedup 1.0 by definition);
+* the serving soak holds its overload contract: a sustained
+  5x-capacity spike sheds most load, still serves admitted queries
+  inside their deadline, and accounts for every arrival exactly once.
 
 Excluded from tier-1 by default — select with::
 
@@ -69,4 +72,22 @@ class TestPerfContracts:
         assert perf_results["corpus_parallel_speedup"] >= 1.0
         assert perf_results["corpus_parallel_mode"] in (
             "pool", "in-process", "auto-serial"
+        )
+
+    def test_serving_soak_sheds_under_overload(self, perf_results):
+        # At 5x capacity with a bounded queue, most arrivals must shed
+        # but the server keeps serving at full throughput.
+        assert perf_results["serving_shed_rate"] > 0.5
+        assert perf_results["serving_served"] > 0
+
+    def test_serving_admitted_latency_bounded(self, perf_results):
+        # Admitted queries finish within ~deadline (1s) + one attempt.
+        assert perf_results["serving_p99_admitted_s"] <= 1.2
+        assert perf_results["serving_p50_admitted_s"] > 0
+
+    def test_serving_soak_is_simulated(self, perf_results):
+        # 20 simulated seconds of overload should cost well under that
+        # in wall time — the whole point of the ManualClock soak.
+        assert perf_results["serving_simulated_s"] >= (
+            perf_results["serving_soak_wall_s"]
         )

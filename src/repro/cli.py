@@ -228,13 +228,19 @@ def _cmd_analyze_starlink(args: argparse.Namespace) -> int:
 
 
 def _cmd_usaas(args: argparse.Namespace) -> int:
+    if getattr(args, "usaas_command", None) == "soak":
+        return _cmd_usaas_soak(args)
     from repro.core.usaas import (
         UsaasQuery,
         UsaasService,
         social_signals,
         telemetry_signals,
     )
-    from repro.errors import DegradedServiceError
+    from repro.errors import (
+        DeadlineExceededError,
+        DegradedServiceError,
+        QueryRejectedError,
+    )
     from repro.resilience import ResilienceConfig
     from repro.social.corpus import RedditCorpus
     from repro.telemetry.store import CallDataset
@@ -279,10 +285,33 @@ def _cmd_usaas(args: argparse.Namespace) -> int:
                 network=args.network,
             ),
         )
+    query = UsaasQuery(network=args.network, service=args.service)
+    serving = (
+        args.deadline_s is not None
+        or args.priority != "interactive"
+        or args.max_pending is not None
+    )
     try:
-        report = service.answer(
-            UsaasQuery(network=args.network, service=args.service)
-        )
+        if serving:
+            # The overload-safe path: admission control + deadline
+            # budget around the same answer() call.
+            from repro.serving import UsaasServer
+
+            server = UsaasServer(
+                service,
+                max_pending=args.max_pending or 16,
+            )
+            report = server.serve(
+                query, priority=args.priority, deadline_s=args.deadline_s
+            )
+        else:
+            report = service.answer(query)
+    except (QueryRejectedError, DeadlineExceededError) as exc:
+        # Soft refusal: the query was shed or its budget ran out.  The
+        # service itself is still up — distinct exit code from hard
+        # degradation so callers can retry with backoff.
+        print(f"query not served: {exc}", file=sys.stderr)
+        return 3
     except DegradedServiceError as exc:
         # Hard degradation: too few sources survived to answer at all.
         print(f"degraded service: {exc}", file=sys.stderr)
@@ -296,6 +325,59 @@ def _cmd_usaas(args: argparse.Namespace) -> int:
     if report.source_health:
         print("\nsource health:")
         print(report.health_table())
+    return 0
+
+
+def _cmd_usaas_soak(args: argparse.Namespace) -> int:
+    """Deterministic overload soak against a synthetic USaaS service."""
+    import json
+
+    from repro.core.usaas import UsaasQuery
+    from repro.resilience import FaultPlan, ManualClock
+    from repro.resilience.faults import LoadSpikeSpec
+    from repro.serving import UsaasServer, run_soak
+    from repro.serving.soak import (
+        estimated_service_time_s,
+        synthetic_soak_service,
+    )
+
+    clock = ManualClock()
+    plan = FaultPlan(seed=args.seed, clock=clock)
+    service = synthetic_soak_service(
+        plan, slow_s=args.slow_s, include_flaky=args.include_flaky
+    )
+    rate = args.overload / estimated_service_time_s(args.slow_s)
+    arrivals = plan.load_spikes("soak", LoadSpikeSpec(
+        rate_per_s=rate,
+        duration_s=args.duration_s,
+        priority_mix=(
+            ("interactive", 0.6), ("batch", 0.3), ("monitoring", 0.1),
+        ),
+        deadline_s=args.deadline_s,
+    ))
+    server = UsaasServer(
+        service,
+        max_pending=args.max_pending,
+        shed_policy=args.shed_policy,
+    )
+    query = UsaasQuery(network="starlink", service="teams")
+    report = run_soak(server, arrivals, query_for=lambda arrival: query)
+    if args.json:
+        print(json.dumps(report.counters_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"seed {args.seed}: {args.overload:.1f}x capacity for "
+              f"{args.duration_s:.1f}s (simulated)")
+        print(report.summary())
+        print()
+        print(report.metrics.table())
+    if not report.accounted:
+        print("accounting violation: submitted != sum(terminal states)",
+              file=sys.stderr)
+        return 2
+    if not report.drain.clean:
+        print("drain left work behind: " + report.drain.summary(),
+              file=sys.stderr)
+        return 2
     return 0
 
 
@@ -452,7 +534,13 @@ def build_parser() -> argparse.ArgumentParser:
                    default="overall")
     p.set_defaults(fn=_cmd_tune_mitigation)
 
-    p = sub.add_parser("usaas", help="answer a §5 USaaS query")
+    p = sub.add_parser(
+        "usaas", help="answer a §5 USaaS query",
+        epilog="exit codes: 0 = served; 2 = hard degradation (too few "
+               "sources survived); 3 = shed or deadline exceeded (the "
+               "service is up but refused this query — retry with "
+               "backoff)",
+    )
     p.add_argument("--calls", help="call dataset JSONL (implicit signals)")
     p.add_argument("--posts", help="corpus JSONL (explicit signals)")
     p.add_argument("--network", default="starlink")
@@ -465,6 +553,45 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-dir",
                    help="simulate default datasets through the artifact "
                         "cache when --calls/--posts are not given")
+    p.add_argument("--deadline-s", type=float, default=None,
+                   metavar="SECONDS",
+                   help="per-query deadline budget; retries and backoff "
+                        "are clamped to it and exceeding it exits 3")
+    p.add_argument("--max-pending", type=int, default=None, metavar="N",
+                   help="bounded admission queue in front of the query "
+                        "(engages the serving path; default 16)")
+    p.add_argument("--priority",
+                   choices=("interactive", "batch", "monitoring"),
+                   default="interactive",
+                   help="priority class for admission/shedding")
+    usaas_sub = p.add_subparsers(dest="usaas_command", required=False)
+    sp = usaas_sub.add_parser(
+        "soak",
+        help="deterministic overload soak on a synthetic service",
+        description="Drive a synthetic USaaS service through a seeded "
+                    "load spike on a simulated clock: every arrival, "
+                    "retry, backoff and deadline expiry is derived from "
+                    "--seed, so the same invocation always produces "
+                    "byte-identical counters.",
+    )
+    sp.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    sp.add_argument("--overload", type=float, default=5.0, metavar="X",
+                    help="arrival rate as a multiple of service capacity")
+    sp.add_argument("--duration-s", type=float, default=4.0,
+                    help="spike duration in simulated seconds")
+    sp.add_argument("--deadline-s", type=float, default=1.0,
+                    help="per-query deadline budget (simulated seconds)")
+    sp.add_argument("--max-pending", type=int, default=8)
+    sp.add_argument("--shed-policy",
+                    choices=("reject", "lifo", "priority"),
+                    default="priority")
+    sp.add_argument("--slow-s", type=float, default=0.05,
+                    help="simulated per-source fetch latency")
+    sp.add_argument("--include-flaky", action="store_true",
+                    help="add an always-failing source so answers are "
+                         "degraded and retries burn deadline budget")
+    sp.add_argument("--json", action="store_true",
+                    help="emit the stable counters dict as JSON")
     p.set_defaults(fn=_cmd_usaas)
     return parser
 

@@ -45,11 +45,16 @@ class UsaasQuery:
             raise QueryError("query requires a network")
         if not self.implicit_metrics and not self.explicit_metrics:
             raise QueryError("query must request at least one metric")
-        if (
-            self.start is not None
-            and self.end is not None
-            and self.end < self.start
-        ):
-            raise QueryError("query end precedes start")
+        if self.start is not None and self.end is not None:
+            start_aware = self.start.tzinfo is not None
+            end_aware = self.end.tzinfo is not None
+            if start_aware != end_aware:
+                raise QueryError(
+                    "query start/end mix a tz-aware and a tz-naive "
+                    "datetime; make both aware (attach tzinfo) or both "
+                    "naive"
+                )
+            if self.end < self.start:
+                raise QueryError("query end precedes start")
         if self.min_users is not None and self.min_users < 1:
             raise QueryError("min_users must be >= 1")

@@ -14,7 +14,7 @@ is that loop:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -35,6 +35,9 @@ from repro.errors import (
 from repro.resilience.clock import Clock
 from repro.resilience.executor import ResilienceConfig, SourceExecutor
 from repro.resilience.health import SourceHealth
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.serving.deadline import Deadline
 
 
 @dataclass(frozen=True)
@@ -113,15 +116,22 @@ class UsaasService:
 
     # -- query execution -------------------------------------------------
 
-    def _gather(self, query: UsaasQuery) -> GatherResult:
+    def _gather(
+        self, query: UsaasQuery, deadline: Optional["Deadline"] = None
+    ) -> GatherResult:
         """Pull every source through the guard stack; never raises for a
-        failing source — degradation is decided by the caller's config."""
+        failing source — degradation is decided by the caller's config.
+
+        ``deadline`` (the serving layer's per-query budget) is passed
+        into every fetch: once it expires, remaining sources fail fast
+        instead of burning their full retry schedules, so a late answer
+        degrades rather than running arbitrarily long."""
         merged = SignalSeries()
         survivors: List[str] = []
         failed: List[str] = []
         stale: List[str] = []
         for name in self._registry.names():
-            outcome = self._executor.fetch(self._registry, name)
+            outcome = self._executor.fetch(self._registry, name, deadline)
             if outcome.usable:
                 survivors.append(name)
                 if outcome.stale:
@@ -153,8 +163,16 @@ class UsaasService:
             stale=tuple(stale),
         )
 
-    def answer(self, query: UsaasQuery) -> UsaasReport:
+    def answer(
+        self,
+        query: UsaasQuery,
+        deadline: Optional["Deadline"] = None,
+    ) -> UsaasReport:
         """Run a query end to end.
+
+        ``deadline`` bounds ingestion time (see
+        :class:`repro.serving.Deadline`): expired budgets cut retries
+        and backoff short so the answer degrades instead of overrunning.
 
         Raises:
             QueryError: no sources registered.
@@ -164,7 +182,7 @@ class UsaasService:
         """
         if len(self._registry) == 0:
             raise QueryError("no signal sources registered")
-        gathered = self._gather(query)
+        gathered = self._gather(query, deadline)
         pool = gathered.pool
         guard = (
             PrivacyGuard(query.min_users)

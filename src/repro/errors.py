@@ -76,6 +76,56 @@ class LockTimeoutError(ReproError):
     """An advisory file lock could not be acquired within its budget."""
 
 
+class QueryRejectedError(ReproError):
+    """The serving layer refused to admit a query.
+
+    Carries the machine-readable ``reason`` (``"queue_full"`` when the
+    pending queue is at capacity and shedding policy rejected the query,
+    ``"deadline_infeasible"`` when the remaining deadline budget cannot
+    fit even one attempt, ``"draining"`` when the server has stopped
+    admitting) plus the query's priority class, so callers and tests can
+    branch on *why* load was shed without parsing messages.
+    """
+
+    REASONS = ("queue_full", "deadline_infeasible", "draining")
+
+    def __init__(self, reason: str, priority: str = "interactive",
+                 detail: str = "") -> None:
+        if reason not in self.REASONS:
+            raise ValueError(f"unknown rejection reason {reason!r}")
+        self.reason = reason
+        self.priority = priority
+        self.detail = detail
+        suffix = f": {detail}" if detail else ""
+        super().__init__(
+            f"query rejected ({reason}, priority={priority}){suffix}"
+        )
+
+    def __reduce__(self):
+        return (QueryRejectedError, (self.reason, self.priority, self.detail))
+
+
+class DeadlineExceededError(ReproError):
+    """An admitted query missed its deadline budget.
+
+    Raised by the synchronous serving path when the answer arrived (or
+    failed) only after the query's :class:`~repro.serving.Deadline`
+    expired; the overrun is bounded by one attempt timeout because the
+    executor clamps per-attempt budgets to the remaining deadline.
+    """
+
+    def __init__(self, budget_s: float, overrun_s: float) -> None:
+        self.budget_s = float(budget_s)
+        self.overrun_s = float(overrun_s)
+        super().__init__(
+            f"deadline of {self.budget_s:.3f}s exceeded by "
+            f"{self.overrun_s:.3f}s"
+        )
+
+    def __reduce__(self):
+        return (DeadlineExceededError, (self.budget_s, self.overrun_s))
+
+
 class SourceUnavailableError(ReproError):
     """A signal source failed (raised, timed out) after all retries."""
 

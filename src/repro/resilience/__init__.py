@@ -30,9 +30,11 @@ from repro.resilience.executor import (
     SourceExecutor,
 )
 from repro.resilience.faults import (
+    Arrival,
     FaultPlan,
     FaultSpec,
     InjectedFault,
+    LoadSpikeSpec,
     ShardFaultInjector,
     WorkerFaultSpec,
 )
@@ -45,6 +47,7 @@ from repro.resilience.policy import (
 )
 
 __all__ = [
+    "Arrival",
     "BreakerState",
     "CircuitBreaker",
     "Clock",
@@ -55,6 +58,7 @@ __all__ = [
     "FetchOutcome",
     "HealthLedger",
     "InjectedFault",
+    "LoadSpikeSpec",
     "ManualClock",
     "MonotonicClock",
     "ResilienceConfig",

@@ -36,6 +36,7 @@ from repro.resilience.policy import RetryPolicy
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.signals import SignalSeries
     from repro.core.usaas.registry import SignalSourceRegistry
+    from repro.serving.deadline import Deadline
 
 #: Exception classes treated as source failures (retried / recorded).
 #: Anything else is a programming error and propagates immediately.
@@ -128,17 +129,30 @@ class SourceExecutor:
     # -- the guarded fetch ------------------------------------------------
 
     def fetch(
-        self, registry: "SignalSourceRegistry", name: str
+        self,
+        registry: "SignalSourceRegistry",
+        name: str,
+        deadline: Optional["Deadline"] = None,
     ) -> FetchOutcome:
-        """Fetch one source through breaker + retry + stale fallback."""
+        """Fetch one source through breaker + retry + stale fallback.
+
+        ``deadline`` is the query's remaining time budget (see
+        :class:`repro.serving.Deadline`): each attempt's timeout is
+        clamped to the remaining budget, backoff sleeps that would burn
+        the rest of it are skipped, and no new attempt starts once it
+        has expired — so a query can overrun its deadline by at most
+        one attempt's duration, never by the whole retry schedule.
+        """
         health = self.ledger.get(name)
         breaker = self.breaker(name)
+        cycle_start = self.clock.now()
 
         try:
             breaker.acquire()
         except CircuitOpenError as exc:
             health.record_shed(exc)
             health.breaker_state = breaker.state.value
+            health.last_cycle_elapsed_s = self.clock.now() - cycle_start
             return self._fallback(registry, name, health, exc)
 
         policy = self.config.retry
@@ -147,7 +161,18 @@ class SourceExecutor:
             f"{name}: no attempt made"
         )
         for attempt in range(policy.max_attempts):
+            if deadline is not None and deadline.expired():
+                last_error = SourceUnavailableError(
+                    f"{name}: deadline exhausted before attempt "
+                    f"{attempt + 1} ({deadline.overrun():.3f}s over budget)"
+                )
+                break
             start = self.clock.now()
+            # Remaining-budget-aware clamp: the attempt may use at most
+            # its own timeout AND what is left of the query's deadline.
+            budget = policy.attempt_timeout_s
+            if deadline is not None:
+                budget = deadline.clamp(budget)
             try:
                 series = registry.load(name)
             except RETRYABLE as exc:
@@ -157,7 +182,6 @@ class SourceExecutor:
                 last_error = exc
             else:
                 elapsed = self.clock.now() - start
-                budget = policy.attempt_timeout_s
                 if budget is not None and elapsed > budget:
                     timeout = SourceUnavailableError(
                         f"{name}: attempt {attempt + 1} took {elapsed:.3f}s "
@@ -170,6 +194,9 @@ class SourceExecutor:
                     health.record_success(elapsed)
                     breaker.record_success()
                     health.breaker_state = breaker.state.value
+                    health.last_cycle_elapsed_s = (
+                        self.clock.now() - cycle_start
+                    )
                     registry.commit(name, series)
                     return FetchOutcome(
                         name=name, series=series, ok=True, stale=False
@@ -178,7 +205,21 @@ class SourceExecutor:
             if not breaker.allow():
                 break  # breaker tripped mid-retry; stop burning attempts
             if attempt < len(delays):
-                self.clock.sleep(delays[attempt])
+                delay = delays[attempt]
+                if (
+                    deadline is not None
+                    and delay >= deadline.remaining()
+                ):
+                    # Sleeping would spend the rest of the budget on
+                    # nothing; cut the retry loop short instead.
+                    last_error = SourceUnavailableError(
+                        f"{name}: backoff of {delay:.3f}s exceeds the "
+                        f"remaining deadline budget "
+                        f"({max(0.0, deadline.remaining()):.3f}s)"
+                    )
+                    break
+                self.clock.sleep(delay)
+        health.last_cycle_elapsed_s = self.clock.now() - cycle_start
         return self._fallback(registry, name, health, last_error)
 
     def _fallback(

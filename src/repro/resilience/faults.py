@@ -51,6 +51,63 @@ class FaultSpec:
 
 ALWAYS_FAIL = FaultSpec(fail_rate=1.0)
 
+
+@dataclass(frozen=True)
+class Arrival:
+    """One scheduled query arrival in a load-spike plan."""
+
+    at_s: float
+    priority: str = "interactive"
+    deadline_s: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class LoadSpikeSpec:
+    """One burst of Poisson-ish query arrivals.
+
+    Inter-arrival gaps are exponential draws (mean ``1 / rate_per_s``)
+    from the plan's seeded substream, so a spec at five times a server's
+    capacity produces a *deterministic* overload: the same seed yields
+    the same arrival times, priorities and, therefore, the same shed
+    set.  ``priority_mix`` weights the admission classes each arrival is
+    drawn from; ``deadline_s`` attaches a per-query budget.
+    """
+
+    rate_per_s: float
+    duration_s: float
+    start_s: float = 0.0
+    priority_mix: Tuple[Tuple[str, float], ...] = (("interactive", 1.0),)
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ConfigError("rate_per_s must be positive")
+        if self.duration_s <= 0:
+            raise ConfigError("duration_s must be positive")
+        if self.start_s < 0:
+            raise ConfigError("start_s must be non-negative")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigError("deadline_s must be positive")
+        if not self.priority_mix:
+            raise ConfigError("priority_mix must not be empty")
+        for name, weight in self.priority_mix:
+            if not name or weight < 0:
+                raise ConfigError(
+                    "priority_mix entries must be (name, weight >= 0)"
+                )
+        if sum(w for _, w in self.priority_mix) <= 0:
+            raise ConfigError("priority_mix weights must sum to > 0")
+
+    def pick_priority(self, u: float) -> str:
+        """Map a uniform draw in [0, 1) to a priority class."""
+        total = sum(w for _, w in self.priority_mix)
+        cumulative = 0.0
+        for name, weight in self.priority_mix:
+            cumulative += weight / total
+            if u < cumulative:
+                return name
+        return self.priority_mix[-1][0]
+
 #: The sentinel a corrupt-output fault substitutes for a shard's result
 #: list — deliberately not a list, so the executor's integrity check
 #: (a worker must return a list) trips and requeues the shard.
@@ -246,6 +303,36 @@ class FaultPlan:
         hangs, slowness and corrupt output on this plan's clock.
         """
         return ShardFaultInjector(self, name, spec)
+
+    def load_spikes(
+        self, name: str, *specs: LoadSpikeSpec
+    ) -> Tuple[Arrival, ...]:
+        """Deterministic arrival schedule for the serving soak harness.
+
+        Each spec contributes a Poisson-ish burst (exponential gaps from
+        this plan's seeded substream for ``name``); overlapping bursts
+        are merged into one time-ordered tuple.  The same seed always
+        produces the same schedule — which is what lets the soak test
+        assert identical per-class counters across runs.
+        """
+        if not specs:
+            raise ConfigError("load_spikes needs at least one spec")
+        stream = self._stream(name + "#load")
+        arrivals: List[Arrival] = []
+        for spec in specs:
+            t = spec.start_s
+            while True:
+                t += float(stream.exponential(1.0 / spec.rate_per_s))
+                if t > spec.start_s + spec.duration_s:
+                    break
+                arrivals.append(Arrival(
+                    at_s=t,
+                    priority=spec.pick_priority(float(stream.random())),
+                    deadline_s=spec.deadline_s,
+                ))
+        arrivals.sort(key=lambda a: (a.at_s, a.priority))
+        self.log.append((name, f"load_spikes.{len(arrivals)}"))
+        return tuple(arrivals)
 
     def torn_write(self, name: str, path: Any, data: bytes) -> int:
         """Simulate a crash mid-write: persist only a prefix of ``data``.

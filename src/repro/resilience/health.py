@@ -29,6 +29,11 @@ class SourceHealth:
         stale: the last fetch was served from the stale cache.
         last_elapsed_s: duration of the latest attempt on the injected
             clock (0.0 when never called or shed).
+        last_cycle_elapsed_s: duration of the latest *whole* fetch cycle
+            — every attempt plus the backoff between them — on the
+            injected clock.  When the retry loop exhausts its budget
+            this is what the query's deadline actually paid, which is
+            why health tables and deadline accounting agree on it.
     """
 
     name: str
@@ -41,6 +46,7 @@ class SourceHealth:
     breaker_state: str = "closed"
     stale: bool = False
     last_elapsed_s: float = 0.0
+    last_cycle_elapsed_s: float = 0.0
 
     @property
     def healthy(self) -> bool:
@@ -86,6 +92,7 @@ class SourceHealth:
             "breaker_state": self.breaker_state,
             "stale": self.stale,
             "last_elapsed_s": round(self.last_elapsed_s, 6),
+            "last_cycle_elapsed_s": round(self.last_cycle_elapsed_s, 6),
             "status": self.status,
         }
 

@@ -1,0 +1,438 @@
+"""The overload-safe serving facade in front of :class:`UsaasService`.
+
+``UsaasService.answer()`` is a one-shot synchronous call; a deployment
+that stakeholders actually query needs the discipline around it: bounded
+admission, per-query deadline budgets, typed shedding, per-class
+accounting and a graceful drain.  :class:`UsaasServer` provides exactly
+that without touching the analysis path — admitted queries still run
+through the existing ``answer()``.
+
+Every submitted query is accounted for **exactly once** in one of five
+terminal states:
+
+* ``served`` — answered inside its deadline;
+* ``served_degraded`` — answered inside its deadline, but from a
+  degraded source set (failed/stale feeds);
+* ``shed`` — refused with a typed
+  :class:`~repro.errors.QueryRejectedError` (queue full, infeasible
+  deadline, draining, or evicted by a higher-priority arrival);
+* ``deadline_exceeded`` — admitted but the budget ran out (the overrun
+  is bounded by one attempt timeout, because the executor clamps
+  per-attempt budgets to the remaining deadline);
+* ``failed`` — hard degradation
+  (:class:`~repro.errors.DegradedServiceError`) inside the budget.
+
+Time comes exclusively from the service's injected clock, so the whole
+serving lifecycle is deterministic under a
+:class:`~repro.resilience.clock.ManualClock`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import (
+    ConfigError,
+    DeadlineExceededError,
+    DegradedServiceError,
+    QueryRejectedError,
+)
+from repro.resilience.clock import Clock
+from repro.serving.admission import (
+    PRIORITY_CLASSES,
+    AdmissionController,
+    Ticket,
+)
+from repro.serving.deadline import Deadline
+
+#: Terminal states a submitted query can end in.
+OUTCOME_STATUSES: Tuple[str, ...] = (
+    "served", "served_degraded", "shed", "deadline_exceeded", "failed",
+)
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """The single terminal record for one submitted query."""
+
+    ticket_id: int
+    priority: str
+    status: str
+    latency_s: Optional[float] = None
+    error: Optional[str] = None
+    report: Any = None
+
+    def __post_init__(self) -> None:
+        if self.status not in OUTCOME_STATUSES:
+            raise ConfigError(f"unknown outcome status {self.status!r}")
+
+
+@dataclass
+class ClassCounters:
+    """Per-priority-class serving counters (all monotonic)."""
+
+    submitted: int = 0
+    served: int = 0
+    served_degraded: int = 0
+    shed: int = 0
+    deadline_exceeded: int = 0
+    failed: int = 0
+    latencies_s: List[float] = field(default_factory=list)
+
+    @property
+    def completed(self) -> int:
+        return (self.served + self.served_degraded
+                + self.deadline_exceeded + self.failed)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Stable JSON-ready form (latency list reduced to percentiles)."""
+        return {
+            "submitted": self.submitted,
+            "served": self.served,
+            "served_degraded": self.served_degraded,
+            "shed": self.shed,
+            "deadline_exceeded": self.deadline_exceeded,
+            "failed": self.failed,
+            "p50_latency_s": _percentile(self.latencies_s, 50),
+            "p99_latency_s": _percentile(self.latencies_s, 99),
+        }
+
+
+def _percentile(values: List[float], q: float) -> Optional[float]:
+    if not values:
+        return None
+    return round(float(np.percentile(np.asarray(values, dtype=float), q)), 9)
+
+
+@dataclass(frozen=True)
+class ServingMetrics:
+    """Point-in-time snapshot of every class's counters."""
+
+    per_class: Tuple[Tuple[str, ClassCounters], ...]
+
+    def counters(self, priority: str) -> ClassCounters:
+        for name, counters in self.per_class:
+            if name == priority:
+                return counters
+        raise ConfigError(f"unknown priority {priority!r}")
+
+    @property
+    def submitted(self) -> int:
+        return sum(c.submitted for _, c in self.per_class)
+
+    @property
+    def shed(self) -> int:
+        return sum(c.shed for _, c in self.per_class)
+
+    @property
+    def served(self) -> int:
+        return sum(c.served + c.served_degraded for _, c in self.per_class)
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.submitted if self.submitted else 0.0
+
+    def latencies(self) -> List[float]:
+        out: List[float] = []
+        for _, counters in self.per_class:
+            out.extend(counters.latencies_s)
+        return out
+
+    def p50_latency_s(self) -> Optional[float]:
+        return _percentile(self.latencies(), 50)
+
+    def p99_latency_s(self) -> Optional[float]:
+        return _percentile(self.latencies(), 99)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {name: counters.as_dict() for name, counters in self.per_class}
+
+    def table(self) -> str:
+        """Fixed-width per-class counters table (CLI / log friendly)."""
+        headers = ("class", "submitted", "served", "degraded", "shed",
+                   "deadline", "failed", "p50", "p99")
+        rows: List[Tuple[str, ...]] = [headers]
+        for name, c in self.per_class:
+            p50, p99 = (_percentile(c.latencies_s, 50),
+                        _percentile(c.latencies_s, 99))
+            rows.append((
+                name, str(c.submitted), str(c.served),
+                str(c.served_degraded), str(c.shed),
+                str(c.deadline_exceeded), str(c.failed),
+                "-" if p50 is None else f"{p50:.3f}s",
+                "-" if p99 is None else f"{p99:.3f}s",
+            ))
+        widths = [max(len(row[i]) for row in rows) for i in range(len(headers))]
+        lines = []
+        for i, row in enumerate(rows):
+            lines.append("  ".join(
+                cell.ljust(widths[col]) for col, cell in enumerate(row)
+            ).rstrip())
+            if i == 0:
+                lines.append("  ".join("-" * w for w in widths))
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class DrainReport:
+    """What :meth:`UsaasServer.drain` finished and what was left over."""
+
+    completed: int
+    leftover_pending: int
+    in_flight: int
+
+    @property
+    def clean(self) -> bool:
+        return self.leftover_pending == 0 and self.in_flight == 0
+
+    def summary(self) -> str:
+        return (f"drain: {self.completed} completed, "
+                f"{self.leftover_pending} leftover pending, "
+                f"{self.in_flight} in flight")
+
+
+class UsaasServer:
+    """Admission + deadlines + accounting around ``UsaasService.answer``.
+
+    The server shares the service's injected clock; with a
+    :class:`~repro.resilience.clock.ManualClock` the entire serving
+    lifecycle — arrivals, backoff, deadline expiry, drain — is exactly
+    reproducible, which is what the soak harness asserts.
+    """
+
+    def __init__(
+        self,
+        service,
+        max_pending: int = 16,
+        max_concurrent: int = 1,
+        shed_policy: str = "priority",
+        default_deadline_s: Optional[float] = None,
+        min_feasible_s: Optional[float] = None,
+    ) -> None:
+        if default_deadline_s is not None and default_deadline_s <= 0:
+            raise ConfigError("default_deadline_s must be positive")
+        self._service = service
+        self._clock: Clock = service.executor.clock
+        if min_feasible_s is None:
+            # An admitted query needs room for at least one attempt.
+            timeout = service.executor.config.retry.attempt_timeout_s
+            min_feasible_s = float(timeout) if timeout is not None else 0.0
+        self.admission = AdmissionController(
+            max_pending=max_pending,
+            max_concurrent=max_concurrent,
+            shed_policy=shed_policy,
+            min_feasible_s=min_feasible_s,
+        )
+        self.default_deadline_s = default_deadline_s
+        self.outcomes: Dict[int, QueryOutcome] = {}
+        self._counters: Dict[str, ClassCounters] = {
+            name: ClassCounters() for name in PRIORITY_CLASSES
+        }
+        self._next_id = 0
+        self._draining = False
+
+    @property
+    def service(self):
+        return self._service
+
+    @property
+    def clock(self) -> Clock:
+        return self._clock
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def has_pending(self) -> bool:
+        return self.admission.has_pending()
+
+    # -- accounting -------------------------------------------------------
+
+    def metrics(self) -> ServingMetrics:
+        return ServingMetrics(per_class=tuple(
+            (name, self._counters[name]) for name in PRIORITY_CLASSES
+        ))
+
+    def _record(self, outcome: QueryOutcome) -> QueryOutcome:
+        if outcome.ticket_id in self.outcomes:
+            raise ConfigError(
+                f"ticket {outcome.ticket_id} already has an outcome; "
+                f"every query must be accounted exactly once"
+            )
+        self.outcomes[outcome.ticket_id] = outcome
+        counters = self._counters[outcome.priority]
+        if outcome.status == "served":
+            counters.served += 1
+        elif outcome.status == "served_degraded":
+            counters.served_degraded += 1
+        elif outcome.status == "shed":
+            counters.shed += 1
+        elif outcome.status == "deadline_exceeded":
+            counters.deadline_exceeded += 1
+        else:
+            counters.failed += 1
+        if outcome.latency_s is not None:
+            counters.latencies_s.append(float(outcome.latency_s))
+        return outcome
+
+    # -- submission -------------------------------------------------------
+
+    def submit(
+        self,
+        query,
+        priority: str = "interactive",
+        deadline_s: Optional[float] = None,
+    ) -> Ticket:
+        """Admit a query or shed it with :class:`QueryRejectedError`.
+
+        A rejected query is still *accounted*: it gets a ``shed``
+        outcome before the typed error propagates.  Evicted lower-
+        priority queries (``shed_policy="priority"``/``"lifo"``) get
+        their own ``shed`` outcomes at the same moment.
+        """
+        if priority not in PRIORITY_CLASSES:
+            raise ConfigError(
+                f"unknown priority {priority!r}; "
+                f"expected one of {PRIORITY_CLASSES}"
+            )
+        budget = deadline_s if deadline_s is not None else self.default_deadline_s
+        deadline = (
+            Deadline.start(self._clock, budget) if budget is not None else None
+        )
+        ticket = Ticket(
+            id=self._next_id,
+            query=query,
+            priority=priority,
+            submitted_at=self._clock.now(),
+            deadline=deadline,
+        )
+        self._next_id += 1
+        self._counters[priority].submitted += 1
+        try:
+            evicted = self.admission.try_admit(ticket)
+        except QueryRejectedError as exc:
+            self._record(QueryOutcome(
+                ticket_id=ticket.id, priority=priority, status="shed",
+                error=f"{type(exc).__name__}: {exc}",
+            ))
+            raise
+        for victim in evicted:
+            error = QueryRejectedError(
+                "queue_full", victim.priority,
+                f"evicted by higher-priority ticket {ticket.id}",
+            )
+            self._record(QueryOutcome(
+                ticket_id=victim.id, priority=victim.priority, status="shed",
+                error=f"{type(error).__name__}: {error}",
+            ))
+        return ticket
+
+    # -- execution --------------------------------------------------------
+
+    def run_next(self) -> Optional[QueryOutcome]:
+        """Execute the highest-priority pending query (None if idle)."""
+        ticket = self.admission.next_ticket()
+        if ticket is None:
+            return None
+        try:
+            outcome = self._execute(ticket)
+        finally:
+            self.admission.release(ticket)
+        return self._record(outcome)
+
+    def run_pending(self, limit: Optional[int] = None) -> List[QueryOutcome]:
+        """Run queued queries until the queue is empty (or ``limit``)."""
+        outcomes: List[QueryOutcome] = []
+        while limit is None or len(outcomes) < limit:
+            outcome = self.run_next()
+            if outcome is None:
+                break
+            outcomes.append(outcome)
+        return outcomes
+
+    def _execute(self, ticket: Ticket) -> QueryOutcome:
+        deadline = ticket.deadline
+        if deadline is not None and deadline.expired():
+            # Sat in the queue past its budget: never start the answer.
+            return QueryOutcome(
+                ticket_id=ticket.id, priority=ticket.priority,
+                status="deadline_exceeded",
+                latency_s=self._clock.now() - ticket.submitted_at,
+                error=(f"DeadlineExceededError: expired in queue "
+                       f"({deadline.overrun():.3f}s over budget)"),
+            )
+        try:
+            report = self._service.answer(ticket.query, deadline=deadline)
+        except DegradedServiceError as exc:
+            latency = self._clock.now() - ticket.submitted_at
+            if deadline is not None and deadline.expired():
+                status, error = "deadline_exceeded", (
+                    f"DeadlineExceededError: budget spent retrying "
+                    f"({type(exc).__name__}: {exc})"
+                )
+            else:
+                status, error = "failed", f"{type(exc).__name__}: {exc}"
+            return QueryOutcome(
+                ticket_id=ticket.id, priority=ticket.priority,
+                status=status, latency_s=latency, error=error,
+            )
+        latency = self._clock.now() - ticket.submitted_at
+        if deadline is not None and deadline.expired():
+            return QueryOutcome(
+                ticket_id=ticket.id, priority=ticket.priority,
+                status="deadline_exceeded", latency_s=latency,
+                error=(f"DeadlineExceededError: answer arrived "
+                       f"{deadline.overrun():.3f}s late"),
+                report=report,
+            )
+        status = "served_degraded" if report.degraded else "served"
+        return QueryOutcome(
+            ticket_id=ticket.id, priority=ticket.priority,
+            status=status, latency_s=latency, report=report,
+        )
+
+    # -- the synchronous convenience path ---------------------------------
+
+    def serve(
+        self,
+        query,
+        priority: str = "interactive",
+        deadline_s: Optional[float] = None,
+    ):
+        """Submit + run to completion; the serving analogue of ``answer``.
+
+        Raises:
+            QueryRejectedError: the query was shed at admission.
+            DeadlineExceededError: admitted but the budget ran out.
+            DegradedServiceError: hard degradation inside the budget.
+        """
+        ticket = self.submit(query, priority=priority, deadline_s=deadline_s)
+        while ticket.id not in self.outcomes:
+            if self.run_next() is None:
+                raise ConfigError(
+                    f"ticket {ticket.id} is stuck: queue idle but no outcome"
+                )
+        outcome = self.outcomes[ticket.id]
+        if outcome.status in ("served", "served_degraded"):
+            return outcome.report
+        if outcome.status == "deadline_exceeded":
+            budget = ticket.deadline.budget_s if ticket.deadline else 0.0
+            overrun = ticket.deadline.overrun() if ticket.deadline else 0.0
+            raise DeadlineExceededError(budget, overrun)
+        raise DegradedServiceError(outcome.error or "hard degradation")
+
+    # -- drain ------------------------------------------------------------
+
+    def drain(self) -> DrainReport:
+        """Stop admitting, finish everything queued, report leftovers."""
+        self._draining = True
+        self.admission.stop_admitting()
+        completed = len(self.run_pending())
+        return DrainReport(
+            completed=completed,
+            leftover_pending=self.admission.pending_count(),
+            in_flight=self.admission.in_flight_count,
+        )

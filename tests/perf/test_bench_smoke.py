@@ -49,9 +49,27 @@ class TestHarnessSmoke:
             "analysis_signals_record_s", "analysis_signals_columnar_s",
             "analysis_signals_speedup", "analysis_timeline_cold_s",
             "analysis_timeline_warm_s", "analysis_timeline_reuse_speedup",
+            "serving_soak_wall_s", "serving_p50_admitted_s",
+            "serving_p99_admitted_s",
         ):
             assert key in results, key
             assert results[key] > 0
+
+    def test_serving_phase_counters(self, smoke_run):
+        results, _ = smoke_run
+        assert results["serving_arrivals_n"] > 0
+        # 5x-capacity overload must actually shed; the exact counts are
+        # seed-derived, so a second smoke run reproduces them exactly.
+        assert results["serving_shed"] > 0
+        assert 0.0 < results["serving_shed_rate"] < 1.0
+        assert results["serving_served"] > 0
+        # Simulated latencies are bounded by queue depth x service time;
+        # admitted queries never report more than their ~1s deadline
+        # plus one attempt.
+        assert results["serving_p99_admitted_s"] <= 1.2
+        # The soak runs on a ManualClock: simulated seconds must dwarf
+        # the wall seconds it took to execute.
+        assert results["serving_simulated_s"] > 0
 
     def test_parallel_modes_reported(self, smoke_run):
         results, _ = smoke_run

@@ -1,0 +1,167 @@
+"""Property-style state-machine test for the circuit breaker.
+
+Seeded random operation sequences (success / failure / clock advance /
+acquire) are replayed against a :class:`CircuitBreaker` on a
+:class:`ManualClock` while a shadow checker asserts the machine only
+ever takes legal transitions:
+
+* ``closed -> open`` — only after a recorded failure;
+* ``open -> half_open`` — only after ``recovery_s`` elapsed;
+* ``half_open -> open`` — only after a probe failure;
+* ``half_open -> closed`` — only after enough probe successes;
+* no other edges exist.
+
+The sequences are drawn from ``repro.rng`` substreams, so a failure
+reproduces exactly from its seed, and the observed trace itself must be
+seed-deterministic.
+"""
+
+import pytest
+
+from repro import rng as rng_mod
+from repro.errors import CircuitOpenError
+from repro.resilience import CircuitBreaker, ManualClock
+
+RECOVERY_S = 5.0
+
+#: Every edge the three-state machine is allowed to take, with the
+#: operation classes that may cause it.
+LEGAL_TRANSITIONS = {
+    ("closed", "open"): {"failure"},
+    ("open", "half_open"): {"advance", "observe", "acquire", "success",
+                            "failure"},
+    ("half_open", "open"): {"failure"},
+    ("half_open", "closed"): {"success"},
+}
+
+
+def make_breaker(clock):
+    return CircuitBreaker(
+        window=8, failure_rate_threshold=0.5, min_calls=3,
+        recovery_s=RECOVERY_S, half_open_max_calls=1, clock=clock,
+        name="prop",
+    )
+
+
+def run_ops(seed, n_ops=400):
+    """Replay a seeded op sequence; return the (state, op) trace."""
+    stream = rng_mod.derive(seed, "tests.breaker-statemachine")
+    clock = ManualClock()
+    breaker = make_breaker(clock)
+    trace = []
+    state = breaker.state.value
+    for _ in range(n_ops):
+        u = float(stream.random())
+        if u < 0.35:
+            op = "failure"
+            if breaker.allow():
+                breaker.acquire()
+                breaker.record_failure()
+        elif u < 0.70:
+            op = "success"
+            if breaker.allow():
+                breaker.acquire()
+                breaker.record_success()
+        elif u < 0.90:
+            op = "advance"
+            clock.advance(float(stream.uniform(0.1, RECOVERY_S)))
+        else:
+            op = "acquire"
+            try:
+                breaker.acquire()
+            except CircuitOpenError:
+                pass
+            else:
+                # An acquired probe must be resolved or half-open
+                # saturates forever; resolve it as a success.
+                breaker.record_success()
+                op = "success"
+        new_state = breaker.state.value
+        trace.append((op, new_state))
+        if new_state != state:
+            edge = (state, new_state)
+            assert edge in LEGAL_TRANSITIONS, (
+                f"illegal transition {state} -> {new_state} on {op} "
+                f"(seed {seed})"
+            )
+            assert op in LEGAL_TRANSITIONS[edge], (
+                f"transition {state} -> {new_state} caused by {op} "
+                f"(seed {seed})"
+            )
+        state = new_state
+    return trace
+
+
+class TestStateMachineProperties:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_no_illegal_transitions(self, seed):
+        trace = run_ops(seed)
+        assert len(trace) == 400
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_every_state_reachable(self, seed):
+        # With 35% failures and recovery-sized advances, a 400-op run
+        # must visit all three states; if tuning ever breaks that, the
+        # run stops exercising the machine and should fail loudly.
+        states = {state for _, state in run_ops(seed)}
+        assert states == {"closed", "open", "half_open"}
+
+    def test_same_seed_same_trace(self):
+        assert run_ops(123) == run_ops(123)
+
+    def test_different_seeds_diverge(self):
+        assert run_ops(123) != run_ops(124)
+
+
+class TestTargetedEdges:
+    """Directed checks for each edge the random walk relies on."""
+
+    def test_closed_to_open_needs_min_calls(self):
+        clock = ManualClock()
+        breaker = make_breaker(clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state.value == "closed"  # only 2 < min_calls=3
+        breaker.record_failure()
+        assert breaker.state.value == "open"
+
+    def test_open_to_half_open_needs_recovery_time(self):
+        clock = ManualClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(RECOVERY_S - 0.01)
+        assert breaker.state.value == "open"
+        clock.advance(0.02)
+        assert breaker.state.value == "half_open"
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = ManualClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(RECOVERY_S)
+        breaker.acquire()
+        breaker.record_failure()
+        assert breaker.state.value == "open"
+
+    def test_half_open_probe_success_closes_and_resets(self):
+        clock = ManualClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(RECOVERY_S)
+        breaker.acquire()
+        breaker.record_success()
+        assert breaker.state.value == "closed"
+        assert breaker.failure_rate == 0.0  # window was reset
+
+    def test_half_open_saturates_at_max_probes(self):
+        clock = ManualClock()
+        breaker = make_breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(RECOVERY_S)
+        breaker.acquire()  # the one allowed probe
+        with pytest.raises(CircuitOpenError):
+            breaker.acquire()

@@ -1,0 +1,149 @@
+"""Deadline propagation through the guarded fetch path.
+
+The executor must honour a query's remaining budget three ways: clamp
+each attempt's timeout to it, skip backoff sleeps that would burn the
+rest of it, and never start a new attempt once it has expired.  It must
+also record what the whole cycle cost on ``last_cycle_elapsed_s`` so
+health tables and deadline accounting agree.
+"""
+
+import pytest
+
+from repro.core.signals import SignalSeries
+from repro.core.usaas.registry import SignalSourceRegistry
+from repro.resilience import (
+    FaultPlan,
+    ManualClock,
+    ResilienceConfig,
+    RetryPolicy,
+    SourceExecutor,
+)
+from repro.resilience.faults import ALWAYS_FAIL, FaultSpec, always_slow
+from repro.serving import Deadline
+
+
+def make_executor(clock, max_attempts=3, attempt_timeout_s=0.2,
+                  base_delay_s=0.05, allow_stale=True):
+    config = ResilienceConfig(
+        retry=RetryPolicy(
+            max_attempts=max_attempts, base_delay_s=base_delay_s,
+            jitter=0.0, attempt_timeout_s=attempt_timeout_s, seed=3,
+        ),
+        allow_stale=allow_stale,
+    )
+    return SourceExecutor(config=config, clock=clock)
+
+
+def register(plan, registry, name="feed", spec=None):
+    spec = spec if spec is not None else FaultSpec()
+    registry.register(
+        name, plan.wrap_source(name, lambda: SignalSeries(), spec)
+    )
+
+
+class TestAttemptClamping:
+    def test_attempt_slower_than_remaining_budget_times_out(self):
+        clock = ManualClock()
+        plan = FaultPlan(seed=1, clock=clock)
+        registry = SignalSourceRegistry()
+        # 0.15s fetch, 0.2s attempt timeout: fine without a deadline.
+        register(plan, registry, spec=always_slow(0.15))
+        executor = make_executor(clock, max_attempts=1)
+        deadline = Deadline.start(clock, 1.0)
+        clock.advance(0.9)  # 0.1s of budget left < the 0.15s fetch
+        outcome = executor.fetch(registry, "feed", deadline)
+        assert not outcome.ok
+        health = executor.ledger.get("feed")
+        assert health.failures == 1
+        assert "budget" in health.last_error
+
+    def test_same_fetch_succeeds_without_deadline_pressure(self):
+        clock = ManualClock()
+        plan = FaultPlan(seed=1, clock=clock)
+        registry = SignalSourceRegistry()
+        register(plan, registry, spec=always_slow(0.15))
+        executor = make_executor(clock, max_attempts=1)
+        outcome = executor.fetch(registry, "feed", Deadline.start(clock, 1.0))
+        assert outcome.ok
+
+
+class TestNoAttemptPastExpiry:
+    def test_expired_deadline_stops_the_retry_loop(self):
+        clock = ManualClock()
+        plan = FaultPlan(seed=1, clock=clock)
+        registry = SignalSourceRegistry()
+        register(plan, registry, spec=ALWAYS_FAIL)
+        executor = make_executor(clock, max_attempts=5)
+        deadline = Deadline.start(clock, 1.0)
+        clock.advance(2.0)
+        outcome = executor.fetch(registry, "feed", deadline)
+        assert not outcome.ok
+        assert executor.ledger.get("feed").attempts == 0
+        assert "deadline exhausted" in outcome.error
+
+    def test_without_deadline_all_attempts_run(self):
+        clock = ManualClock()
+        plan = FaultPlan(seed=1, clock=clock)
+        registry = SignalSourceRegistry()
+        register(plan, registry, spec=ALWAYS_FAIL)
+        executor = make_executor(clock, max_attempts=3)
+        executor.fetch(registry, "feed")
+        assert executor.ledger.get("feed").attempts == 3
+
+
+class TestBackoffSkipping:
+    def test_backoff_larger_than_remaining_budget_cuts_the_loop(self):
+        clock = ManualClock()
+        plan = FaultPlan(seed=1, clock=clock)
+        registry = SignalSourceRegistry()
+        register(plan, registry, spec=ALWAYS_FAIL)
+        # First backoff delay is base_delay_s = 0.4s.
+        executor = make_executor(clock, max_attempts=3, base_delay_s=0.4)
+        deadline = Deadline.start(clock, 0.3)
+        outcome = executor.fetch(registry, "feed", deadline)
+        assert not outcome.ok
+        health = executor.ledger.get("feed")
+        # One attempt ran; the 0.4s backoff exceeded the 0.3s budget so
+        # attempts 2 and 3 never happened and no time was slept.
+        assert health.attempts == 1
+        assert "backoff" in outcome.error
+        assert clock.now() == pytest.approx(0.0)
+
+
+class TestCycleElapsedLedger:
+    def test_success_records_cycle_elapsed(self):
+        clock = ManualClock()
+        plan = FaultPlan(seed=1, clock=clock)
+        registry = SignalSourceRegistry()
+        register(plan, registry, spec=always_slow(0.07))
+        executor = make_executor(clock)
+        executor.fetch(registry, "feed")
+        health = executor.ledger.get("feed")
+        assert health.last_cycle_elapsed_s == pytest.approx(0.07)
+        assert health.last_elapsed_s == pytest.approx(0.07)
+
+    def test_exhaustion_includes_backoff_in_cycle_elapsed(self):
+        clock = ManualClock()
+        plan = FaultPlan(seed=1, clock=clock)
+        registry = SignalSourceRegistry()
+        register(plan, registry, spec=ALWAYS_FAIL)
+        executor = make_executor(clock, max_attempts=2, base_delay_s=0.1)
+        before = clock.now()
+        executor.fetch(registry, "feed")
+        spent = clock.now() - before
+        health = executor.ledger.get("feed")
+        # Two instant failures separated by one 0.1s backoff sleep.
+        assert spent == pytest.approx(0.1)
+        assert health.last_cycle_elapsed_s == pytest.approx(spent)
+        # The per-attempt number only saw the (instant) last attempt.
+        assert health.last_elapsed_s == pytest.approx(0.0)
+
+    def test_cycle_elapsed_survives_as_dict(self):
+        clock = ManualClock()
+        plan = FaultPlan(seed=1, clock=clock)
+        registry = SignalSourceRegistry()
+        register(plan, registry, spec=always_slow(0.05))
+        executor = make_executor(clock)
+        executor.fetch(registry, "feed")
+        record = executor.ledger.get("feed").as_dict()
+        assert record["last_cycle_elapsed_s"] == pytest.approx(0.05)

@@ -161,3 +161,88 @@ class TestRobustnessFlags:
         assert self._generate(out, "--checkpoint-dir", str(ckpt),
                               "--keep-checkpoint") == 0
         assert (ckpt / "manifest.json").exists()
+
+
+class TestServingFlags:
+    """usaas through the overload-safe serving path (exit-code contract)."""
+
+    def test_generous_deadline_serves_normally(self, calls_path, posts_path,
+                                               capsys):
+        code = main([
+            "usaas", "--calls", str(calls_path), "--posts", str(posts_path),
+            "--deadline-s", "300",
+        ])
+        assert code == 0
+        assert "USaaS digest for starlink" in capsys.readouterr().out
+
+    def test_hopeless_deadline_exits_3(self, calls_path, posts_path, capsys):
+        code = main([
+            "usaas", "--calls", str(calls_path), "--posts", str(posts_path),
+            "--deadline-s", "0.000001",
+        ])
+        assert code == 3
+        err = capsys.readouterr().err
+        assert "query not served" in err
+
+    def test_priority_flag_engages_serving_path(self, calls_path, posts_path,
+                                                capsys):
+        code = main([
+            "usaas", "--calls", str(calls_path), "--posts", str(posts_path),
+            "--priority", "batch",
+        ])
+        assert code == 0
+
+    def test_exit_code_contract_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["usaas", "--help"])
+        out = capsys.readouterr().out
+        assert "exit codes: 0 = served" in out
+        assert "2 = hard degradation" in out
+        assert "deadline exceeded" in out
+
+
+class TestUsaasSoak:
+    def test_soak_runs_and_reports(self, capsys):
+        code = main(["usaas", "soak", "--seed", "7", "--duration-s", "1.0"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "soak:" in out
+        assert "interactive" in out
+        assert "drain:" in out
+
+    def test_soak_json_is_seed_deterministic(self, capsys):
+        import json
+
+        assert main(["usaas", "soak", "--seed", "9", "--duration-s", "1.0",
+                     "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["usaas", "soak", "--seed", "9", "--duration-s", "1.0",
+                     "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        assert first["submitted"] == (
+            first["served"] + first["served_degraded"] + first["shed"]
+            + first["deadline_exceeded"] + first["failed"]
+        )
+        assert first["leftover_pending"] == 0
+        assert first["in_flight"] == 0
+
+    def test_soak_different_seed_differs(self, capsys):
+        import json
+
+        assert main(["usaas", "soak", "--seed", "9", "--duration-s", "1.0",
+                     "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["usaas", "soak", "--seed", "10", "--duration-s", "1.0",
+                     "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first != second
+
+    def test_soak_include_flaky_degrades(self, capsys):
+        import json
+
+        assert main(["usaas", "soak", "--seed", "7", "--duration-s", "1.0",
+                     "--include-flaky", "--json"]) == 0
+        counters = json.loads(capsys.readouterr().out)
+        assert counters["served"] == 0
+        assert counters["served_degraded"] > 0

@@ -1,0 +1,74 @@
+"""UsaasQuery construction-time validation.
+
+Regression coverage for the tz-aware vs tz-naive crash: comparing an
+aware ``end`` against a naive ``start`` used to raise ``TypeError``
+("can't compare offset-naive and offset-aware datetimes") out of
+``__post_init__`` — a stakeholder typo became an unhandled crash
+instead of a typed :class:`~repro.errors.QueryError`.
+"""
+
+import datetime as dt
+
+import pytest
+
+from repro.core.usaas import UsaasQuery
+from repro.errors import QueryError
+
+NAIVE = dt.datetime(2022, 4, 1, 12, 0)
+AWARE = dt.datetime(2022, 4, 2, 12, 0, tzinfo=dt.timezone.utc)
+
+
+class TestTimezoneMixing:
+    def test_naive_start_aware_end_is_a_query_error(self):
+        with pytest.raises(QueryError, match="tz-aware and a tz-naive"):
+            UsaasQuery(network="starlink", start=NAIVE, end=AWARE)
+
+    def test_aware_start_naive_end_is_a_query_error(self):
+        with pytest.raises(QueryError, match="tz-aware and a tz-naive"):
+            UsaasQuery(
+                network="starlink",
+                start=NAIVE.replace(tzinfo=dt.timezone.utc),
+                end=NAIVE + dt.timedelta(days=1),
+            )
+
+    def test_never_raises_typeerror(self):
+        # The regression: TypeError escaped __post_init__.
+        try:
+            UsaasQuery(network="starlink", start=NAIVE, end=AWARE)
+        except QueryError:
+            pass
+
+    def test_both_naive_is_fine(self):
+        query = UsaasQuery(
+            network="starlink", start=NAIVE, end=NAIVE + dt.timedelta(days=1)
+        )
+        assert query.start < query.end
+
+    def test_both_aware_is_fine(self):
+        other_tz = dt.timezone(dt.timedelta(hours=5))
+        query = UsaasQuery(
+            network="starlink",
+            start=AWARE.astimezone(other_tz),
+            end=AWARE + dt.timedelta(days=1),
+        )
+        assert query.end > query.start
+
+    def test_one_sided_ranges_skip_the_check(self):
+        UsaasQuery(network="starlink", start=NAIVE)
+        UsaasQuery(network="starlink", end=AWARE)
+
+
+class TestOrderValidation:
+    def test_end_before_start_rejected(self):
+        with pytest.raises(QueryError, match="end precedes start"):
+            UsaasQuery(
+                network="starlink",
+                start=NAIVE, end=NAIVE - dt.timedelta(days=1),
+            )
+
+    def test_aware_end_before_aware_start_rejected(self):
+        with pytest.raises(QueryError, match="end precedes start"):
+            UsaasQuery(
+                network="starlink",
+                start=AWARE, end=AWARE - dt.timedelta(days=1),
+            )

@@ -26,7 +26,10 @@ from typing import Dict, List, Optional
 #: Cold-path metrics guarded against regression (seconds; lower = better).
 #: The analysis entries guard the columnar read paths: column-block
 #: build, the single-pass curve matrix, the bulk signal export and the
-#: cold (score-everything) sentiment timeline.
+#: cold (score-everything) sentiment timeline.  The serving entries are
+#: *simulated-clock* admitted-latency percentiles from the seeded soak:
+#: byte-stable across hosts, so any movement at all is a behaviour
+#: change in admission/deadline/shedding code, not measurement noise.
 GUARDED_METRICS = (
     "calls_cold_s",
     "corpus_cold_s",
@@ -34,6 +37,8 @@ GUARDED_METRICS = (
     "analysis_curve_matrix_s",
     "analysis_signals_columnar_s",
     "analysis_timeline_cold_s",
+    "serving_p50_admitted_s",
+    "serving_p99_admitted_s",
 )
 
 #: Allowed slowdown before the check fails.

@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""AST lint: time must flow through the injected Clock in covered code.
+
+Determinism in the resilience / serving / USaaS stack rests on one rule:
+the *only* place allowed to read the wall clock or block the process is
+:mod:`repro.resilience.clock` (the sanctioned seam — ``MonotonicClock``
+wraps ``time.monotonic``/``time.sleep``; ``ManualClock`` replaces them
+in tests and soaks).  Everything else takes a ``Clock`` and calls
+``clock.now()`` / ``clock.sleep()``.
+
+A single stray ``time.time()`` in a covered module silently breaks
+byte-identical replays — the failure shows up as flaky soak counters
+far from the offending line — so the rule is enforced structurally:
+
+* covered packages: ``repro/serving``, ``repro/resilience`` and
+  ``repro/core/usaas`` (matched as contiguous path parts);
+* banned calls: ``time.time``, ``time.monotonic``, ``time.sleep``,
+  ``time.perf_counter`` and ``time.monotonic_ns`` — whether reached via
+  ``import time``, ``import time as t``, or ``from time import sleep``
+  (aliases included);
+* exemption: ``repro/resilience/clock.py`` itself.
+
+Run directly (``python tools/check_clock_discipline.py [root]``) or via
+the tier-1 test that wires it in (``tests/test_clock_discipline.py``).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import Dict, List, Set, Tuple
+
+Violation = Tuple[Path, int, str]
+
+#: Attributes of the ``time`` module that read the wall clock or block.
+BANNED_ATTRS = (
+    "time", "monotonic", "sleep", "perf_counter",
+    "monotonic_ns", "perf_counter_ns", "time_ns",
+)
+
+#: Directory suffixes (contiguous path parts) where the rule applies.
+COVERED_DIRS = (
+    ("repro", "serving"),
+    ("repro", "resilience"),
+    ("repro", "core", "usaas"),
+)
+
+#: The one sanctioned seam: the Clock implementations themselves.
+EXEMPT_SUFFIXES = (("repro", "resilience", "clock.py"),)
+
+
+def _suffix_match(parts: Tuple[str, ...], suffix: Tuple[str, ...]) -> bool:
+    n = len(suffix)
+    for i in range(len(parts) - n + 1):
+        if parts[i:i + n] == suffix:
+            return True
+    return False
+
+
+def is_covered(path: Path) -> bool:
+    parts = Path(path).parts
+    if any(_suffix_match(parts, s) for s in EXEMPT_SUFFIXES):
+        return False
+    # Directory suffixes must not swallow the filename part.
+    dir_parts = parts[:-1]
+    return any(_suffix_match(dir_parts, s) for s in COVERED_DIRS)
+
+
+class _ClockVisitor(ast.NodeVisitor):
+    """Track aliases of ``time`` and its banned members, flag call sites."""
+
+    def __init__(self, path: Path) -> None:
+        self.path = path
+        self.violations: List[Violation] = []
+        self.module_aliases: Set[str] = set()       # names bound to time
+        self.member_aliases: Dict[str, str] = {}    # name -> time.<member>
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name == "time":
+                self.module_aliases.add(alias.asname or "time")
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in BANNED_ATTRS:
+                    self.member_aliases[alias.asname or alias.name] = (
+                        alias.name
+                    )
+        self.generic_visit(node)
+
+    def _flag(self, node: ast.AST, member: str) -> None:
+        self.violations.append((
+            self.path, node.lineno,
+            f"direct time.{member}() bypasses the injected Clock; "
+            f"take a repro.resilience.clock.Clock and use clock.now() / "
+            f"clock.sleep() instead",
+        ))
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and isinstance(func.value, ast.Name)
+            and func.value.id in self.module_aliases
+            and func.attr in BANNED_ATTRS
+        ):
+            self._flag(node, func.attr)
+        elif isinstance(func, ast.Name) and func.id in self.member_aliases:
+            self._flag(node, self.member_aliases[func.id])
+        self.generic_visit(node)
+
+
+def check_file(path: Path) -> List[Violation]:
+    if not is_covered(path):
+        return []
+    try:
+        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    except SyntaxError as exc:
+        return [(path, exc.lineno or 0, f"syntax error: {exc.msg}")]
+    visitor = _ClockVisitor(path)
+    visitor.visit(tree)
+    return visitor.violations
+
+
+def check_tree(root: Path) -> List[Violation]:
+    violations: List[Violation] = []
+    for path in sorted(root.rglob("*.py")):
+        violations.extend(check_file(path))
+    return violations
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[1]) if len(argv) > 1 else Path("src")
+    if not root.exists():
+        print(f"no such directory: {root}", file=sys.stderr)
+        return 2
+    violations = check_tree(root)
+    for path, line, message in violations:
+        print(f"{path}:{line}: {message}")
+    if violations:
+        print(f"{len(violations)} violation(s)")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
