@@ -23,7 +23,13 @@ The suite measures the three levers this repo pulls for scale:
   shed rate and p50/p99 *admitted* latency are simulated-clock
   quantities derived purely from the seed, so they are byte-stable
   across hosts and any drift is a real behaviour change, not noise.
-  The wall-clock cost of running the soak is recorded separately.
+  The wall-clock cost of running the soak is recorded separately;
+* **cluster phase** — the same discipline against a 3-replica
+  :class:`~repro.serving.cluster.UsaasCluster` with one replica
+  crashing mid-spike: the recorded shed rate and p50/p99 admitted
+  latency are measured *under replica loss* (failover, ring
+  rebalance, queue loss), again purely seed-derived and guarded by
+  the regression gate.
 
 Results append to a machine-readable trajectory file
 (``BENCH_perf.json`` at the repo root) so subsequent PRs can show
@@ -342,6 +348,76 @@ def run_perf_suite(
     results["serving_simulated_s"] = report.final_clock_s
     results["serving_arrivals_per_wall_s"] = report.arrivals / max(
         1e-9, soak["seconds"]
+    )
+
+    # --- cluster phase: failover soak under replica loss ----------------
+    from repro.resilience import ReplicaFaultSpec
+    from repro.serving import run_cluster_soak, synthetic_cluster
+
+    n_replicas = 3
+
+    def cluster_soak_once():
+        cluster, cluster_plan = synthetic_cluster(
+            seed=scale.seed, n_replicas=n_replicas, slow_s=slow_s,
+        )
+        rate = 5.0 * n_replicas / estimated_service_time_s(slow_s)
+        arrivals = cluster_plan.cluster_load_spikes(
+            "perf-cluster-soak",
+            LoadSpikeSpec(
+                rate_per_s=rate,
+                duration_s=scale.soak_duration_s,
+                priority_mix=(
+                    ("interactive", 0.6), ("batch", 0.3),
+                    ("monitoring", 0.1),
+                ),
+                deadline_s=1.0,
+            ),
+            tenant_mix=(("alpha", 2.0), ("beta", 1.0)),
+        )
+        # One replica crashes mid-spike and recovers for the tail, so
+        # the recorded p99 is the *failover* p99, not the healthy one.
+        events = cluster_plan.replica_faults(
+            "perf-cluster-soak",
+            ReplicaFaultSpec(
+                replica="r1", kind="crash",
+                at_s=scale.soak_duration_s * 0.375,
+                down_s=scale.soak_duration_s * 0.25,
+            ),
+        )
+        query = UsaasQuery(network="starlink", service="teams")
+        return run_cluster_soak(
+            cluster, arrivals, events, query_for=lambda arrival: query
+        )
+
+    cluster_soak = _timed(cluster_soak_once)
+    cluster_report = cluster_soak["value"]
+    if not cluster_report.accounted:
+        raise AssertionError(
+            "cluster soak accounting violated: the cluster-wide ledger "
+            "did not close exactly once per query"
+        )
+    if cluster_report.drain["leftover"]:
+        raise AssertionError(
+            f"cluster drain left {cluster_report.drain['leftover']} "
+            f"queries behind"
+        )
+    results["cluster_soak_wall_s"] = cluster_soak["seconds"]
+    results["cluster_replicas_n"] = n_replicas
+    results["cluster_arrivals_n"] = cluster_report.arrivals
+    results["cluster_served"] = cluster_report.served
+    results["cluster_served_degraded"] = cluster_report.served_degraded
+    results["cluster_shed"] = cluster_report.shed
+    results["cluster_failed"] = cluster_report.failed
+    results["cluster_rebalances"] = cluster_report.metrics.rebalances
+    # Seed-derived simulated-clock quantities under replica loss; all
+    # three are guarded by the regression gate, so drift means routing /
+    # failover / quota behaviour changed, never host noise.
+    results["cluster_shed_rate"] = cluster_report.shed_rate
+    results["cluster_p50_admitted_s"] = cluster_report.metrics.p50_admitted_s()
+    results["cluster_p99_admitted_s"] = cluster_report.metrics.p99_admitted_s()
+    results["cluster_simulated_s"] = cluster_report.final_router_clock_s
+    results["cluster_arrivals_per_wall_s"] = cluster_report.arrivals / max(
+        1e-9, cluster_soak["seconds"]
     )
 
     results["cache_stats"] = cache.stats().summary()

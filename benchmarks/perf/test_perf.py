@@ -14,7 +14,11 @@ and asserts the PR's headline performance contracts:
   the serial path (``auto-serial``, speedup 1.0 by definition);
 * the serving soak holds its overload contract: a sustained
   5x-capacity spike sheds most load, still serves admitted queries
-  inside their deadline, and accounts for every arrival exactly once.
+  inside their deadline, and accounts for every arrival exactly once;
+* the cluster soak holds the same contract *under replica loss*: one
+  replica crashes mid-spike, the router fails over and rebalances, and
+  admitted-latency percentiles stay bounded while the cluster-wide
+  ledger closes exactly once per query.
 
 Excluded from tier-1 by default — select with::
 
@@ -90,4 +94,28 @@ class TestPerfContracts:
         # in wall time — the whole point of the ManualClock soak.
         assert perf_results["serving_simulated_s"] >= (
             perf_results["serving_soak_wall_s"]
+        )
+
+    def test_cluster_soak_sheds_but_serves_through_replica_loss(
+        self, perf_results
+    ):
+        # 5x cluster capacity with a mid-spike crash: most load sheds,
+        # queued work on the dead replica fails terminally, yet the
+        # cluster keeps serving and the ring rebalances out and back.
+        assert perf_results["cluster_shed_rate"] > 0.5
+        assert perf_results["cluster_served"] > 0
+        assert perf_results["cluster_failed"] > 0
+        assert perf_results["cluster_rebalances"] >= 2
+
+    def test_cluster_admitted_latency_bounded_under_failover(
+        self, perf_results
+    ):
+        # Failover must not let admitted queries blow their budget:
+        # ~deadline (1s) + one attempt, same bound as the single server.
+        assert perf_results["cluster_p99_admitted_s"] <= 1.2
+        assert perf_results["cluster_p50_admitted_s"] > 0
+
+    def test_cluster_soak_is_simulated(self, perf_results):
+        assert perf_results["cluster_simulated_s"] >= (
+            perf_results["cluster_soak_wall_s"]
         )

@@ -230,6 +230,8 @@ def _cmd_analyze_starlink(args: argparse.Namespace) -> int:
 def _cmd_usaas(args: argparse.Namespace) -> int:
     if getattr(args, "usaas_command", None) == "soak":
         return _cmd_usaas_soak(args)
+    if getattr(args, "usaas_command", None) == "cluster-soak":
+        return _cmd_usaas_cluster_soak(args)
     from repro.core.usaas import (
         UsaasQuery,
         UsaasService,
@@ -378,6 +380,161 @@ def _cmd_usaas_soak(args: argparse.Namespace) -> int:
         print("drain left work behind: " + report.drain.summary(),
               file=sys.stderr)
         return 2
+    return 0
+
+
+def _parse_tenant(spec: str):
+    """``name:weight[:rate_per_s[:burst]]`` -> :class:`TenantPolicy`."""
+    import argparse as _argparse
+
+    from repro.errors import ConfigError
+    from repro.serving import TenantPolicy
+
+    parts = spec.split(":")
+    if not 1 <= len(parts) <= 4:
+        raise _argparse.ArgumentTypeError(
+            f"expected name:weight[:rate[:burst]], got {spec!r}"
+        )
+    try:
+        return TenantPolicy(
+            name=parts[0],
+            weight=float(parts[1]) if len(parts) > 1 else 1.0,
+            rate_per_s=float(parts[2]) if len(parts) > 2 else None,
+            burst=float(parts[3]) if len(parts) > 3 else 1.0,
+        )
+    except (ValueError, ConfigError) as exc:
+        raise _argparse.ArgumentTypeError(f"bad tenant {spec!r}: {exc}")
+
+
+def _parse_replica_fault(spec: str):
+    """``replica:kind:at_s[:...]`` -> :class:`ReplicaFaultSpec`.
+
+    Per-kind trailing fields: ``crash``/``hang`` take an optional
+    ``down_s`` (0 = never recovers); ``slow`` takes ``down_s`` and
+    ``slow_extra_s``; ``flap`` takes ``down_s``, ``period_s`` and an
+    optional ``flaps`` count.
+    """
+    import argparse as _argparse
+
+    from repro.errors import ConfigError
+    from repro.resilience import ReplicaFaultSpec
+
+    parts = spec.split(":")
+    if len(parts) < 3:
+        raise _argparse.ArgumentTypeError(
+            f"expected replica:kind:at_s[...], got {spec!r}"
+        )
+    replica, kind = parts[0], parts[1]
+    try:
+        at_s = float(parts[2])
+        rest = [float(x) for x in parts[3:]]
+        if kind in ("crash", "hang"):
+            if len(rest) > 1:
+                raise ValueError("crash/hang take at most one down_s")
+            return ReplicaFaultSpec(
+                replica=replica, kind=kind, at_s=at_s,
+                down_s=rest[0] if rest else 0.0,
+            )
+        if kind == "slow":
+            if len(rest) != 2:
+                raise ValueError("slow needs down_s and slow_extra_s")
+            return ReplicaFaultSpec(
+                replica=replica, kind=kind, at_s=at_s,
+                down_s=rest[0], slow_extra_s=rest[1],
+            )
+        if kind == "flap":
+            if len(rest) not in (2, 3):
+                raise ValueError("flap needs down_s, period_s[, flaps]")
+            return ReplicaFaultSpec(
+                replica=replica, kind=kind, at_s=at_s,
+                down_s=rest[0], period_s=rest[1],
+                flaps=int(rest[2]) if len(rest) == 3 else 2,
+            )
+        return ReplicaFaultSpec(replica=replica, kind=kind, at_s=at_s)
+    except (ValueError, ConfigError) as exc:
+        raise _argparse.ArgumentTypeError(f"bad fault {spec!r}: {exc}")
+
+
+def _cmd_usaas_cluster_soak(args: argparse.Namespace) -> int:
+    """Deterministic multi-replica soak with scheduled replica faults."""
+    import json
+
+    from repro.core.usaas import UsaasQuery
+    from repro.resilience import ReplicaFaultSpec
+    from repro.resilience.faults import LoadSpikeSpec
+    from repro.serving import run_cluster_soak, synthetic_cluster
+    from repro.serving.soak import estimated_service_time_s
+
+    tenants = tuple(args.tenant or ())
+    cluster, plan = synthetic_cluster(
+        seed=args.seed,
+        n_replicas=args.replicas,
+        slow_s=args.slow_s,
+        max_pending=args.max_pending,
+        shed_policy=args.shed_policy,
+        tenants=tenants,
+        include_flaky=args.include_flaky,
+    )
+    # One replica serves ~1/est queries per simulated second, so the
+    # cluster-wide overload factor scales the rate by the replica count.
+    rate = (
+        args.overload * args.replicas
+        / estimated_service_time_s(args.slow_s)
+    )
+    tenant_mix = (
+        tuple((t.name, t.weight) for t in tenants)
+        if tenants else (("default", 1.0),)
+    )
+    arrivals = plan.cluster_load_spikes(
+        "cluster-soak",
+        LoadSpikeSpec(
+            rate_per_s=rate,
+            duration_s=args.duration_s,
+            priority_mix=(
+                ("interactive", 0.6), ("batch", 0.3), ("monitoring", 0.1),
+            ),
+            deadline_s=args.deadline_s,
+        ),
+        tenant_mix=tenant_mix,
+    )
+    fault_specs = args.fault
+    if fault_specs is None:
+        # Default outage: crash the second replica mid-spike, recover
+        # for the tail of the spike — the canonical failover story.
+        victim = "r1" if args.replicas > 1 else "r0"
+        fault_specs = [ReplicaFaultSpec(
+            replica=victim, kind="crash",
+            at_s=args.duration_s * 0.375,
+            down_s=args.duration_s * 0.25,
+        )]
+    events = (
+        plan.replica_faults("cluster-soak", *fault_specs)
+        if fault_specs else ()
+    )
+    query = UsaasQuery(network="starlink", service="teams")
+    report = run_cluster_soak(
+        cluster, arrivals, events, query_for=lambda arrival: query
+    )
+    if args.json:
+        print(json.dumps(report.counters_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"seed {args.seed}: {args.overload:.1f}x capacity across "
+              f"{args.replicas} replicas for {args.duration_s:.1f}s "
+              f"(simulated)")
+        print(report.summary())
+        print()
+        print(report.metrics.table())
+    if not report.accounted:
+        print("accounting violation: cluster ledger did not close",
+              file=sys.stderr)
+        return 2
+    if report.drain["leftover"]:
+        print(f"drain left {report.drain['leftover']} queries behind",
+              file=sys.stderr)
+        return 2
+    if report.submitted and not (report.served + report.served_degraded):
+        print("total outage: nothing was served", file=sys.stderr)
+        return 3
     return 0
 
 
@@ -591,6 +748,59 @@ def build_parser() -> argparse.ArgumentParser:
                     help="add an always-failing source so answers are "
                          "degraded and retries burn deadline budget")
     sp.add_argument("--json", action="store_true",
+                    help="emit the stable counters dict as JSON")
+    cp = usaas_sub.add_parser(
+        "cluster-soak",
+        help="deterministic multi-replica soak with replica faults",
+        description="Drive an N-replica USaaS cluster through a seeded "
+                    "load spike while replicas crash, hang, slow down or "
+                    "flap on schedule.  Routing (consistent hashing), "
+                    "failover (per-replica circuit breakers driving ring "
+                    "rebalance), per-tenant quotas and weighted-fair "
+                    "admission all run on simulated clocks, so the same "
+                    "--seed always produces byte-identical counters.",
+        epilog="exit codes: 0 = soak completed and the cluster ledger "
+               "closed exactly once per query; 2 = accounting violation "
+               "or drain left work behind (a bug, not load); 3 = total "
+               "outage — queries arrived but none were served",
+    )
+    cp.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    cp.add_argument("--replicas", type=int, default=3, metavar="N",
+                    help="number of simulated replicas on the hash ring")
+    cp.add_argument("--overload", type=float, default=5.0, metavar="X",
+                    help="arrival rate as a multiple of *cluster* "
+                         "capacity (replicas x per-replica capacity)")
+    cp.add_argument("--duration-s", type=float, default=4.0,
+                    help="spike duration in simulated seconds")
+    cp.add_argument("--deadline-s", type=float, default=1.0,
+                    help="per-query deadline budget (simulated seconds)")
+    cp.add_argument("--max-pending", type=int, default=8,
+                    help="per-replica bounded admission queue")
+    cp.add_argument("--shed-policy",
+                    choices=("reject", "lifo", "priority"),
+                    default="priority")
+    cp.add_argument("--slow-s", type=float, default=0.05,
+                    help="simulated per-source fetch latency")
+    cp.add_argument("--include-flaky", action="store_true",
+                    help="add an always-failing source per replica")
+    cp.add_argument("--fault", action="append", metavar="SPEC",
+                    type=_parse_replica_fault,
+                    help="replica fault replica:kind:at_s[:...] — "
+                         "crash/hang take [:down_s]; slow takes "
+                         ":down_s:slow_extra_s; flap takes "
+                         ":down_s:period_s[:flaps].  Repeatable; default "
+                         "is one mid-spike crash of r1 with recovery; "
+                         "pass --no-faults for a clean run")
+    cp.add_argument("--no-faults", dest="fault", action="store_const",
+                    const=[], help=argparse.SUPPRESS)
+    cp.add_argument("--tenant", action="append", metavar="SPEC",
+                    type=_parse_tenant,
+                    help="tenant name:weight[:rate_per_s[:burst]] — "
+                         "weight drives weighted-fair admission, rate "
+                         "adds an absolute token-bucket quota.  "
+                         "Repeatable; arrivals are drawn across the "
+                         "configured tenants by weight")
+    cp.add_argument("--json", action="store_true",
                     help="emit the stable counters dict as JSON")
     p.set_defaults(fn=_cmd_usaas)
     return parser

@@ -83,11 +83,15 @@ class QueryRejectedError(ReproError):
     pending queue is at capacity and shedding policy rejected the query,
     ``"deadline_infeasible"`` when the remaining deadline budget cannot
     fit even one attempt, ``"draining"`` when the server has stopped
-    admitting) plus the query's priority class, so callers and tests can
-    branch on *why* load was shed without parsing messages.
+    admitting, ``"quota_exceeded"`` when the cluster router shed the
+    query for its tenant — token-bucket quota or weighted-fair share —
+    and ``"no_replica"`` when routing found no live replica to take it)
+    plus the query's priority class, so callers and tests can branch on
+    *why* load was shed without parsing messages.
     """
 
-    REASONS = ("queue_full", "deadline_infeasible", "draining")
+    REASONS = ("queue_full", "deadline_infeasible", "draining",
+               "quota_exceeded", "no_replica")
 
     def __init__(self, reason: str, priority: str = "interactive",
                  detail: str = "") -> None:

@@ -31,10 +31,13 @@ from repro.resilience.executor import (
 )
 from repro.resilience.faults import (
     Arrival,
+    ClusterArrival,
     FaultPlan,
     FaultSpec,
     InjectedFault,
     LoadSpikeSpec,
+    ReplicaFaultEvent,
+    ReplicaFaultSpec,
     ShardFaultInjector,
     WorkerFaultSpec,
 )
@@ -51,6 +54,7 @@ __all__ = [
     "BreakerState",
     "CircuitBreaker",
     "Clock",
+    "ClusterArrival",
     "Fallback",
     "FallbackResult",
     "FaultPlan",
@@ -61,6 +65,8 @@ __all__ = [
     "LoadSpikeSpec",
     "ManualClock",
     "MonotonicClock",
+    "ReplicaFaultEvent",
+    "ReplicaFaultSpec",
     "ResilienceConfig",
     "RetryPolicy",
     "ShardFaultInjector",

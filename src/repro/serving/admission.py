@@ -90,6 +90,11 @@ class AdmissionController:
         self._pending: Dict[str, Deque[Ticket]] = {
             name: deque() for name in PRIORITY_CLASSES
         }
+        # Admission sequence per pending ticket: shedding tie-breaks are
+        # decided by *insertion order*, never by ticket id, so "newest"
+        # stays deterministic even when callers mint ids out of order.
+        self._admitted_seq: Dict[int, int] = {}
+        self._seq = 0
         self._in_flight: set = set()
         self._admitting = True
 
@@ -153,18 +158,31 @@ class AdmissionController:
                     f"(max {self.max_pending})",
                 )
             self._pending[victim.priority].remove(victim)
+            self._admitted_seq.pop(victim.id, None)
             evicted.append(victim)
         self._pending[ticket.priority].append(ticket)
+        self._admitted_seq[ticket.id] = self._seq
+        self._seq += 1
         return tuple(evicted)
 
     def _pick_victim(self, incoming: Ticket) -> Optional[Ticket]:
-        """Who gets shed when the queue is full (None = reject incoming)."""
+        """Who gets shed when the queue is full (None = reject incoming).
+
+        Tie-breaks are deterministic: within a class the queue is FIFO
+        in admission order, and "newest" always means the most recently
+        *admitted* ticket (``self._admitted_seq``), which is stable
+        across reruns by construction.
+        """
         if self.shed_policy == "reject":
             return None
         if self.shed_policy == "lifo":
             newest: Optional[Ticket] = None
             for queue in self._pending.values():
-                if queue and (newest is None or queue[-1].id > newest.id):
+                if queue and (
+                    newest is None
+                    or self._admitted_seq[queue[-1].id]
+                    > self._admitted_seq[newest.id]
+                ):
                     newest = queue[-1]
             return newest
         # "priority": evict the newest entry of the lowest class strictly
@@ -185,9 +203,25 @@ class AdmissionController:
         for name in PRIORITY_CLASSES:
             if self._pending[name]:
                 ticket = self._pending[name].popleft()
+                self._admitted_seq.pop(ticket.id, None)
                 self._in_flight.add(ticket.id)
                 return ticket
         return None
+
+    def evict_pending(self) -> Tuple[Ticket, ...]:
+        """Remove and return *every* pending ticket (priority order).
+
+        The cluster layer uses this when a replica crashes: queued work
+        dies with the process and must be accounted as failed, exactly
+        once, by whoever held the queue.
+        """
+        out: List[Ticket] = []
+        for name in PRIORITY_CLASSES:
+            while self._pending[name]:
+                ticket = self._pending[name].popleft()
+                self._admitted_seq.pop(ticket.id, None)
+                out.append(ticket)
+        return tuple(out)
 
     def release(self, ticket: Ticket) -> None:
         if ticket.id not in self._in_flight:

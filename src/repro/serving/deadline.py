@@ -70,12 +70,14 @@ class Deadline:
         ``None`` (no per-attempt timeout) becomes the remaining budget
         itself, so an attempt started near expiry still gets a finite
         allowance; an already-expired deadline clamps to 0.0, which the
-        executor treats as "don't even start".
+        executor treats as "don't even start".  The result is never
+        negative: a nonsensical negative ``timeout_s`` also clamps to
+        0.0 instead of leaking a negative allowance downstream.
         """
         remaining = max(0.0, self.remaining())
         if timeout_s is None:
             return remaining
-        return min(float(timeout_s), remaining)
+        return max(0.0, min(float(timeout_s), remaining))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Deadline(budget={self.budget_s:.3f}s, "

@@ -51,6 +51,8 @@ class TestHarnessSmoke:
             "analysis_timeline_warm_s", "analysis_timeline_reuse_speedup",
             "serving_soak_wall_s", "serving_p50_admitted_s",
             "serving_p99_admitted_s",
+            "cluster_soak_wall_s", "cluster_p50_admitted_s",
+            "cluster_p99_admitted_s", "cluster_shed_rate",
         ):
             assert key in results, key
             assert results[key] > 0
@@ -70,6 +72,20 @@ class TestHarnessSmoke:
         # The soak runs on a ManualClock: simulated seconds must dwarf
         # the wall seconds it took to execute.
         assert results["serving_simulated_s"] > 0
+
+    def test_cluster_phase_counters(self, smoke_run):
+        results, _ = smoke_run
+        # The cluster soak crashes one of three replicas mid-spike: the
+        # dead replica's queue fails terminally, the ring rebalances out
+        # and back, and the cluster still serves through the outage.
+        assert results["cluster_replicas_n"] == 3
+        assert results["cluster_arrivals_n"] > 0
+        assert results["cluster_served"] > 0
+        assert results["cluster_failed"] > 0
+        assert results["cluster_rebalances"] >= 2
+        assert 0.0 < results["cluster_shed_rate"] < 1.0
+        assert results["cluster_p99_admitted_s"] <= 1.2
+        assert results["cluster_simulated_s"] > 0
 
     def test_parallel_modes_reported(self, smoke_run):
         results, _ = smoke_run

@@ -99,6 +99,30 @@ class TestDeadlineFeasibility:
         deadline = Deadline.start(clock, 1.0)
         assert controller.try_admit(make_ticket(0, deadline=deadline)) == ()
 
+    def test_expired_at_admission_is_refused_never_started(self):
+        # A query whose deadline already passed (negative remaining) is
+        # refused at the door as deadline_infeasible — even with a zero
+        # minimum-feasible floor — and never enters the queue.
+        clock = ManualClock()
+        controller = AdmissionController(min_feasible_s=0.0)
+        deadline = Deadline.start(clock, 1.0)
+        clock.advance(1.5)  # remaining is -0.5
+        with pytest.raises(QueryRejectedError) as exc_info:
+            controller.try_admit(make_ticket(0, deadline=deadline))
+        assert exc_info.value.reason == "deadline_infeasible"
+        assert controller.pending_count() == 0
+        assert controller.next_ticket() is None
+
+    def test_exactly_zero_remaining_is_refused(self):
+        clock = ManualClock()
+        controller = AdmissionController(min_feasible_s=0.0)
+        deadline = Deadline.start(clock, 1.0)
+        clock.advance(1.0)  # remaining is exactly 0.0
+        with pytest.raises(QueryRejectedError) as exc_info:
+            controller.try_admit(make_ticket(0, deadline=deadline))
+        assert exc_info.value.reason == "deadline_infeasible"
+        assert controller.pending_count() == 0
+
 
 class TestExecutionHandoff:
     def test_next_ticket_is_priority_then_fifo(self):
@@ -124,6 +148,64 @@ class TestExecutionHandoff:
         controller = AdmissionController()
         with pytest.raises(ConfigError):
             controller.release(make_ticket(42))
+
+
+class TestShedTieBreaks:
+    """Shedding tie-breaks are insertion-order stable, never id-based."""
+
+    def test_lifo_evicts_latest_admitted_despite_out_of_order_ids(self):
+        # Callers may mint ids out of order (a cluster router minting
+        # ids per replica does); "newest" must mean *last admitted*.
+        controller = AdmissionController(max_pending=3, shed_policy="lifo")
+        controller.try_admit(make_ticket(10))
+        controller.try_admit(make_ticket(2))
+        controller.try_admit(make_ticket(5))
+        evicted = controller.try_admit(make_ticket(1))
+        assert [t.id for t in evicted] == [5]
+
+    def test_priority_evicts_latest_admitted_of_lowest_class(self):
+        controller = AdmissionController(max_pending=2,
+                                         shed_policy="priority")
+        controller.try_admit(make_ticket(9, "monitoring"))
+        controller.try_admit(make_ticket(3, "monitoring"))
+        evicted = controller.try_admit(make_ticket(0, "interactive"))
+        assert [t.id for t in evicted] == [3]  # last in, not max id
+
+    def test_tie_break_survives_dequeue_and_refill(self):
+        # Sequence bookkeeping must stay consistent after tickets leave
+        # the queue through the execution path.
+        controller = AdmissionController(max_pending=2, max_concurrent=2,
+                                         shed_policy="lifo")
+        controller.try_admit(make_ticket(7))
+        controller.try_admit(make_ticket(8))
+        first = controller.next_ticket()
+        assert first.id == 7
+        controller.try_admit(make_ticket(3))   # queue: 8 then 3
+        evicted = controller.try_admit(make_ticket(100))
+        assert [t.id for t in evicted] == [3]
+
+
+class TestEvictPending:
+    def test_returns_everything_in_priority_order_and_empties(self):
+        controller = AdmissionController(max_pending=8)
+        controller.try_admit(make_ticket(0, "monitoring"))
+        controller.try_admit(make_ticket(1, "interactive"))
+        controller.try_admit(make_ticket(2, "batch"))
+        controller.try_admit(make_ticket(3, "interactive"))
+        evicted = controller.evict_pending()
+        assert [t.id for t in evicted] == [1, 3, 2, 0]
+        assert controller.pending_count() == 0
+        assert controller.evict_pending() == ()
+
+    def test_does_not_touch_in_flight_work(self):
+        controller = AdmissionController(max_pending=4)
+        controller.try_admit(make_ticket(0))
+        controller.try_admit(make_ticket(1))
+        running = controller.next_ticket()
+        evicted = controller.evict_pending()
+        assert [t.id for t in evicted] == [1]
+        assert controller.in_flight_count == 1
+        controller.release(running)
 
 
 class TestDraining:

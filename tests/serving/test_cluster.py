@@ -1,0 +1,308 @@
+"""UsaasCluster: routing, failover, quotas, exact-once accounting."""
+
+import pytest
+
+from repro.core.usaas import UsaasQuery
+from repro.errors import ConfigError, QueryRejectedError
+from repro.resilience import BreakerState, ReplicaFaultEvent
+from repro.serving import TenantPolicy, synthetic_cluster
+
+QUERY = UsaasQuery(network="starlink", service="teams")
+
+
+def make_cluster(**kwargs):
+    kwargs.setdefault("seed", 7)
+    kwargs.setdefault("n_replicas", 3)
+    cluster, _plan = synthetic_cluster(**kwargs)
+    return cluster
+
+
+def keys_owned_by(cluster, replica, n):
+    """The first ``n`` synthetic user keys whose primary is ``replica``."""
+    owned = []
+    for i in range(10_000):
+        key = f"user-{i}"
+        if cluster.ring.route(key) == replica:
+            owned.append(key)
+            if len(owned) == n:
+                return owned
+    raise AssertionError(f"could not find {n} keys owned by {replica}")
+
+
+class TestTenantPolicy:
+    @pytest.mark.parametrize("kwargs", [
+        {"name": ""},
+        {"name": "t", "weight": 0.0},
+        {"name": "t", "weight": -1.0},
+        {"name": "t", "rate_per_s": 0.0},
+        {"name": "t", "burst": 0.5},
+    ])
+    def test_bad_policy_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            TenantPolicy(**kwargs)
+
+
+class TestConfiguration:
+    def test_needs_at_least_one_replica(self):
+        from repro.serving import UsaasCluster
+
+        with pytest.raises(ConfigError):
+            UsaasCluster([])
+
+    def test_duplicate_tenants_rejected(self):
+        with pytest.raises(ConfigError):
+            make_cluster(tenants=(
+                TenantPolicy(name="a"), TenantPolicy(name="a"),
+            ))
+
+    def test_unknown_replica_lookup_rejected(self):
+        cluster = make_cluster()
+        with pytest.raises(ConfigError):
+            cluster.replica("r9")
+
+    def test_bad_n_replicas_rejected(self):
+        with pytest.raises(ConfigError):
+            synthetic_cluster(seed=7, n_replicas=0)
+
+
+class TestRouting:
+    def test_same_key_sticks_to_one_replica(self):
+        cluster = make_cluster()
+        owner = cluster.ring.route("user-42")
+        for _ in range(5):
+            name, _ticket = cluster.submit(QUERY, key="user-42")
+            assert name == owner
+
+    def test_load_spreads_across_replicas(self):
+        cluster = make_cluster(max_pending=32)
+        homes = set()
+        for i in range(40):
+            name, _ticket = cluster.submit(QUERY, key=f"user-{i}")
+            homes.add(name)
+        assert homes == {"r0", "r1", "r2"}
+
+
+class TestFailover:
+    def test_crashed_primary_fails_over_to_its_ladder(self):
+        cluster = make_cluster()
+        key = keys_owned_by(cluster, "r1", 1)[0]
+        ladder = cluster.ring.preference(key)
+        assert ladder[0] == "r1"
+        cluster.apply_fault(
+            ReplicaFaultEvent(at_s=0.0, replica="r1", action="crash")
+        )
+        name, _ticket = cluster.submit(QUERY, key=key)
+        assert name == ladder[1]
+
+    def test_repeated_probe_failures_open_breaker_and_rebalance(self):
+        cluster = make_cluster()
+        keys = keys_owned_by(cluster, "r1", 3)
+        cluster.apply_fault(
+            ReplicaFaultEvent(at_s=0.0, replica="r1", action="crash")
+        )
+        for key in keys[:2]:
+            cluster.submit(QUERY, key=key)
+        # min_calls=2 failed probes at 100% failure rate: breaker open,
+        # replica off the ring (one rebalance), ladders no longer try it.
+        assert cluster.breaker("r1").state is BreakerState.OPEN
+        assert "r1" not in cluster.ring
+        assert cluster.rebalances == 1
+        assert "r1" not in cluster.ring.preference(keys[2])
+
+    def test_recovered_replica_rejoins_after_breaker_cooldown(self):
+        cluster = make_cluster()
+        keys = keys_owned_by(cluster, "r1", 3)
+        cluster.apply_fault(
+            ReplicaFaultEvent(at_s=0.0, replica="r1", action="crash")
+        )
+        for key in keys[:2]:
+            cluster.submit(QUERY, key=key)
+        assert "r1" not in cluster.ring
+        cluster.apply_fault(
+            ReplicaFaultEvent(at_s=0.0, replica="r1", action="recover")
+        )
+        # Still inside the breaker cool-down: the next submit does not
+        # probe the evicted replica back in.
+        cluster.submit(QUERY, key=keys[2])
+        assert "r1" not in cluster.ring
+        cluster.clock.advance(2.5)  # past breaker_recovery_s=2.0
+        name, _ticket = cluster.submit(QUERY, key=keys[0])
+        assert "r1" in cluster.ring
+        assert name == "r1"  # minimal disruption: the key went home
+        assert cluster.rebalances == 2
+
+    def test_all_replicas_down_sheds_no_replica(self):
+        cluster = make_cluster()
+        for replica in ("r0", "r1", "r2"):
+            cluster.apply_fault(ReplicaFaultEvent(
+                at_s=0.0, replica=replica, action="crash"
+            ))
+        with pytest.raises(QueryRejectedError) as exc_info:
+            cluster.submit(QUERY, key="user-1", priority="batch")
+        assert exc_info.value.reason == "no_replica"
+        assert exc_info.value.priority == "batch"
+        metrics = cluster.metrics()
+        assert dict(metrics.router_shed)["no_replica"] == 1
+        metrics.check_exact_once()
+
+    def test_unknown_fault_action_rejected(self):
+        cluster = make_cluster()
+        with pytest.raises(ConfigError):
+            cluster.apply_fault(ReplicaFaultEvent(
+                at_s=0.0, replica="r0", action="reboot"
+            ))
+
+
+class TestHang:
+    def test_hang_holds_the_queue_and_recovery_releases_it(self):
+        cluster = make_cluster()
+        key = keys_owned_by(cluster, "r0", 1)[0]
+        cluster.submit(QUERY, key=key)
+        cluster.apply_fault(
+            ReplicaFaultEvent(at_s=0.0, replica="r0", action="hang")
+        )
+        handle = cluster.replica("r0")
+        assert handle.server.has_pending()      # queue survives the hang
+        assert cluster.run_next() is None       # but nothing is runnable
+        cluster.apply_fault(
+            ReplicaFaultEvent(at_s=0.0, replica="r0", action="recover")
+        )
+        name, outcome = cluster.run_next()
+        assert name == "r0"
+        assert outcome.status in ("served", "served_degraded")
+
+    def test_still_hung_at_drain_fails_held_queries(self):
+        cluster = make_cluster()
+        key = keys_owned_by(cluster, "r0", 1)[0]
+        cluster.submit(QUERY, key=key)
+        cluster.apply_fault(
+            ReplicaFaultEvent(at_s=0.0, replica="r0", action="hang")
+        )
+        drained = cluster.drain()
+        assert drained["failed_at_drain"] == 1
+        metrics = cluster.metrics()
+        assert metrics.totals()["failed"] == 1
+        metrics.check_exact_once()
+
+
+class TestSlow:
+    def test_slow_fault_taxes_the_replica_clock(self):
+        cluster = make_cluster()
+        key = keys_owned_by(cluster, "r0", 1)[0]
+        cluster.apply_fault(ReplicaFaultEvent(
+            at_s=0.0, replica="r0", action="slow_start", slow_extra_s=0.5,
+        ))
+        _name, ticket = cluster.submit(QUERY, key=key)
+        cluster.run_next()
+        slow_latency = cluster.replica("r0").server.outcomes[
+            ticket.id
+        ].latency_s
+        cluster.apply_fault(ReplicaFaultEvent(
+            at_s=0.0, replica="r0", action="slow_end",
+        ))
+        _name, ticket = cluster.submit(QUERY, key=key)
+        cluster.run_next()
+        normal_latency = cluster.replica("r0").server.outcomes[
+            ticket.id
+        ].latency_s
+        assert slow_latency == pytest.approx(normal_latency + 0.5)
+
+
+class TestQuota:
+    def test_token_bucket_sheds_and_refills_on_router_clock(self):
+        cluster = make_cluster(tenants=(
+            TenantPolicy(name="metered", rate_per_s=1.0, burst=1.0),
+        ))
+        cluster.submit(QUERY, key="user-1", tenant="metered")
+        with pytest.raises(QueryRejectedError) as exc_info:
+            cluster.submit(QUERY, key="user-2", tenant="metered")
+        assert exc_info.value.reason == "quota_exceeded"
+        assert "quota" in str(exc_info.value)
+        cluster.clock.advance(1.0)  # one token refilled
+        cluster.submit(QUERY, key="user-3", tenant="metered")
+        state = cluster.tenant_state("metered")
+        assert state.submitted == 3
+        assert state.admitted == 2
+        assert state.shed_quota == 1
+
+    def test_unmetered_tenant_has_no_absolute_cap(self):
+        cluster = make_cluster()
+        for i in range(10):
+            cluster.submit(QUERY, key=f"user-{i}")
+        assert cluster.tenant_state("default").shed_quota == 0
+
+
+class TestWeightedFair:
+    def test_heavier_tenant_keeps_admitting_while_lighter_sheds(self):
+        cluster = make_cluster(tenants=(
+            TenantPolicy(name="alpha", weight=2.0),
+            TenantPolicy(name="beta", weight=1.0),
+        ))
+        cluster.fair_horizon = 2.0
+        # Fill below the congestion threshold: fair sharing stays out of
+        # the way while there is headroom.
+        for i in range(6):
+            cluster.submit(QUERY, key=f"user-a{i}", tenant="alpha")
+            cluster.submit(QUERY, key=f"user-b{i}", tenant="beta")
+        assert cluster.tenant_state("beta").shed_fair == 0
+        # Past half the pending capacity the stride scheduler bites:
+        # beta (vt=6.0) is over alpha (vt=3.0) + horizon, alpha is not.
+        assert cluster.pending_count() >= 12
+        with pytest.raises(QueryRejectedError) as exc_info:
+            cluster.submit(QUERY, key="user-b9", tenant="beta")
+        assert exc_info.value.reason == "quota_exceeded"
+        assert "weighted-fair" in str(exc_info.value)
+        cluster.submit(QUERY, key="user-a9", tenant="alpha")
+        assert cluster.tenant_state("beta").shed_fair == 1
+        assert cluster.tenant_state("alpha").shed_fair == 0
+
+    def test_single_tenant_never_fair_sheds(self):
+        cluster = make_cluster()
+        for i in range(20):
+            try:
+                cluster.submit(QUERY, key=f"user-{i}")
+            except QueryRejectedError as exc:
+                # Only per-replica queue_full sheds, never fair sheds.
+                assert exc.reason == "queue_full"
+        assert dict(cluster.metrics().router_shed)["quota_exceeded"] == 0
+
+
+class TestExactOnce:
+    def test_ledger_closes_through_overload_crash_and_drain(self):
+        cluster = make_cluster()
+        for i in range(30):
+            try:
+                cluster.submit(QUERY, key=f"user-{i}", deadline_s=5.0)
+            except QueryRejectedError:
+                pass
+        cluster.apply_fault(
+            ReplicaFaultEvent(at_s=0.0, replica="r1", action="crash")
+        )
+        for i in range(30, 45):
+            try:
+                cluster.submit(QUERY, key=f"user-{i}", deadline_s=5.0)
+            except QueryRejectedError:
+                pass
+        cluster.drain()
+        metrics = cluster.metrics()
+        metrics.check_exact_once()
+        totals = metrics.totals()
+        replica_submitted = sum(m.submitted for _, m in metrics.replicas)
+        assert totals["submitted"] == 45
+        assert totals["submitted"] == (
+            metrics.router_shed_total + replica_submitted
+        )
+
+    def test_parallel_capacity_scales_with_replicas(self):
+        # Three replicas advance their *own* clocks: serving one query
+        # per replica costs ~0.1s of simulated time everywhere, not
+        # 0.3s serialized on a shared clock.
+        cluster = make_cluster()
+        for replica in ("r0", "r1", "r2"):
+            key = keys_owned_by(cluster, replica, 1)[0]
+            cluster.submit(QUERY, key=key)
+        cluster.drain()
+        for replica in ("r0", "r1", "r2"):
+            assert cluster.replica(replica).clock.now() == pytest.approx(
+                0.1, abs=0.05
+            )

@@ -62,6 +62,27 @@ class TestClamp:
         assert deadline.clamp(1.0) == 0.0
         assert deadline.clamp(None) == 0.0
 
+    def test_negative_timeout_clamps_to_zero(self, clock):
+        # A nonsensical negative timeout must never leak a negative
+        # allowance downstream, even while budget remains.
+        deadline = Deadline.start(clock, 5.0)
+        assert deadline.clamp(-1.0) == 0.0
+
+    def test_exactly_exhausted_budget_is_expired_and_clamps_to_zero(
+        self, clock
+    ):
+        deadline = Deadline.start(clock, 1.0)
+        clock.advance(1.0)  # remaining is exactly 0.0
+        assert deadline.remaining() == 0.0
+        assert deadline.expired()
+        assert deadline.overrun() == 0.0
+        assert deadline.clamp(0.5) == 0.0
+        assert deadline.clamp(None) == 0.0
+
+    def test_zero_timeout_stays_zero(self, clock):
+        deadline = Deadline.start(clock, 5.0)
+        assert deadline.clamp(0.0) == 0.0
+
 
 class TestValidation:
     def test_zero_budget_rejected(self, clock):
@@ -87,6 +108,20 @@ class TestTypedErrorsPickle:
     def test_query_rejected_unknown_reason(self):
         with pytest.raises(ValueError):
             QueryRejectedError("because")
+
+    @pytest.mark.parametrize(
+        "reason", ["queue_full", "deadline_infeasible", "draining",
+                   "quota_exceeded", "no_replica"],
+    )
+    def test_every_rejection_reason_roundtrips(self, reason):
+        # The cluster router added quota_exceeded / no_replica; all
+        # reasons must survive a pickle boundary with fields intact.
+        err = QueryRejectedError(reason, "monitoring", "detail text")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.reason == reason
+        assert clone.priority == "monitoring"
+        assert clone.detail == "detail text"
+        assert str(clone) == str(err)
 
     def test_deadline_exceeded_roundtrip(self):
         err = DeadlineExceededError(1.5, 0.25)

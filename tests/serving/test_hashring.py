@@ -1,0 +1,109 @@
+"""HashRing: stable routing, failover ladders, minimal disruption."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.serving import HashRing
+
+NAMES = ("r0", "r1", "r2")
+KEYS = [f"user-{i}" for i in range(400)]
+
+
+@pytest.fixture
+def ring():
+    return HashRing(NAMES)
+
+
+class TestMembership:
+    def test_names_sorted_and_len(self, ring):
+        assert ring.names() == tuple(sorted(NAMES))
+        assert len(ring) == 3
+        assert "r1" in ring
+        assert "r9" not in ring
+
+    def test_duplicate_add_rejected(self, ring):
+        with pytest.raises(ConfigError):
+            ring.add("r0")
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigError):
+            HashRing([""])
+
+    def test_remove_unknown_rejected(self, ring):
+        with pytest.raises(ConfigError):
+            ring.remove("r9")
+
+    def test_bad_vnodes_rejected(self):
+        with pytest.raises(ConfigError):
+            HashRing(vnodes=0)
+
+
+class TestRouting:
+    def test_route_is_stable(self, ring):
+        assignment = {key: ring.route(key) for key in KEYS}
+        again = HashRing(NAMES)
+        assert {key: again.route(key) for key in KEYS} == assignment
+
+    def test_route_independent_of_insertion_order(self):
+        forward = HashRing(["r0", "r1", "r2"])
+        backward = HashRing(["r2", "r1", "r0"])
+        assert all(
+            forward.route(key) == backward.route(key) for key in KEYS
+        )
+
+    def test_empty_ring_route_rejected(self):
+        empty = HashRing()
+        with pytest.raises(ConfigError):
+            empty.route("user-1")
+        with pytest.raises(ConfigError):
+            empty.preference("user-1")
+
+    def test_every_member_owns_some_keys(self, ring):
+        owners = {ring.route(key) for key in KEYS}
+        assert owners == set(NAMES)
+
+    def test_ownership_roughly_balanced(self, ring):
+        share = ring.ownership_share()
+        assert sum(share.values()) == pytest.approx(1.0)
+        for name in NAMES:
+            # 64 vnodes keeps each member within a loose band of 1/3.
+            assert 0.1 < share[name] < 0.6
+
+
+class TestPreference:
+    def test_primary_first_then_distinct_ladder(self, ring):
+        for key in KEYS[:50]:
+            ladder = ring.preference(key)
+            assert ladder[0] == ring.route(key)
+            assert len(ladder) == len(set(ladder)) == 3
+
+    def test_n_caps_the_ladder(self, ring):
+        assert len(ring.preference("user-1", n=2)) == 2
+        assert len(ring.preference("user-1", n=99)) == 3
+
+    def test_ladder_next_entry_takes_over_on_removal(self, ring):
+        # Failover contract: when the primary leaves, the new primary is
+        # the next entry of the *old* ladder.
+        for key in KEYS[:50]:
+            first, second = ring.preference(key, n=2)
+            ring.remove(first)
+            assert ring.route(key) == second
+            ring.add(first)
+
+
+class TestMinimalDisruption:
+    def test_removal_only_remaps_the_lost_replicas_keys(self, ring):
+        before = {key: ring.route(key) for key in KEYS}
+        ring.remove("r1")
+        after = {key: ring.route(key) for key in KEYS}
+        for key in KEYS:
+            if before[key] != "r1":
+                assert after[key] == before[key]
+            else:
+                assert after[key] != "r1"
+
+    def test_rejoin_restores_the_original_assignment(self, ring):
+        before = {key: ring.route(key) for key in KEYS}
+        ring.remove("r1")
+        ring.add("r1")
+        assert {key: ring.route(key) for key in KEYS} == before

@@ -246,3 +246,87 @@ class TestUsaasSoak:
         counters = json.loads(capsys.readouterr().out)
         assert counters["served"] == 0
         assert counters["served_degraded"] > 0
+
+
+class TestUsaasClusterSoak:
+    def test_cluster_soak_runs_and_reports(self, capsys):
+        code = main(["usaas", "cluster-soak", "--seed", "7",
+                     "--duration-s", "1.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cluster soak:" in out
+        assert "replicas" in out
+        assert "rebalances" in out
+        assert "r0" in out and "r1" in out and "r2" in out
+
+    def test_cluster_soak_json_is_seed_deterministic(self, capsys):
+        import json
+
+        argv = ["usaas", "cluster-soak", "--seed", "9",
+                "--duration-s", "1.5", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        # The default mid-spike crash lost queued work, terminally.
+        assert first["failed"] > 0
+        assert first["submitted"] == (
+            first["served"] + first["served_degraded"] + first["shed"]
+            + first["deadline_exceeded"] + first["failed"]
+        )
+        assert first["drain"]["leftover"] == 0
+
+    def test_cluster_soak_different_seed_differs(self, capsys):
+        import json
+
+        assert main(["usaas", "cluster-soak", "--seed", "9",
+                     "--duration-s", "1.5", "--json"]) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(["usaas", "cluster-soak", "--seed", "10",
+                     "--duration-s", "1.5", "--json"]) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first != second
+
+    def test_cluster_soak_explicit_faults_and_tenants(self, capsys):
+        import json
+
+        assert main([
+            "usaas", "cluster-soak", "--seed", "7", "--duration-s", "1.5",
+            "--fault", "r1:crash:0.5:0.5", "--fault", "r2:slow:0.2:1.0:0.1",
+            "--tenant", "alpha:2", "--tenant", "beta:1:50:5",
+            "--json",
+        ]) == 0
+        counters = json.loads(capsys.readouterr().out)
+        assert counters["fault_events"] == 4  # crash+recover, start+end
+        assert set(counters["cluster"]["tenants"]) == {"alpha", "beta"}
+
+    def test_cluster_soak_no_faults_is_clean(self, capsys):
+        import json
+
+        assert main(["usaas", "cluster-soak", "--seed", "7",
+                     "--duration-s", "1.5", "--no-faults", "--json"]) == 0
+        counters = json.loads(capsys.readouterr().out)
+        assert counters["fault_events"] == 0
+        assert counters["failed"] == 0
+        assert counters["cluster"]["rebalances"] == 0
+
+    def test_cluster_soak_bad_fault_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["usaas", "cluster-soak", "--fault", "r1:crash"])
+        assert exc_info.value.code == 2
+        assert "replica:kind:at_s" in capsys.readouterr().err
+
+    def test_cluster_soak_bad_tenant_spec_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            main(["usaas", "cluster-soak", "--tenant", "alpha:-2"])
+        assert exc_info.value.code == 2
+        assert "bad tenant" in capsys.readouterr().err
+
+    def test_cluster_soak_exit_code_contract_documented(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["usaas", "cluster-soak", "--help"])
+        out = capsys.readouterr().out
+        assert "exit codes: 0" in out
+        assert "accounting violation" in out
+        assert "total outage" in out

@@ -59,6 +59,32 @@ def test_every_covered_package_is_checked(tmp_path):
         assert len(tool.check_file(path)) == 1, subdir
 
 
+def test_cluster_modules_are_covered_anywhere_under_repro(tmp_path):
+    """cluster*.py is deterministic-by-contract: covered even outside
+    the covered directories, so a refactor can't silently drop it."""
+    tool = _load_tool()
+    for subdir, name in (
+        (("repro", "serving"), "cluster.py"),
+        (("repro", "serving"), "cluster_soak.py"),
+        (("repro",), "cluster.py"),
+        (("repro", "future_pkg"), "cluster_router.py"),
+    ):
+        target = tmp_path.joinpath(*subdir)
+        target.mkdir(parents=True, exist_ok=True)
+        path = target / name
+        path.write_text("import time\ntime.time()\n")
+        assert len(tool.check_file(path)) == 1, (subdir, name)
+
+
+def test_cluster_stem_outside_repro_is_not_covered(tmp_path):
+    tool = _load_tool()
+    target = tmp_path / "scripts"
+    target.mkdir(parents=True)
+    path = target / "cluster.py"
+    path.write_text("import time\ntime.time()\n")
+    assert tool.check_file(path) == []
+
+
 def test_clock_seam_is_exempt(tmp_path):
     """repro/resilience/clock.py is the one sanctioned wall-clock user."""
     tool = _load_tool()

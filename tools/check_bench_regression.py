@@ -30,6 +30,10 @@ from typing import Dict, List, Optional
 #: *simulated-clock* admitted-latency percentiles from the seeded soak:
 #: byte-stable across hosts, so any movement at all is a behaviour
 #: change in admission/deadline/shedding code, not measurement noise.
+#: The cluster entries extend the same discipline to the multi-replica
+#: soak *under replica loss*: admitted-latency percentiles and the shed
+#: rate with one replica crashing mid-spike, guarding the failover /
+#: rebalance / quota path end to end.
 GUARDED_METRICS = (
     "calls_cold_s",
     "corpus_cold_s",
@@ -39,6 +43,9 @@ GUARDED_METRICS = (
     "analysis_timeline_cold_s",
     "serving_p50_admitted_s",
     "serving_p99_admitted_s",
+    "cluster_p50_admitted_s",
+    "cluster_p99_admitted_s",
+    "cluster_shed_rate",
 )
 
 #: Allowed slowdown before the check fails.
