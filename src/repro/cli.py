@@ -84,6 +84,19 @@ def _report_execution(gen, keep_checkpoint: bool) -> None:
         store.discard()
 
 
+def _reject_checkpoint_flags(args: argparse.Namespace) -> Optional[int]:
+    """The vectorized engines stream whole blocks — no per-shard
+    checkpoints to resume from, so surface the mismatch instead of
+    silently ignoring the flags."""
+    if getattr(args, "resume", False) or getattr(args, "checkpoint_dir", None):
+        print(
+            "error: --resume/--checkpoint-dir require --engine record",
+            file=sys.stderr,
+        )
+        return 2
+    return None
+
+
 def _cmd_generate_calls(args: argparse.Namespace) -> int:
     from repro.telemetry import CallDatasetGenerator, GeneratorConfig
 
@@ -94,6 +107,16 @@ def _cmd_generate_calls(args: argparse.Namespace) -> int:
     )
     cache = _open_cache(args)
     gen = CallDatasetGenerator(config)
+    if args.engine == "vectorized":
+        bad = _reject_checkpoint_flags(args)
+        if bad is not None:
+            return bad
+        columns = gen.generate_columns(cache=cache)
+        columns.to_jsonl(args.out)
+        print(f"wrote {len(columns)} participant rows (columns) to {args.out}")
+        if cache is not None:
+            print(f"cache: {cache.stats().summary()}")
+        return 0
     dataset = gen.generate(
         cache=cache,
         execution=_execution_policy(args),
@@ -120,6 +143,16 @@ def _cmd_generate_corpus(args: argparse.Namespace) -> int:
     )
     cache = _open_cache(args)
     gen = CorpusGenerator(config)
+    if args.engine == "vectorized":
+        bad = _reject_checkpoint_flags(args)
+        if bad is not None:
+            return bad
+        columns = gen.generate_columns(cache=cache)
+        columns.to_jsonl(args.out)
+        print(f"wrote {len(columns)} post rows (columns) to {args.out}")
+        if cache is not None:
+            print(f"cache: {cache.stats().summary()}")
+        return 0
     corpus = gen.generate(
         cache=cache,
         execution=_execution_policy(args),
@@ -616,6 +649,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--n-calls", type=int, default=500)
     p.add_argument("--seed", type=int, default=DEFAULT_SEED)
     p.add_argument("--mos-sample-rate", type=float, default=0.005)
+    p.add_argument("--engine", choices=("record", "vectorized"),
+                   default="record",
+                   help="record = per-call objects (reference path); "
+                        "vectorized = block simulation emitting columns "
+                        "JSONL (~10x faster, statistically equivalent)")
     p.add_argument("--workers", type=int, default=1,
                    help="generation processes (1 = serial, 0 = one per "
                         "CPU); output is byte-identical either way")
@@ -631,6 +669,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--start", default="2021-01-01")
     p.add_argument("--end", default="2022-12-31")
     p.add_argument("--authors", type=int, default=4000)
+    p.add_argument("--engine", choices=("record", "vectorized"),
+                   default="record",
+                   help="record = per-post objects (reference path); "
+                        "vectorized = per-day block simulation emitting "
+                        "columns JSONL (~8x faster, statistically "
+                        "equivalent)")
     p.add_argument("--workers", type=int, default=1,
                    help="generation processes (1 = serial, 0 = one per "
                         "CPU); output is byte-identical either way")
@@ -650,7 +694,12 @@ def build_parser() -> argparse.ArgumentParser:
         cp = cache_sub.add_parser(name, help=help_text)
         cp.add_argument("--cache-dir", required=True)
         if name == "invalidate":
-            cp.add_argument("--kind", choices=("calls", "corpus"),
+            cp.add_argument("--kind",
+                            choices=("calls", "corpus",
+                                     "participant-columns",
+                                     "participant-columns-vec",
+                                     "corpus-columns",
+                                     "corpus-columns-vec"),
                             help="only drop artifacts of this kind")
         cp.set_defaults(fn=_cmd_cache)
 

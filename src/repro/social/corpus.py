@@ -42,6 +42,7 @@ from repro.starlink.subscribers import SubscriberModel
 if TYPE_CHECKING:
     from repro.perf.cache import ArtifactCache
     from repro.perf.checkpoint import CheckpointStore
+    from repro.perf.columnar import CorpusColumns
     from repro.perf.parallel import ExecutionPolicy, ExecutionReport
     from repro.resilience.faults import ShardFaultInjector
 
@@ -112,11 +113,35 @@ class RedditCorpus:
     def posts(self) -> List[Post]:
         return list(self._posts)
 
+    def _query_index(
+        self,
+    ) -> Tuple[Dict[dt.date, List[Post]], List[Post]]:
+        """Lazily built (by-day, speed-share) index over the posts.
+
+        Memoized with the same token discipline as the columnar layer's
+        per-object memo (``repro.perf.columnar``): the cached index is
+        keyed by ``len(self._posts)``, so any hypothetical change in the
+        post list invalidates both memos consistently.
+        """
+        token = len(self._posts)
+        memo = self.__dict__.get("_query_index_cache")
+        if memo is not None and memo[0] == token:
+            return memo[1]
+        by_day: Dict[dt.date, List[Post]] = {}
+        speed: List[Post] = []
+        for post in self._posts:
+            by_day.setdefault(post.date, []).append(post)
+            if post.speed_test is not None:
+                speed.append(post)
+        index = (by_day, speed)
+        self.__dict__["_query_index_cache"] = (token, index)
+        return index
+
     def posts_on(self, day: dt.date) -> List[Post]:
-        return [p for p in self._posts if p.date == day]
+        return list(self._query_index()[0].get(day, []))
 
     def speed_shares(self) -> List[Post]:
-        return [p for p in self._posts if p.speed_test is not None]
+        return list(self._query_index()[1])
 
     def weekly_stats(self) -> Dict[str, float]:
         """Average posts / upvotes / comments per week (§4.1 numbers)."""
@@ -417,6 +442,25 @@ class CorpusGenerator:
                 dump=lambda corpus, path: corpus.to_jsonl(path),
             )
         return build()
+
+    def generate_columns(
+        self, cache: Optional["ArtifactCache"] = None
+    ) -> "CorpusColumns":
+        """Columnar fast path: whole days rendered as array blocks.
+
+        Delegates to :class:`repro.social.vectorized.VectorizedCorpusEngine`
+        built on *this* generator's world model (author pool, outage
+        index, volume curve), so the two paths share every ingredient.
+        Statistically — not byte — equivalent to :meth:`generate`; daily
+        post counts and the initial author samples match it
+        draw-for-draw.  With
+        ``cache``, persists under the distinct ``corpus-columns-vec``
+        kind.  The returned columns carry ``posts=None``.
+        """
+        from repro.social.vectorized import VectorizedCorpusEngine
+
+        engine = VectorizedCorpusEngine(self._config, generator=self)
+        return engine.generate_columns(cache=cache)
 
     def _generate(
         self,

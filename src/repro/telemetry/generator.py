@@ -389,6 +389,30 @@ class CallDatasetGenerator:
         self.last_checkpoint = store
         return CallDataset(calls)
 
+    def generate_columns(
+        self, cache: Optional["ArtifactCache"] = None
+    ):
+        """Generate the dataset as columns via the vectorized engine.
+
+        Simulates whole calls at once (see
+        :mod:`repro.telemetry.vectorized`) and returns
+        :class:`~repro.perf.columnar.ParticipantColumns` directly — the
+        10×+ path for analyses that never need record objects.  Output
+        is statistically equivalent to :meth:`generate` (same
+        population model, same per-call substreams, different
+        documented draw order) and byte-identical across worker counts
+        and cache round-trips.  ``persistent_users`` requires the
+        sequential record path and raises ``ConfigError`` here.
+        """
+        from repro.telemetry.vectorized import VectorizedCallEngine
+
+        engine = VectorizedCallEngine(
+            self._config,
+            scheduler=self._scheduler,
+            profiles=self._profiles,
+        )
+        return engine.generate_columns(cache=cache)
+
     def generate_sweep(
         self,
         base_profile: LinkProfile,

@@ -28,6 +28,13 @@ _LOSS_RANGE = (1e-4, 0.06)
 _JITTER_RANGE_MS = (0.4, 25.0)
 _BANDWIDTH_RANGE_MBPS = (0.4, 4.5)
 
+#: The four redraw ranges in metric order (latency, loss, jitter,
+#: bandwidth) — shared with the vectorized engine so both samplers
+#: decorrelate over identical supports.
+DECORRELATE_RANGES = (
+    _LATENCY_RANGE_MS, _LOSS_RANGE, _JITTER_RANGE_MS, _BANDWIDTH_RANGE_MBPS,
+)
+
 
 def _log_uniform(rng: np.random.Generator, low: float, high: float) -> float:
     return float(np.exp(rng.uniform(np.log(low), np.log(high))))

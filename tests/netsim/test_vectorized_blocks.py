@@ -1,0 +1,241 @@
+"""Equivalence pins for the block condition layer (PR 7 tentpole).
+
+The block engine (:func:`repro.netsim.vectorized.condition_blocks`)
+replaces the per-session processes of
+:func:`repro.netsim.trace.generate_condition_arrays` with batched
+``(rows, n_intervals)`` arithmetic, and its loss model replaces the
+packet-by-packet Gilbert–Elliott chain with a compound-Poisson run
+approximation.  These tests pin the documented equivalence contract:
+
+* **exact** — a multi-block ``condition_blocks_from_draws`` evaluation
+  is byte-identical to evaluating each block alone (the bucketing seam
+  the telemetry engine relies on), and the 2-D mitigate/QoE seam is
+  byte-identical to row-by-row 1-D calls;
+* **statistical** — the block loss process matches the scalar chain's
+  stationary mean and marginal dispersion, the AR(1) jitter matches
+  the scalar autocorrelation, and full block traces match the record
+  path's per-metric means across seeds 101 / 202 / 303.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.netsim.link import NETWORK_TIERS
+from repro.netsim.loss import GilbertElliottLoss
+from repro.netsim.mitigation import MitigationStack
+from repro.netsim.qoe import QoeModel
+from repro.netsim.trace import generate_condition_arrays
+from repro.netsim.vectorized import (
+    LinkProfileArrays,
+    condition_blocks,
+    condition_blocks_from_draws,
+    condition_draws,
+    loss_pct_block,
+    mitigate_arrays,
+    qoe_arrays,
+)
+
+SEEDS = (101, 202, 303)
+
+
+def profile_arrays(profiles):
+    return LinkProfileArrays(
+        base_latency_ms=np.array([p.base_latency_ms for p in profiles]),
+        loss_rate=np.array([p.loss_rate for p in profiles]),
+        jitter_ms=np.array([p.jitter_ms for p in profiles]),
+        bandwidth_mbps=np.array([p.bandwidth_mbps for p in profiles]),
+        burstiness=np.array([p.burstiness for p in profiles]),
+    )
+
+
+TIER_PROFILES = [profile for profile, _ in NETWORK_TIERS.values()]
+
+
+class TestDrawSplitIdentity:
+    """condition_blocks == draws + arithmetic, block composition exact."""
+
+    def test_single_block_identity(self):
+        profiles = profile_arrays(TIER_PROFILES)
+        a = condition_blocks(
+            np.random.default_rng(101), profiles, n_intervals=64
+        )
+        draws = condition_draws(
+            np.random.default_rng(101), profiles, n_intervals=64
+        )
+        b = condition_blocks_from_draws([draws])
+        for key in a:
+            assert a[key].tobytes() == b[key].tobytes(), key
+
+    def test_multi_block_rows_match_per_block_evaluation(self):
+        profiles = [profile_arrays(TIER_PROFILES[:3]),
+                    profile_arrays(TIER_PROFILES[3:])]
+        draws = [
+            condition_draws(np.random.default_rng(seed), block, 48)
+            for seed, block in zip((7, 11), profiles)
+        ]
+        merged = condition_blocks_from_draws(draws)
+        separate = [condition_blocks_from_draws([d]) for d in draws]
+        for key in merged:
+            stacked = np.vstack([s[key] for s in separate])
+            assert merged[key].tobytes() == stacked.tobytes(), key
+
+    def test_rejects_empty_and_mixed_widths(self):
+        profiles = profile_arrays(TIER_PROFILES[:2])
+        with pytest.raises(SimulationError):
+            condition_blocks_from_draws([])
+        d1 = condition_draws(np.random.default_rng(0), profiles, 16)
+        d2 = condition_draws(np.random.default_rng(1), profiles, 32)
+        with pytest.raises(SimulationError):
+            condition_blocks_from_draws([d1, d2])
+
+
+class TestMitigateQoe2dSeam:
+    """The shared 1-D formulas applied to a 2-D block must be identical
+    to applying them row by row — the seam both engines run through."""
+
+    def test_block_rows_equal_per_row_calls(self):
+        stack, model = MitigationStack(), QoeModel()
+        rng = np.random.default_rng(5)
+        latency = rng.uniform(10, 300, size=(6, 40))
+        loss = rng.uniform(0, 15, size=(6, 40))
+        jitter = rng.uniform(0, 25, size=(6, 40))
+        bw = rng.uniform(0.4, 5.0, size=(6, 40))
+        eff2d = mitigate_arrays(stack, latency, loss, jitter, bw, 0.4)
+        q2d = qoe_arrays(model, eff2d)
+        for r in range(6):
+            eff1d = mitigate_arrays(
+                stack, latency[r], loss[r], jitter[r], bw[r], 0.4
+            )
+            q1d = qoe_arrays(model, eff1d)
+            assert eff2d.delay_ms[r].tobytes() == eff1d.delay_ms.tobytes()
+            assert (
+                eff2d.residual_audio_loss_pct[r].tobytes()
+                == eff1d.residual_audio_loss_pct.tobytes()
+            )
+            assert q2d.overall_mos[r].tobytes() == q1d.overall_mos.tobytes()
+            assert q2d.audio_mos[r].tobytes() == q1d.audio_mos.tobytes()
+
+
+class TestLossEquivalence:
+    """Compound-Poisson block loss vs the packet-level scalar chain."""
+
+    @pytest.mark.parametrize("rate,burstiness", [
+        (0.003, 0.3), (0.010, 0.6), (0.035, 0.8),
+    ])
+    def test_stationary_mean_matches_scalar_chain(self, rate, burstiness):
+        rows, n = 400, 120
+        block = loss_pct_block(
+            np.random.default_rng(101),
+            np.full(rows, rate), np.full(rows, burstiness), n,
+        )
+        chain = GilbertElliottLoss(rate=rate, burstiness=burstiness)
+        rng = np.random.default_rng(202)
+        scalar = np.concatenate([
+            chain.interval_loss_rates(rng, n, 5.0) * 100 for _ in range(60)
+        ])
+        # Stationary means agree with each other and with the configured
+        # rate (the block form is exact in expectation).
+        assert block.mean() == pytest.approx(rate * 100, rel=0.15)
+        assert block.mean() == pytest.approx(scalar.mean(), rel=0.2)
+
+    def test_marginal_dispersion_matches_scalar_chain(self):
+        rate, burstiness, n = 0.010, 0.6, 120
+        block = loss_pct_block(
+            np.random.default_rng(303),
+            np.full(600, rate), np.full(600, burstiness), n,
+        )
+        chain = GilbertElliottLoss(rate=rate, burstiness=burstiness)
+        rng = np.random.default_rng(404)
+        scalar = np.concatenate([
+            chain.interval_loss_rates(rng, n, 5.0) * 100 for _ in range(80)
+        ])
+        # Bursty loss is heavily over-dispersed relative to Bernoulli;
+        # the run approximation must reproduce that marginal spread.
+        assert block.std() == pytest.approx(scalar.std(), rel=0.25)
+        assert block.std() > rate * 100  # over-dispersed, not Poisson-thin
+
+    def test_zero_rate_rows_stay_zero(self):
+        block = loss_pct_block(
+            np.random.default_rng(1),
+            np.array([0.0, 0.01]), np.array([0.3, 0.3]), 50,
+        )
+        assert np.all(block[0] == 0.0)
+        assert block[1].max() > 0.0
+
+
+class TestBlockTraceStatistics:
+    """Full block traces vs the record path, across seeds 101/202/303."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_metric_means_match_record_path(self, seed):
+        profile = NETWORK_TIERS["congested_broadband"][0]
+        rows, n = 300, 90
+        block = condition_blocks(
+            np.random.default_rng(seed),
+            profile_arrays([profile] * rows), n,
+        )
+        rng = np.random.default_rng(seed + 1)
+        record = {key: [] for key in block}
+        for _ in range(120):
+            arrays = generate_condition_arrays(profile, rng, n)
+            for key, values in arrays.items():
+                record[key].append(values)
+        for key in block:
+            rec = np.concatenate(record[key])
+            assert block[key].mean() == pytest.approx(
+                rec.mean(), rel=0.05
+            ), key
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_jitter_autocorrelation_matches_ar1(self, seed):
+        profile = NETWORK_TIERS["mobile_lte"][0]
+        rows, n = 400, 120
+        block = condition_blocks(
+            np.random.default_rng(seed),
+            profile_arrays([profile] * rows), n,
+        )
+        jitter = block["jitter_ms"]
+        centered = jitter - jitter.mean(axis=1, keepdims=True)
+        lag1 = (centered[:, 1:] * centered[:, :-1]).sum() / (
+            centered * centered
+        ).sum()
+        # AR(1) with persistence 0.7; spikes dilute the measured lag-1
+        # autocorrelation a little, exactly as on the scalar path.
+        rng = np.random.default_rng(seed + 1)
+        rec = np.vstack([
+            generate_condition_arrays(profile, rng, n)["jitter_ms"]
+            for _ in range(120)
+        ])
+        rc = rec - rec.mean(axis=1, keepdims=True)
+        rec_lag1 = (rc[:, 1:] * rc[:, :-1]).sum() / (rc * rc).sum()
+        assert lag1 == pytest.approx(rec_lag1, abs=0.07)
+        assert 0.35 < lag1 < 0.85
+
+    def test_qoe_through_block_conditions_matches_record_path(self):
+        """End-to-end: block conditions -> shared mitigate/QoE arrays vs
+        the record path's conditions through the scalar-shaped seam."""
+        profile = NETWORK_TIERS["average_broadband"][0]
+        stack, model = MitigationStack(), QoeModel()
+        rows, n = 300, 90
+        block = condition_blocks(
+            np.random.default_rng(101), profile_arrays([profile] * rows), n
+        )
+        q_block = qoe_arrays(model, mitigate_arrays(
+            stack, block["latency_ms"], block["loss_pct"],
+            block["jitter_ms"], block["bandwidth_mbps"],
+            profile.burstiness,
+        ))
+        rng = np.random.default_rng(102)
+        mos = []
+        for _ in range(120):
+            arrays = generate_condition_arrays(profile, rng, n)
+            q = qoe_arrays(model, mitigate_arrays(
+                stack, arrays["latency_ms"], arrays["loss_pct"],
+                arrays["jitter_ms"], arrays["bandwidth_mbps"],
+                profile.burstiness,
+            ))
+            mos.append(q.overall_mos)
+        assert q_block.overall_mos.mean() == pytest.approx(
+            np.concatenate(mos).mean(), rel=0.02
+        )

@@ -42,6 +42,8 @@ class TestHarnessSmoke:
             "calls_cold_s", "calls_warm_s", "calls_warm_speedup",
             "calls_parallel_s", "calls_parallel_speedup",
             "corpus_cold_s", "corpus_warm_s", "corpus_warm_speedup",
+            "calls_vec_s", "calls_vec_speedup",
+            "corpus_vec_s", "corpus_vec_speedup",
             "sentiment_per_text_pps", "sentiment_batch_pps",
             "sentiment_batch_speedup",
             "analysis_columns_build_s", "analysis_curves_record_s",
@@ -103,6 +105,17 @@ class TestHarnessSmoke:
             4 * results["analysis_participants_n"]
         )
 
+    def test_vectorized_phase(self, smoke_run):
+        # Fixed per-run overheads dominate at smoke scale, so the >=10x
+        # / >=5x floors only bind at full scale (tools gate + -m perf);
+        # here the vectorized engines just have to beat the record
+        # paths at all and agree on row counts.
+        results, _ = smoke_run
+        assert results["calls_vec_speedup"] > 1.0
+        assert results["corpus_vec_speedup"] > 1.0
+        assert results["calls_vec_rows"] > 0
+        assert results["corpus_vec_rows"] == results["corpus_n_posts"]
+
     def test_workloads_nonempty(self, smoke_run):
         results, _ = smoke_run
         assert results["calls_n"] > 0
@@ -161,6 +174,64 @@ class TestRegressionGate:
         bad = tmp_path / "BENCH_perf.json"
         bad.write_text("{not json")
         assert self._run(bad).returncode == 2
+
+    def test_speedup_floor_violation_fails(self, tmp_path):
+        runs = [{
+            "scale": "full",
+            "results": {
+                "calls_cold_s": 1.0, "corpus_cold_s": 1.0,
+                "calls_vec_speedup": 3.0, "corpus_vec_speedup": 8.0,
+            },
+        }]
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps({"schema": 1, "runs": runs}))
+        proc = self._run(path)
+        assert proc.returncode == 1
+        assert "floor" in proc.stdout + proc.stderr
+
+    def test_speedup_floor_satisfied_passes(self, tmp_path):
+        runs = [{
+            "scale": "full",
+            "results": {
+                "calls_cold_s": 1.0, "corpus_cold_s": 1.0,
+                "calls_vec_speedup": 12.0, "corpus_vec_speedup": 8.0,
+            },
+        }]
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps({"schema": 1, "runs": runs}))
+        proc = self._run(path)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+
+    def test_pre_vectorization_full_run_skips_floors(self, tmp_path):
+        # Trajectory entries from before the vectorized engines carry
+        # no *_vec_speedup keys; the floors must not fail them.
+        assert self._run(self._trajectory(tmp_path, [1.0])).returncode == 0
+
+    def test_millisecond_jitter_within_noise_floor_passes(self, tmp_path):
+        # A 5x ratio on a 10ms phase is host-load jitter, not a code
+        # regression: wall-clock metrics need both >30% and >0.1s.
+        runs = [
+            {"scale": "full", "results": {"analysis_signals_columnar_s": c}}
+            for c in (0.010, 0.050)
+        ]
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps({"schema": 1, "runs": runs}))
+        proc = self._run(path)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "noise floor" in proc.stdout
+
+    def test_simulated_clock_metrics_have_no_noise_floor(self, tmp_path):
+        # serving_*/cluster_* are seed-derived simulated-clock numbers;
+        # any drift is a behaviour change, however small in "seconds".
+        runs = [
+            {"scale": "full", "results": {"serving_p50_admitted_s": c}}
+            for c in (0.010, 0.050)
+        ]
+        path = tmp_path / "BENCH_perf.json"
+        path.write_text(json.dumps({"schema": 1, "runs": runs}))
+        proc = self._run(path)
+        assert proc.returncode == 1
+        assert "REGRESSION" in proc.stdout
 
     def test_scales_not_compared(self, tmp_path):
         runs = [

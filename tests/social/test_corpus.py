@@ -118,3 +118,36 @@ class TestGeneratedCorpus:
     def test_daily_counts_sum_to_total(self, small_corpus):
         series = small_corpus.daily_counts()
         assert series.values.sum() == len(small_corpus)
+
+
+class TestQueryIndexMemo:
+    """posts_on / speed_shares ride one lazily-built by-day index."""
+
+    def test_index_is_built_once_and_reused(self, small_corpus):
+        small_corpus.__dict__.pop("_query_index_cache", None)
+        small_corpus.posts_on(dt.date(2022, 3, 2))
+        memo = small_corpus.__dict__["_query_index_cache"]
+        small_corpus.posts_on(dt.date(2022, 3, 3))
+        small_corpus.speed_shares()
+        assert small_corpus.__dict__["_query_index_cache"] is memo
+
+    def test_results_match_a_linear_scan(self, small_corpus):
+        day = dt.date(2022, 4, 22)
+        assert small_corpus.posts_on(day) == [
+            p for p in small_corpus if p.date == day
+        ]
+        assert small_corpus.speed_shares() == [
+            p for p in small_corpus if p.speed_test is not None
+        ]
+
+    def test_missing_day_returns_empty_list(self, small_corpus):
+        assert small_corpus.posts_on(dt.date(1999, 1, 1)) == []
+
+    def test_callers_get_fresh_lists(self, small_corpus):
+        day = dt.date(2022, 4, 22)
+        first = small_corpus.posts_on(day)
+        first.clear()
+        assert small_corpus.posts_on(day) != []
+        shares = small_corpus.speed_shares()
+        shares.clear()
+        assert small_corpus.speed_shares() != []

@@ -6,7 +6,14 @@ import pytest
 from repro.errors import ConfigError
 from repro.nlp.sentiment import SentimentAnalyzer
 from repro.rng import derive
-from repro.social.textgen import TextGenerator, band_for, outage_comment
+from repro.social.textgen import (
+    TextGenerator,
+    _TEMPLATES,
+    band_for,
+    compile_template,
+    outage_comment,
+    render_template,
+)
 
 
 class TestBandFor:
@@ -92,3 +99,46 @@ class TestOutageComment:
         assert ("NZ" in comment) or ("down" in comment.lower()
                                      or "offline" in comment.lower()
                                      or "outage" in comment.lower())
+
+
+class TestCompiledTemplates:
+    """compile_template/render_template must be a drop-in for str.format:
+    the corpus engines (record and vectorized) both render through the
+    precompiled form, so any drift here is a corpus-content bug."""
+
+    def test_every_template_renders_byte_identical_to_format(self):
+        slots = {
+            "provider": "Ookla", "dl": "44.2", "ul": "3.8", "lat": "37",
+            "place": "the kitchen", "pos": "great", "pos2": "superb",
+            "mpos": "decent", "neg": "awful", "neg2": "dreadful",
+            "mneg": "meh", "feel": "frustrated", "noun": "nightmare",
+            "country": "US", "event": "an outage", "vocab": "weekend",
+        }
+        checked = 0
+        for topic, bands in _TEMPLATES.items():
+            for band, pairs in bands.items():
+                for title, body in pairs:
+                    for template in (title, body):
+                        parts = compile_template(template)
+                        used = {
+                            field: slots[field]
+                            for _, field in parts if field is not None
+                        }
+                        assert render_template(parts, used) == \
+                            template.format(**used), (topic, band)
+                        checked += 1
+        assert checked > 50  # the corpus's whole template inventory
+
+    def test_rejects_format_specs_and_conversions(self):
+        with pytest.raises(ConfigError):
+            compile_template("speed {dl:.1f} down")
+        with pytest.raises(ConfigError):
+            compile_template("hello {name!r}")
+
+    def test_generator_precompiles_on_init(self):
+        gen = TextGenerator()
+        for bands in gen._compiled.values():
+            for pairs in bands.values():
+                for title_parts, body_parts in pairs:
+                    assert isinstance(title_parts, tuple)
+                    assert isinstance(body_parts, tuple)

@@ -76,6 +76,23 @@ def test_cluster_modules_are_covered_anywhere_under_repro(tmp_path):
         assert len(tool.check_file(path)) == 1, (subdir, name)
 
 
+def test_vectorized_modules_are_covered_anywhere_under_repro(tmp_path):
+    """vectorized*.py shares the cluster contract (byte-identical output
+    per seed), so the block engines stay covered wherever they live."""
+    tool = _load_tool()
+    for subdir, name in (
+        (("repro", "netsim"), "vectorized.py"),
+        (("repro", "telemetry"), "vectorized.py"),
+        (("repro", "social"), "vectorized.py"),
+        (("repro", "future_pkg"), "vectorized_corpus.py"),
+    ):
+        target = tmp_path.joinpath(*subdir)
+        target.mkdir(parents=True, exist_ok=True)
+        path = target / name
+        path.write_text("import time\ntime.time()\n")
+        assert len(tool.check_file(path)) == 1, (subdir, name)
+
+
 def test_cluster_stem_outside_repro_is_not_covered(tmp_path):
     tool = _load_tool()
     target = tmp_path / "scripts"

@@ -73,6 +73,29 @@ def test_strict_dirs_flag_narrow_swallow(tmp_path):
         assert "swallows" in violations[0][2]
 
 
+def test_vectorized_modules_are_strict_anywhere_under_repro(tmp_path):
+    """vectorized*.py under repro is strict wherever it lives: the block
+    engines' byte-identity contract makes silent swallows wrong-numbers
+    bugs, not robustness."""
+    tool = _load_tool()
+    for subdir, name in (
+        (("repro", "netsim"), "vectorized.py"),
+        (("repro", "social"), "vectorized_corpus.py"),
+    ):
+        target = tmp_path.joinpath(*subdir)
+        target.mkdir(parents=True, exist_ok=True)
+        bad = target / name
+        bad.write_text("try:\n    x()\nexcept OSError:\n    pass\n")
+        violations = tool.check_file(bad)
+        assert len(violations) == 1, (subdir, name)
+        assert "swallows" in violations[0][2]
+    outside = tmp_path / "scripts"
+    outside.mkdir(exist_ok=True)
+    ok = outside / "vectorized.py"
+    ok.write_text("try:\n    x()\nexcept OSError:\n    pass\n")
+    assert tool.check_file(ok) == []
+
+
 def test_strict_rule_does_not_apply_elsewhere(tmp_path):
     tool = _load_tool()
     target = tmp_path / "repro" / "io"

@@ -14,9 +14,10 @@ far from the offending line — so the rule is enforced structurally:
 
 * covered packages: ``repro/serving``, ``repro/resilience`` and
   ``repro/core/usaas`` (matched as contiguous path parts), plus any
-  ``cluster*.py`` module anywhere under a ``repro`` package — the
-  cluster router/soak layer must stay deterministic no matter where a
-  future refactor parks it;
+  ``cluster*.py`` or ``vectorized*.py`` module anywhere under a
+  ``repro`` package — the cluster router/soak layer and the vectorized
+  block engines must stay deterministic no matter where a future
+  refactor parks them;
 * banned calls: ``time.time``, ``time.monotonic``, ``time.sleep``,
   ``time.perf_counter`` and ``time.monotonic_ns`` — whether reached via
   ``import time``, ``import time as t``, or ``from time import sleep``
@@ -52,8 +53,11 @@ COVERED_DIRS = (
 #: File stems covered anywhere under a ``repro`` package, regardless of
 #: directory: the cluster routing/soak layer is deterministic-by-
 #: contract (byte-identical counters per seed), so it stays covered
-#: even if a refactor moves it out of the covered directories.
-COVERED_FILE_STEMS = ("cluster",)
+#: even if a refactor moves it out of the covered directories.  The
+#: vectorized block engines carry the same contract (byte-identical
+#: columns per seed across worker counts), so every ``vectorized*.py``
+#: module under ``repro`` is covered too.
+COVERED_FILE_STEMS = ("cluster", "vectorized")
 
 #: The one sanctioned seam: the Clock implementations themselves.
 EXEMPT_SUFFIXES = (("repro", "resilience", "clock.py"),)

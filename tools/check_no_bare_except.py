@@ -10,9 +10,11 @@ Two patterns are banned everywhere:
   a broken source into a silently wrong answer.
 
 Inside the fault-handling subsystems — ``repro/perf/`` and
-``repro/resilience/`` — the rule is stricter: *any* except handler
-whose body only swallows (``pass``/``...``) is flagged, however narrow
-the caught type.  That code's whole job is to observe failures; a
+``repro/resilience/`` — and in any ``vectorized*.py`` module under
+``repro`` (the block engines, whose byte-identity contract a swallowed
+failure would corrupt silently) the rule is stricter: *any* except
+handler whose body only swallows (``pass``/``...``) is flagged, however
+narrow the caught type.  That code's whole job is to observe failures; a
 handler there must at minimum count, log, or re-route what it caught
 (``continue``/``return`` with a recorded outcome are fine — a bare
 ``pass`` is not).
@@ -39,6 +41,11 @@ _BROAD = {"Exception", "BaseException"}
 #: applies: any swallow-only handler is a violation, narrow types too.
 STRICT_DIRS = (("repro", "perf"), ("repro", "resilience"))
 
+#: File stems under ``repro`` that are strict wherever they live: the
+#: vectorized block engines promise byte-identical columns per seed, and
+#: a swallowed exception there degrades silently into wrong numbers.
+STRICT_FILE_STEMS = ("vectorized",)
+
 
 def _is_strict(path: Path) -> bool:
     parts = Path(path).parts
@@ -47,7 +54,11 @@ def _is_strict(path: Path) -> bool:
         for i in range(len(parts) - n):
             if parts[i:i + n] == suffix:
                 return True
-    return False
+    return (
+        "repro" in parts[:-1]
+        and any(parts[-1].startswith(stem) for stem in STRICT_FILE_STEMS)
+        and parts[-1].endswith(".py")
+    )
 
 
 def _is_swallow(body: List[ast.stmt]) -> bool:
