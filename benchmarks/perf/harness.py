@@ -39,7 +39,16 @@ The suite measures the three levers this repo pulls for scale:
   crashing mid-spike: the recorded shed rate and p50/p99 admitted
   latency are measured *under replica loss* (failover, ring
   rebalance, queue loss), again purely seed-derived and guarded by
-  the regression gate.
+  the regression gate;
+* **streaming phase** — the watermark/checkpoint ingestion pipeline
+  (:mod:`repro.streaming`) under seeded arrival chaos: wall-clock
+  throughput in deliveries/sec, the *simulated-time* latency from an
+  injected degradation to its experience change point (seed-derived,
+  byte-stable, regression-guarded), and the incremental
+  sliding-window operator against a stateless consumer that recomputes
+  :func:`~repro.streaming.batch_window_aggregates` from the full
+  prefix at every slide boundary — outputs asserted equal before the
+  speedup is recorded.
 
 Results append to a machine-readable trajectory file
 (``BENCH_perf.json`` at the repo root) so subsequent PRs can show
@@ -501,6 +510,106 @@ def run_perf_suite(
     results["cluster_simulated_s"] = cluster_report.final_router_clock_s
     results["cluster_arrivals_per_wall_s"] = cluster_report.arrivals / max(
         1e-9, cluster_soak["seconds"]
+    )
+
+    # --- streaming phase: ingestion pipeline under arrival chaos --------
+    from repro.streaming import (
+        SlidingWindowAggregate,
+        batch_window_aggregates,
+        run_stream_soak,
+        synthetic_stream,
+    )
+
+    # Floor the span at 300 simulated seconds: shorter streams carry no
+    # default degradations, and the detection-latency metric needs one.
+    stream_duration_s = max(300.0, scale.soak_duration_s * 15.0)
+    stream_rate = 8.0
+
+    stream_soak = _timed(lambda: run_stream_soak(
+        seed=scale.seed,
+        duration_s=stream_duration_s,
+        rate_per_s=stream_rate,
+    ))
+    stream_report = stream_soak["value"]
+    if not stream_report.ledger_closed:
+        raise AssertionError(
+            "stream soak accounting violated: the exactly-once ledger "
+            "did not close"
+        )
+    if stream_report.blind_rate > 0:
+        raise AssertionError(
+            f"stream soak detector blind: "
+            f"{stream_report.detected}/{len(stream_report.degradations)} "
+            f"injected degradations detected"
+        )
+    results["streaming_soak_wall_s"] = stream_soak["seconds"]
+    results["streaming_deliveries_n"] = stream_report.n_deliveries
+    results["streaming_records_per_wall_s"] = (
+        stream_report.n_deliveries / max(1e-9, stream_soak["seconds"])
+    )
+    # Simulated-time detection latency: degradation onset to the first
+    # in-horizon experience change point.  Purely seed-derived (the
+    # soak's blind-rate gate above guarantees every degradation has
+    # one), so the regression gate treats it like the serving/cluster
+    # percentiles: any drift is a detector behaviour change.
+    lags = []
+    for spec in stream_report.degradations:
+        lags.append(min(
+            cp.at_s - spec.at_s
+            for cp in stream_report.change_points
+            if cp.role == "experience"
+            and spec.at_s <= cp.at_s <= spec.at_s + spec.detect_within_s
+        ))
+    results["streaming_detect_latency_s"] = sum(lags) / len(lags)
+
+    # Incremental sliding window vs a stateless consumer recomputing
+    # every complete window from the full prefix at each slide boundary.
+    stream_records = synthetic_stream(
+        seed=scale.seed,
+        duration_s=stream_duration_s,
+        rate_per_s=stream_rate,
+    )
+    window_s, slide_s = 60.0, 10.0
+    final_s = stream_records[-1].event_time_s
+
+    def incremental_once():
+        op = SlidingWindowAggregate(window_s=window_s, slide_s=slide_s)
+        out = op.process(stream_records, final_s)
+        out += op.flush(final_s)
+        return {(e.metric, e.at_s): (e.value, e.count) for e in out}
+
+    def naive_once():
+        out = {}
+        boundary = slide_s
+        i = 0
+        while boundary <= final_s:
+            while (
+                i < len(stream_records)
+                and stream_records[i].event_time_s <= boundary
+            ):
+                i += 1
+            if i:
+                out.update(batch_window_aggregates(
+                    stream_records[:i], window_s=window_s, slide_s=slide_s,
+                ))
+            boundary += slide_s
+        return out
+
+    incremental = _timed(incremental_once)
+    naive = _timed(naive_once)
+    oracle = batch_window_aggregates(
+        stream_records, window_s=window_s, slide_s=slide_s
+    )
+    if incremental["value"] != oracle or naive["value"] != oracle:
+        raise AssertionError(
+            "incremental window aggregation diverged from the batch "
+            "recompute oracle"
+        )
+    results["streaming_windows_n"] = len(oracle)
+    results["streaming_incremental_s"] = incremental["seconds"]
+    results["streaming_naive_recompute_s"] = naive["seconds"]
+    results["streaming_incremental_speedup"] = naive["seconds"] / max(
+        1e-9, incremental["seconds"]
     )
 
     results["cache_stats"] = cache.stats().summary()

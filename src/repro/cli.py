@@ -260,11 +260,70 @@ def _cmd_analyze_starlink(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_usaas_stream_soak(args: argparse.Namespace) -> int:
+    """Deterministic streaming-ingestion soak with arrival chaos."""
+    import dataclasses
+    import json
+
+    from repro.streaming import StreamConfig, run_stream_soak
+    from repro.streaming.soak import DEFAULT_STREAM_FAULTS
+
+    faults = dataclasses.replace(
+        DEFAULT_STREAM_FAULTS,
+        reorder_rate=args.reorder_rate,
+        duplicate_rate=args.duplicate_rate,
+        crash_at_s=tuple(args.crash_at or ()),
+    )
+    if args.no_faults:
+        faults = dataclasses.replace(
+            faults, base_delay_s=0.0, reorder_rate=0.0, duplicate_rate=0.0,
+        )
+    config = StreamConfig(
+        seed=args.seed,
+        allowed_lateness_s=args.allowed_lateness_s,
+        dedup_horizon_s=max(
+            args.allowed_lateness_s, StreamConfig().dedup_horizon_s
+        ),
+        late_policy=args.late_policy,
+    )
+    report = run_stream_soak(
+        seed=args.seed,
+        duration_s=args.duration_s,
+        rate_per_s=args.rate_per_s,
+        faults=faults,
+        config=config,
+        checkpoint_dir=args.checkpoint_dir,
+        journal_path=args.journal,
+    )
+    if args.json:
+        print(json.dumps(report.counters_dict(), indent=2, sort_keys=True))
+    else:
+        print(f"seed {args.seed}: {args.rate_per_s:.1f} records/s for "
+              f"{args.duration_s:.1f}s (simulated), "
+              f"{report.crashes} crash(es)")
+        print(report.summary())
+        for cp in report.change_points:
+            print("  " + cp.summary())
+    if not report.ledger_closed:
+        print("accounting violation: the exactly-once ledger did not "
+              "close", file=sys.stderr)
+        return 2
+    if report.blind_rate > args.blind_threshold:
+        print(f"detector blind: {report.detected}/"
+              f"{len(report.degradations)} injected degradations "
+              f"detected (blind rate {report.blind_rate:.2f} > "
+              f"{args.blind_threshold:.2f})", file=sys.stderr)
+        return 3
+    return 0
+
+
 def _cmd_usaas(args: argparse.Namespace) -> int:
     if getattr(args, "usaas_command", None) == "soak":
         return _cmd_usaas_soak(args)
     if getattr(args, "usaas_command", None) == "cluster-soak":
         return _cmd_usaas_cluster_soak(args)
+    if getattr(args, "usaas_command", None) == "stream-soak":
+        return _cmd_usaas_stream_soak(args)
     from repro.core.usaas import (
         UsaasQuery,
         UsaasService,
@@ -851,6 +910,60 @@ def build_parser() -> argparse.ArgumentParser:
                          "configured tenants by weight")
     cp.add_argument("--json", action="store_true",
                     help="emit the stable counters dict as JSON")
+    ssp = usaas_sub.add_parser(
+        "stream-soak",
+        help="deterministic streaming-ingestion soak with arrival chaos",
+        description="Mangle a seeded synthetic measurement stream "
+                    "(delay, reorder, duplicate, optional crashes) and "
+                    "drive it through the watermark/checkpoint pipeline "
+                    "on a simulated clock.  Injected network "
+                    "degradations must be answered by experience "
+                    "change points; every delivery must land in "
+                    "exactly one ledger bucket.  Same --seed, same "
+                    "bytes — crashes included.",
+        epilog="exit codes: 0 = ledger closed and the detector caught "
+               "the injected degradations; 2 = accounting violation "
+               "(a delivery was lost or double-counted — a bug, not "
+               "chaos); 3 = detector blind — more degradations were "
+               "missed than --blind-threshold allows",
+    )
+    ssp.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    ssp.add_argument("--duration-s", type=float, default=600.0,
+                     help="stream span in simulated seconds")
+    ssp.add_argument("--rate-per-s", type=float, default=8.0,
+                     help="records per simulated second")
+    ssp.add_argument("--reorder-rate", type=float, default=0.25,
+                     help="fraction of deliveries picking up an extra "
+                          "reordering delay")
+    ssp.add_argument("--duplicate-rate", type=float, default=0.05,
+                     help="fraction of records delivered twice")
+    ssp.add_argument("--crash-at", action="append", type=float,
+                     metavar="SECONDS",
+                     help="crash the consumer at this simulated instant "
+                          "and resume from the latest checkpoint "
+                          "(repeatable)")
+    ssp.add_argument("--no-faults", action="store_true",
+                     help="clean transport: no delay, reorder or "
+                          "duplication")
+    ssp.add_argument("--allowed-lateness-s", type=float, default=30.0,
+                     help="watermark lag; records older than this are "
+                          "late")
+    ssp.add_argument("--late-policy", choices=("drop", "side"),
+                     default="drop",
+                     help="drop late records or keep them on a side "
+                          "channel (counted either way)")
+    ssp.add_argument("--blind-threshold", type=float, default=0.0,
+                     help="max tolerated fraction of injected "
+                          "degradations the detector may miss before "
+                          "exit 3")
+    ssp.add_argument("--checkpoint-dir",
+                     help="where operator state snapshots go (a temp "
+                          "dir is used when crashes are scheduled "
+                          "without one)")
+    ssp.add_argument("--journal", metavar="PATH",
+                     help="append-only emission journal (JSONL)")
+    ssp.add_argument("--json", action="store_true",
+                     help="emit the stable counters dict as JSON")
     p.set_defaults(fn=_cmd_usaas)
     return parser
 

@@ -109,6 +109,7 @@ def salvage_jsonl(
     path: PathLike,
     quarantine: Optional[PathLike] = None,
     max_bad_fraction: float = 1.0,
+    tail_only: bool = False,
 ) -> SalvageResult:
     """Lenient JSONL read: keep good lines, quarantine bad ones.
 
@@ -124,6 +125,12 @@ def salvage_jsonl(
         max_bad_fraction: abort with SchemaError when more than this
             fraction of non-empty lines is bad — a file that is mostly
             garbage is a wrong file, not a damaged one.
+        tail_only: only tolerate damage *after* the last good line.
+            Append-only journals can tear exactly one way — a partial
+            final write — so a bad line followed by a good one means
+            the file is corrupt, not torn, and salvaging around it
+            would silently drop committed records; raise SchemaError
+            instead.
     """
     if not 0.0 <= max_bad_fraction <= 1.0:
         raise SchemaError("max_bad_fraction must be in [0, 1]")
@@ -147,6 +154,12 @@ def salvage_jsonl(
         except ValueError as exc:
             bad.append((line_no, f"invalid JSON: {exc}"))
             raw_bad.append(line.rstrip("\n"))
+            continue
+        if tail_only and bad:
+            raise SchemaError(
+                f"{path}: line {bad[0][0]} is bad but line {line_no} "
+                f"parses — mid-file corruption, not a torn tail"
+            )
     if n_lines and len(bad) / n_lines > max_bad_fraction:
         raise SchemaError(
             f"{path}: {len(bad)}/{n_lines} lines are bad "

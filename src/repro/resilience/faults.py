@@ -201,6 +201,92 @@ class LoadSpikeSpec:
         """Map a uniform draw in [0, 1) to a priority class."""
         return pick_weighted(self.priority_mix, u)
 
+@dataclass(frozen=True)
+class StreamFaultSpec:
+    """The arrival pathologies of a measurement stream, made schedulable.
+
+    Event times are sacred — faults only ever distort *delivery*:
+
+    * every record is delayed by a uniform draw in
+      ``[0, base_delay_s)`` (network transit);
+    * with probability ``reorder_rate`` a record picks up an extra
+      uniform delay in ``[0, reorder_extra_s)`` — enough of these and
+      arrivals cross, which is what exercises the reorder buffer;
+    * ``skew_windows`` — ``(start_s, duration_s, skew_s)`` triples: a
+      record whose *event time* falls in the window is delivered
+      ``skew_s`` later, modelling a clock-skewed source whose stamps
+      lag its transmissions;
+    * ``gap_windows`` — ``(start_s, duration_s)`` pairs: deliveries
+      that would land inside the window are held and released together
+      at its end — an outage followed by the burst that drains it;
+    * with probability ``duplicate_rate`` the record is delivered a
+      second time after an extra uniform delay in
+      ``[0, duplicate_delay_s)`` (at-least-once transport);
+    * ``crash_at_s`` — consumer crash instants; the fault plan only
+      records them (the soak driver kills and resumes the pipeline).
+    """
+
+    base_delay_s: float = 0.5
+    reorder_rate: float = 0.0
+    reorder_extra_s: float = 0.0
+    duplicate_rate: float = 0.0
+    duplicate_delay_s: float = 5.0
+    skew_windows: Tuple[Tuple[float, float, float], ...] = ()
+    gap_windows: Tuple[Tuple[float, float], ...] = ()
+    crash_at_s: Tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        for name in ("reorder_rate", "duplicate_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1]")
+        for name in ("base_delay_s", "reorder_extra_s", "duplicate_delay_s"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+        if self.reorder_rate > 0 and self.reorder_extra_s <= 0:
+            raise ConfigError("reorder faults need reorder_extra_s > 0")
+        for window in self.skew_windows:
+            if len(window) != 3:
+                raise ConfigError(
+                    "skew_windows entries must be (start_s, duration_s, skew_s)"
+                )
+            start, duration, skew = window
+            if start < 0 or duration <= 0 or skew <= 0:
+                raise ConfigError(
+                    "skew windows need start_s >= 0, duration_s > 0, skew_s > 0"
+                )
+        for window in self.gap_windows:
+            if len(window) != 2:
+                raise ConfigError(
+                    "gap_windows entries must be (start_s, duration_s)"
+                )
+            start, duration = window
+            if start < 0 or duration <= 0:
+                raise ConfigError(
+                    "gap windows need start_s >= 0 and duration_s > 0"
+                )
+        for at in self.crash_at_s:
+            if at <= 0:
+                raise ConfigError("crash_at_s entries must be positive")
+
+
+@dataclass(frozen=True)
+class StreamDelivery:
+    """One record arriving at the pipeline, possibly mangled en route.
+
+    ``seq`` is the global delivery sequence (ties in ``at_s`` resolve by
+    it, so the schedule is a total order); ``injected`` names the faults
+    that shaped this delivery; ``duplicate`` marks a redelivery of a
+    record already scheduled once.
+    """
+
+    at_s: float
+    record: Any
+    seq: int
+    injected: Tuple[str, ...] = ()
+    duplicate: bool = False
+
+
 #: The sentinel a corrupt-output fault substitutes for a shard's result
 #: list — deliberately not a list, so the executor's integrity check
 #: (a worker must return a list) trips and requeues the shard.
@@ -522,6 +608,72 @@ class FaultPlan:
         self.log.append((name, f"replica_faults.{len(events)}"))
         return tuple(events)
 
+    def stream_faults(
+        self, name: str, records: Iterable[Any], spec: StreamFaultSpec
+    ) -> Tuple[StreamDelivery, ...]:
+        """Turn an event-time-ordered record list into an arrival schedule.
+
+        Each record (any object with an ``event_time_s`` attribute) is
+        assigned a delivery time by applying the spec's delay, reorder,
+        skew, gap and duplication faults, with every draw taken from
+        this plan's seeded substream for ``name`` — the same seed always
+        mangles the stream the same way, so a soak can assert exact
+        late/duplicate counts.  The result is sorted by
+        ``(at_s, seq)``: arrival order, totally ordered.
+        """
+
+        def held(at_s: float) -> float:
+            for start, duration in spec.gap_windows:
+                if start <= at_s < start + duration:
+                    return start + duration
+            return at_s
+
+        stream = self._stream(name + "#stream")
+        deliveries: List[StreamDelivery] = []
+        seq = 0
+        for record in records:
+            t = float(record.event_time_s)
+            delay = float(stream.random()) * spec.base_delay_s
+            injected: List[str] = []
+            if (
+                spec.reorder_rate > 0
+                and float(stream.random()) < spec.reorder_rate
+            ):
+                delay += float(stream.random()) * spec.reorder_extra_s
+                injected.append("reorder")
+            for start, duration, skew in spec.skew_windows:
+                if start <= t < start + duration:
+                    delay += skew
+                    injected.append("skew")
+            at_s = t + delay
+            if held(at_s) != at_s:
+                at_s = held(at_s)
+                injected.append("gap")
+            deliveries.append(StreamDelivery(
+                at_s=at_s, record=record, seq=seq,
+                injected=tuple(injected),
+            ))
+            seq += 1
+            if (
+                spec.duplicate_rate > 0
+                and float(stream.random()) < spec.duplicate_rate
+            ):
+                dup_at = at_s + (
+                    float(stream.random()) * spec.duplicate_delay_s
+                )
+                dup_injected = ["duplicate"]
+                if held(dup_at) != dup_at:
+                    dup_at = held(dup_at)
+                    dup_injected.append("gap")
+                deliveries.append(StreamDelivery(
+                    at_s=dup_at, record=record, seq=seq,
+                    injected=tuple(dup_injected), duplicate=True,
+                ))
+                seq += 1
+        deliveries.sort(key=lambda d: (d.at_s, d.seq))
+        self.log.append((name, f"stream_faults.{len(deliveries)}"))
+        return tuple(deliveries)
+
     def torn_write(self, name: str, path: Any, data: bytes) -> int:
         """Simulate a crash mid-write: persist only a prefix of ``data``.
 
@@ -539,6 +691,25 @@ class FaultPlan:
         with open(path, "wb") as f:
             f.write(data[:cut])
         self.log.append((name, "torn"))
+        return cut
+
+    def torn_append(self, name: str, path: Any, data: bytes) -> int:
+        """Simulate a crash mid-*append*: the file keeps its existing
+        contents and gains only a prefix of ``data``.
+
+        Same seeded cut-point scheme as :meth:`torn_write`, but opened
+        in append mode — the failure an append-only journal actually
+        suffers, where everything before the torn tail is intact.
+        Returns the number of bytes appended.
+        """
+        stream = self._stream(name + "#torn-append")
+        if len(data) < 2:
+            cut = len(data)
+        else:
+            cut = 1 + int(float(stream.random()) * (len(data) - 1))
+        with open(path, "ab") as f:
+            f.write(data[:cut])
+        self.log.append((name, "torn_append"))
         return cut
 
     def actions(self, name: str, spec: FaultSpec, n: int) -> Tuple[str, ...]:

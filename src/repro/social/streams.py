@@ -1,0 +1,60 @@
+"""Social corpus → stream records (the live-ingestion boundary).
+
+The §4 batch analyses score a finished corpus; a deployment would score
+posts as they are published.  This adapter emits, per post, the
+sentiment polarity as an ``experience``-role record and — for the posts
+that carry one — the user-reported speed test as a ``network``-role
+record, both stamped on the float event-time axis (seconds since the
+corpus's first post, or an explicit epoch).
+
+Authors are scrubbed at this boundary with the same
+:func:`~repro.core.usaas.privacy.scrub_author` scheme the batch
+adapters use: raw handles never reach the streaming layer.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import List, Optional
+
+from repro.core.usaas.privacy import scrub_author
+from repro.nlp.sentiment import SentimentAnalyzer
+from repro.social.corpus import RedditCorpus
+from repro.streaming.records import StreamRecord
+
+
+def social_stream(
+    corpus: RedditCorpus,
+    epoch: Optional[dt.datetime] = None,
+    analyzer: Optional[SentimentAnalyzer] = None,
+) -> List[StreamRecord]:
+    """Flatten a social corpus into event-time-ordered stream records."""
+    posts = list(corpus)
+    if not posts:
+        return []
+    if epoch is None:
+        epoch = min(post.created for post in posts)
+    analyzer = analyzer or SentimentAnalyzer()
+    records: List[StreamRecord] = []
+    for post in posts:
+        t = (post.created - epoch).total_seconds()
+        key = scrub_author(post.author)
+        records.append(StreamRecord(
+            event_time_s=t,
+            source="social",
+            metric="sentiment_polarity",
+            value=float(analyzer.score(post.full_text).polarity),
+            key=key,
+            role="experience",
+        ))
+        if post.speed_test is not None:
+            records.append(StreamRecord(
+                event_time_s=t,
+                source="social",
+                metric="reported_downlink_mbps",
+                value=float(post.speed_test.download_mbps),
+                key=key,
+                role="network",
+            ))
+    records.sort(key=lambda r: (r.event_time_s, r.metric, r.key))
+    return records

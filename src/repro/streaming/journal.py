@@ -1,0 +1,72 @@
+"""Append-only emission journal with torn-tail recovery.
+
+The pipeline journals every emission as one JSONL line so an operator
+(human or machine) can tail the stream's outputs.  Appends are flushed
+per batch but deliberately **not** atomic — a crash mid-append is
+exactly the failure this module exists to survive.  Recovery goes
+through :func:`repro.io.jsonl.salvage_jsonl` in ``tail_only`` mode: a
+partial final record is quarantined and truncated away, while damage
+anywhere *before* the last good line (which an append-only writer
+cannot produce) is refused as real corruption.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Union
+
+from repro.io.jsonl import atomic_writer, salvage_jsonl, write_jsonl
+from repro.streaming.operators import Emission
+
+PathLike = Union[str, Path]
+
+
+class StreamJournal:
+    """One append-only JSONL file of :class:`Emission` records."""
+
+    def __init__(self, path: PathLike) -> None:
+        self.path = Path(path)
+        self.appended = 0
+        self.recovered_bad = 0
+
+    def append(self, emissions: Iterable[Emission]) -> int:
+        """Append emissions (one JSON line each); returns how many."""
+        count = 0
+        with open(self.path, "a", encoding="utf-8") as f:
+            for emission in emissions:
+                f.write(json.dumps(emission.to_dict()) + "\n")
+                count += 1
+            f.flush()
+        self.appended += count
+        return count
+
+    def recover(
+        self, quarantine: Optional[PathLike] = None
+    ) -> List[Emission]:
+        """Read back the journal, repairing a torn tail in place.
+
+        Returns every intact emission.  If the final line was torn by a
+        crash it is quarantined (when a path is given) and the journal
+        is atomically rewritten without it, so the next ``append``
+        continues from a clean file.  Mid-file damage raises
+        ``SchemaError`` — see ``salvage_jsonl(tail_only=True)``.
+        """
+        if not self.path.exists():
+            return []
+        result = salvage_jsonl(
+            self.path, quarantine=quarantine, tail_only=True
+        )
+        emissions = [Emission.from_dict(r) for r in result.records]
+        self.recovered_bad += result.n_bad
+        if result.n_bad:
+            write_jsonl(self.path, [e.to_dict() for e in emissions])
+        return emissions
+
+    def rewrite(self, emissions: Iterable[Emission]) -> int:
+        """Atomically replace the journal's contents (resume truncation)."""
+        records: List[Dict[str, Any]] = [e.to_dict() for e in emissions]
+        with atomic_writer(self.path) as f:
+            for record in records:
+                f.write(json.dumps(record) + "\n")
+        return len(records)

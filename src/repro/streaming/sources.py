@@ -1,0 +1,174 @@
+"""Seeded synthetic measurement streams with injectable degradations.
+
+The generator emits the two families of signal the paper says must be
+read *together*: network-side metrics (latency, loss, speed-test
+throughput) and user-side experience metrics (call MOS, post
+sentiment).  A :class:`DegradationSpec` injects a network fault window;
+the experience metrics respond after a configurable lag — giving the
+change-point detector a ground truth to be scored against ("was the
+user-visible shift caught, and was it attributed to the right network
+metric?").
+
+Records come out in strict event-time order; disordering them is the
+fault plan's job (:meth:`repro.resilience.faults.FaultPlan.stream_faults`),
+never the source's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro import rng as rng_mod
+from repro.errors import ConfigError
+from repro.streaming.records import StreamRecord
+
+#: metric name -> (role, baseline mean, baseline std)
+STREAM_METRICS: Dict[str, Tuple[str, float, float]] = {
+    "latency_ms": ("network", 42.0, 5.0),
+    "loss_pct": ("network", 0.5, 0.2),
+    "speed_mbps": ("network", 110.0, 12.0),
+    "mos": ("experience", 4.3, 0.12),
+    "sentiment": ("experience", 0.25, 0.1),
+}
+
+#: How hard a unit-severity degradation of each network metric hits.
+_NETWORK_SHIFT: Dict[str, float] = {
+    "latency_ms": 80.0,   # additive ms
+    "loss_pct": 6.0,      # additive pct
+    "speed_mbps": -70.0,  # additive Mbps (a slowdown)
+}
+
+#: Experience response to a unit-severity degradation, after the lag.
+_EXPERIENCE_SHIFT: Dict[str, float] = {
+    "mos": -1.4,
+    "sentiment": -0.6,
+}
+
+
+@dataclass(frozen=True)
+class DegradationSpec:
+    """One injected network fault window with a lagged user response.
+
+    Attributes:
+        at_s: event time the network metric starts degrading.
+        duration_s: how long the degradation lasts.
+        metric: which network metric degrades (root cause).
+        severity: 0–1 scale applied to the per-metric shift table.
+        lag_s: delay before experience metrics respond — the
+            paper's point in one parameter: the user feels it *after*
+            the network shows it.
+        detect_within_s: scoring horizon — the detector must flag an
+            experience change point within this much event time of
+            ``at_s`` to count as having seen the degradation.
+    """
+
+    at_s: float
+    duration_s: float
+    metric: str = "latency_ms"
+    severity: float = 1.0
+    lag_s: float = 30.0
+    detect_within_s: float = 240.0
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0:
+            raise ConfigError("degradation at_s must be non-negative")
+        if self.duration_s <= 0:
+            raise ConfigError("degradation duration_s must be positive")
+        if self.metric not in _NETWORK_SHIFT:
+            raise ConfigError(
+                f"degradation metric must be one of "
+                f"{tuple(sorted(_NETWORK_SHIFT))}, got {self.metric!r}"
+            )
+        if not 0.0 < self.severity <= 1.0:
+            raise ConfigError("severity must be in (0, 1]")
+        if self.lag_s < 0:
+            raise ConfigError("lag_s must be non-negative")
+        if self.detect_within_s <= 0:
+            raise ConfigError("detect_within_s must be positive")
+
+    def network_active(self, t_s: float) -> bool:
+        return self.at_s <= t_s < self.at_s + self.duration_s
+
+    def experience_active(self, t_s: float) -> bool:
+        start = self.at_s + self.lag_s
+        return start <= t_s < start + self.duration_s
+
+
+def synthetic_stream(
+    seed: int = rng_mod.DEFAULT_SEED,
+    duration_s: float = 600.0,
+    rate_per_s: float = 8.0,
+    degradations: Sequence[DegradationSpec] = (),
+    key_space: int = 32,
+) -> List[StreamRecord]:
+    """Generate an event-time-ordered synthetic measurement stream.
+
+    Each tick emits one record: the metric cycles round-robin (so every
+    metric gets steady coverage) while the measured key and noise are
+    drawn from the seeded substream.  Same seed, same records — byte
+    for byte.
+    """
+    if duration_s <= 0:
+        raise ConfigError("duration_s must be positive")
+    if rate_per_s <= 0:
+        raise ConfigError("rate_per_s must be positive")
+    if key_space < 1:
+        raise ConfigError("key_space must be >= 1")
+    rng = rng_mod.derive(seed, "streaming.sources", "synthetic")
+    metrics = sorted(STREAM_METRICS)
+    n = int(duration_s * rate_per_s)
+    records: List[StreamRecord] = []
+    for i in range(n):
+        t = (i + 1) / rate_per_s
+        metric = metrics[i % len(metrics)]
+        role, mean, std = STREAM_METRICS[metric]
+        value = mean + std * float(rng.standard_normal())
+        for spec in degradations:
+            if role == "network":
+                if spec.metric == metric and spec.network_active(t):
+                    value += _NETWORK_SHIFT[metric] * spec.severity
+            elif spec.experience_active(t):
+                value += _EXPERIENCE_SHIFT[metric] * spec.severity
+        if metric == "mos":
+            value = min(5.0, max(1.0, value))
+        elif metric in ("loss_pct", "speed_mbps"):
+            value = max(0.0, value)
+        key = f"u{int(rng.integers(0, key_space)):03d}"
+        records.append(StreamRecord(
+            event_time_s=t,
+            source="synthetic",
+            metric=metric,
+            value=value,
+            key=key,
+            role=role,
+        ))
+    return records
+
+
+def default_degradations(duration_s: float) -> Tuple[DegradationSpec, ...]:
+    """The stock fault script for soaks: one latency hit, one loss hit.
+
+    Scaled to the run length so short smoke runs still contain a full
+    degrade-and-recover cycle; returns nothing for runs too short to
+    host one.
+    """
+    if duration_s < 240:
+        return ()
+    first = DegradationSpec(
+        at_s=round(duration_s * 0.3, 3),
+        duration_s=round(duration_s * 0.2, 3),
+        metric="latency_ms",
+        severity=1.0,
+    )
+    if duration_s < 480:
+        return (first,)
+    return (
+        first,
+        DegradationSpec(
+            at_s=round(duration_s * 0.7, 3),
+            duration_s=round(duration_s * 0.15, 3),
+            metric="loss_pct",
+            severity=0.8,
+        ),
+    )

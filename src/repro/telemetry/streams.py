@@ -1,0 +1,69 @@
+"""Call telemetry → stream records (the live-ingestion boundary).
+
+The batch pipeline exports whole :class:`~repro.telemetry.store.CallDataset`
+snapshots; a deployment would instead *stream* each session's
+measurements as calls end.  This adapter performs the one conversion the
+streaming layer needs — ``datetime`` stamps onto the float event-time
+axis (seconds since the dataset's first call) — and emits, per
+participant: the four network aggregates as ``network``-role records
+plus the 1–5 rating (when sampled) as an ``experience``-role record.
+
+Output is sorted into strict event-time order, so feeding it straight to
+:meth:`~repro.resilience.faults.FaultPlan.stream_faults` models exactly
+what the paper warns about: the *transport*, not the source, disorders
+the data.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import List, Optional
+
+from repro.core.usaas.privacy import scrub_author
+from repro.streaming.records import StreamRecord
+from repro.telemetry.schema import NETWORK_METRICS
+from repro.telemetry.store import CallDataset
+
+
+def telemetry_stream(
+    dataset: CallDataset,
+    epoch: Optional[dt.datetime] = None,
+) -> List[StreamRecord]:
+    """Flatten a call dataset into event-time-ordered stream records.
+
+    Args:
+        epoch: the stream's t=0; defaults to the earliest call start so
+            event times begin near zero.  Calls before an explicit
+            epoch would produce negative event times and are refused by
+            the record schema — pass an epoch no later than the data.
+    """
+    calls = list(dataset)
+    if not calls:
+        return []
+    if epoch is None:
+        epoch = min(call.start for call in calls)
+    records: List[StreamRecord] = []
+    for call in calls:
+        t = (call.start - epoch).total_seconds()
+        for p in call.participants:
+            key = scrub_author(p.user_id)
+            for metric in NETWORK_METRICS:
+                records.append(StreamRecord(
+                    event_time_s=t,
+                    source="telemetry",
+                    metric=metric,
+                    value=float(p.metric(metric)),
+                    key=key,
+                    role="network",
+                ))
+            if p.rating is not None:
+                records.append(StreamRecord(
+                    event_time_s=t,
+                    source="telemetry",
+                    metric="rating",
+                    value=float(p.rating),
+                    key=key,
+                    role="experience",
+                ))
+    records.sort(key=lambda r: (r.event_time_s, r.metric, r.key))
+    return records

@@ -198,3 +198,42 @@ class TestTornWriteSalvage:
         assert (tmp_path / "torn-0.jsonl").read_bytes() == (
             tmp_path / "torn-1.jsonl"
         ).read_bytes()
+
+
+class TestTailOnlySalvage:
+    """salvage_jsonl(tail_only=True): the append-only journal contract."""
+
+    def test_torn_tail_accepted(self, tmp_path):
+        from repro.io.jsonl import salvage_jsonl
+
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"ok": 1}\n{"ok": 2}\n{"torn": ')
+        result = salvage_jsonl(path, tail_only=True)
+        assert list(result.records) == [{"ok": 1}, {"ok": 2}]
+        assert result.n_bad == 1
+
+    def test_clean_file_accepted(self, tmp_path):
+        from repro.io.jsonl import salvage_jsonl, write_jsonl
+
+        path = tmp_path / "log.jsonl"
+        write_jsonl(path, [{"ok": 1}, {"ok": 2}])
+        result = salvage_jsonl(path, tail_only=True)
+        assert result.n_bad == 0
+
+    def test_mid_file_damage_refused(self, tmp_path):
+        """A bad line followed by a good one cannot be a torn tail."""
+        from repro.io.jsonl import salvage_jsonl
+
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n{"ok": 2}\n')
+        with pytest.raises(SchemaError, match="not a torn tail"):
+            salvage_jsonl(path, tail_only=True)
+
+    def test_default_mode_still_tolerates_mid_file_damage(self, tmp_path):
+        from repro.io.jsonl import salvage_jsonl
+
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n{"ok": 2}\n')
+        result = salvage_jsonl(path)  # tail_only defaults off
+        assert list(result.records) == [{"ok": 1}, {"ok": 2}]
+        assert result.n_bad == 1

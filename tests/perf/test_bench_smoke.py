@@ -55,6 +55,9 @@ class TestHarnessSmoke:
             "serving_p99_admitted_s",
             "cluster_soak_wall_s", "cluster_p50_admitted_s",
             "cluster_p99_admitted_s", "cluster_shed_rate",
+            "streaming_soak_wall_s", "streaming_records_per_wall_s",
+            "streaming_detect_latency_s", "streaming_incremental_s",
+            "streaming_naive_recompute_s", "streaming_incremental_speedup",
         ):
             assert key in results, key
             assert results[key] > 0
@@ -88,6 +91,17 @@ class TestHarnessSmoke:
         assert 0.0 < results["cluster_shed_rate"] < 1.0
         assert results["cluster_p99_admitted_s"] <= 1.2
         assert results["cluster_simulated_s"] > 0
+
+    def test_streaming_phase_counters(self, smoke_run):
+        results, _ = smoke_run
+        assert results["streaming_deliveries_n"] > 0
+        assert results["streaming_windows_n"] > 0
+        # Detection latency is simulated time: seed-derived and bounded
+        # by the degradation's scoring horizon (240s).
+        assert 0.0 < results["streaming_detect_latency_s"] <= 240.0
+        # The incremental operator must beat stateless recomputation
+        # even at smoke scale; the 5x floor binds at full scale only.
+        assert results["streaming_incremental_speedup"] > 1.0
 
     def test_parallel_modes_reported(self, smoke_run):
         results, _ = smoke_run

@@ -1,0 +1,84 @@
+"""Dataset → stream adapters: the batch/live boundary is deterministic."""
+
+import datetime as dt
+
+import pytest
+
+from repro.social.corpus import CorpusConfig, CorpusGenerator
+from repro.social.streams import social_stream
+from repro.telemetry.generator import CallDatasetGenerator, GeneratorConfig
+from repro.telemetry.schema import NETWORK_METRICS
+from repro.telemetry.streams import telemetry_stream
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    config = GeneratorConfig(n_calls=15, seed=5, mos_sample_rate=0.5)
+    return CallDatasetGenerator(config).generate()
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    config = CorpusConfig(
+        seed=5,
+        span_start=dt.date(2022, 1, 1),
+        span_end=dt.date(2022, 1, 14),
+        speed_share_count=40,
+    )
+    return CorpusGenerator(config).generate()
+
+
+class TestTelemetryStream:
+    def test_event_time_ordered_and_deterministic(self, dataset):
+        a = telemetry_stream(dataset)
+        b = telemetry_stream(dataset)
+        assert a == b
+        times = [r.event_time_s for r in a]
+        assert times == sorted(times)
+        assert times[0] == 0.0  # epoch defaults to the first call
+
+    def test_network_metrics_and_ratings_emitted(self, dataset):
+        records = telemetry_stream(dataset)
+        metrics = {r.metric for r in records if r.role == "network"}
+        assert metrics == set(NETWORK_METRICS)
+        ratings = [r for r in records if r.role == "experience"]
+        assert ratings  # mos_sample_rate=0.5 guarantees some
+        assert all(r.metric == "rating" for r in ratings)
+        assert all(1.0 <= r.value <= 5.0 for r in ratings)
+
+    def test_keys_are_scrubbed(self, dataset):
+        raw_ids = {
+            p.user_id for call in dataset for p in call.participants
+        }
+        keys = {r.key for r in telemetry_stream(dataset)}
+        assert keys.isdisjoint(raw_ids)
+
+    def test_explicit_epoch_shifts_times(self, dataset):
+        calls = list(dataset)
+        first = min(call.start for call in calls)
+        epoch = first - dt.timedelta(seconds=100)
+        shifted = telemetry_stream(dataset, epoch=epoch)
+        assert min(r.event_time_s for r in shifted) == 100.0
+
+
+class TestSocialStream:
+    def test_event_time_ordered_and_deterministic(self, corpus):
+        a = social_stream(corpus)
+        b = social_stream(corpus)
+        assert a == b
+        times = [r.event_time_s for r in a]
+        assert times == sorted(times)
+
+    def test_sentiment_and_speed_records(self, corpus):
+        records = social_stream(corpus)
+        sentiment = [r for r in records if r.metric == "sentiment_polarity"]
+        speeds = [r for r in records if r.metric == "reported_downlink_mbps"]
+        assert len(sentiment) == len(list(corpus))
+        assert all(r.role == "experience" for r in sentiment)
+        assert speeds  # speed_share_count=40 guarantees some
+        assert all(r.role == "network" and r.value >= 0.0 for r in speeds)
+
+    def test_authors_are_scrubbed(self, corpus):
+        authors = {post.author for post in corpus}
+        keys = {r.key for r in social_stream(corpus)}
+        assert keys.isdisjoint(authors)

@@ -1,0 +1,129 @@
+"""Stream fault injection: arrival chaos is seeded, total-ordered chaos."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.resilience.faults import FaultPlan, StreamDelivery, StreamFaultSpec
+from repro.streaming import synthetic_stream
+
+SPEC = StreamFaultSpec(
+    base_delay_s=2.0,
+    reorder_rate=0.3,
+    reorder_extra_s=20.0,
+    duplicate_rate=0.1,
+    duplicate_delay_s=10.0,
+    skew_windows=((100.0, 30.0, 8.0),),
+    gap_windows=((200.0, 20.0),),
+)
+
+
+def records(seed=19):
+    return synthetic_stream(seed=seed, duration_s=300.0, rate_per_s=4.0)
+
+
+class TestStreamFaults:
+    def test_same_seed_same_schedule(self):
+        a = FaultPlan(seed=3).stream_faults("s", records(), SPEC)
+        b = FaultPlan(seed=3).stream_faults("s", records(), SPEC)
+        assert a == b
+
+    def test_different_seed_differs(self):
+        a = FaultPlan(seed=3).stream_faults("s", records(), SPEC)
+        b = FaultPlan(seed=4).stream_faults("s", records(), SPEC)
+        assert a != b
+
+    def test_schedule_is_totally_ordered(self):
+        deliveries = FaultPlan(seed=3).stream_faults("s", records(), SPEC)
+        keys = [(d.at_s, d.seq) for d in deliveries]
+        assert keys == sorted(keys)
+        assert len(set(keys)) == len(keys)
+
+    def test_event_times_never_touched(self):
+        source = records()
+        deliveries = FaultPlan(seed=3).stream_faults("s", source, SPEC)
+        originals = {r.fingerprint for r in source}
+        for d in deliveries:
+            assert d.record.fingerprint in originals
+            assert d.at_s >= d.record.event_time_s  # delivery after event
+
+    def test_duplicates_marked_and_counted(self):
+        deliveries = FaultPlan(seed=3).stream_faults("s", records(), SPEC)
+        dupes = [d for d in deliveries if d.duplicate]
+        assert dupes
+        assert len(deliveries) == len(records()) + len(dupes)
+
+    def test_gap_window_holds_deliveries(self):
+        """No delivery lands inside a gap window; the burst drains at
+        its end."""
+        deliveries = FaultPlan(seed=3).stream_faults("s", records(), SPEC)
+        start, duration = SPEC.gap_windows[0]
+        assert all(
+            not (start <= d.at_s < start + duration) for d in deliveries
+        )
+        held = [d for d in deliveries if "gap" in d.injected]
+        assert held
+        assert all(d.at_s >= start + duration for d in held)
+
+    def test_injected_labels_name_the_faults(self):
+        deliveries = FaultPlan(seed=3).stream_faults("s", records(), SPEC)
+        seen = {label for d in deliveries for label in d.injected}
+        assert {"reorder", "skew", "gap", "duplicate"} <= seen
+
+    def test_plan_log_records_the_call(self):
+        plan = FaultPlan(seed=3)
+        deliveries = plan.stream_faults("s", records(), SPEC)
+        assert ("s", f"stream_faults.{len(deliveries)}") in plan.log
+
+    def test_no_chaos_spec_preserves_order(self):
+        source = records()
+        deliveries = FaultPlan(seed=3).stream_faults(
+            "s", source, StreamFaultSpec(base_delay_s=0.0)
+        )
+        assert [d.record for d in deliveries] == list(source)
+        assert [d.at_s for d in deliveries] == [
+            r.event_time_s for r in source
+        ]
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(base_delay_s=-1.0),
+            dict(reorder_rate=1.5),
+            dict(duplicate_rate=-0.1),
+            dict(reorder_rate=0.5, reorder_extra_s=-1.0),
+            dict(skew_windows=((0.0, -5.0, 1.0),)),
+            dict(gap_windows=((-1.0, 5.0),)),
+            dict(crash_at_s=(-1.0,)),
+        ],
+    )
+    def test_bad_spec_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            StreamFaultSpec(**kwargs)
+
+    def test_delivery_is_frozen(self):
+        d = FaultPlan(seed=3).stream_faults("s", records()[:1], SPEC)[0]
+        assert isinstance(d, StreamDelivery)
+        with pytest.raises(Exception):
+            d.at_s = 0.0
+
+
+class TestSyntheticStream:
+    def test_deterministic_and_time_ordered(self):
+        a = synthetic_stream(seed=5, duration_s=120.0, rate_per_s=4.0)
+        b = synthetic_stream(seed=5, duration_s=120.0, rate_per_s=4.0)
+        assert a == b
+        times = [r.event_time_s for r in a]
+        assert times == sorted(times)
+
+    def test_covers_both_roles(self):
+        stream = synthetic_stream(seed=5, duration_s=120.0, rate_per_s=4.0)
+        roles = {r.role for r in stream}
+        assert roles == {"network", "experience"}
+
+    def test_values_stay_physical(self):
+        stream = synthetic_stream(seed=5, duration_s=300.0, rate_per_s=8.0)
+        for r in stream:
+            if r.metric == "mos":
+                assert 1.0 <= r.value <= 5.0
+            if r.metric in ("loss_pct", "speed_mbps"):
+                assert r.value >= 0.0

@@ -1,0 +1,163 @@
+"""Watermarks, reorder buffering and dedup: the ordering guarantees."""
+
+import pytest
+
+from repro import rng as rng_mod
+from repro.errors import ConfigError
+from repro.streaming import (
+    DedupFilter,
+    ReorderBuffer,
+    StreamRecord,
+    WatermarkTracker,
+)
+from repro.streaming.watermark import NO_WATERMARK
+
+
+def rec(t, metric="latency_ms", value=40.0, key="u0"):
+    return StreamRecord(
+        event_time_s=t, source="test", metric=metric, value=value, key=key,
+    )
+
+
+class TestWatermarkTracker:
+    def test_starts_at_no_watermark(self):
+        wm = WatermarkTracker(allowed_lateness_s=10.0)
+        assert wm.watermark_s == NO_WATERMARK
+        assert not wm.is_late(0.0)
+
+    def test_watermark_trails_by_allowed_lateness(self):
+        wm = WatermarkTracker(allowed_lateness_s=10.0)
+        wm.observe(100.0)
+        assert wm.watermark_s == 90.0
+        assert wm.is_late(89.9)
+        assert not wm.is_late(90.0)  # boundary: exactly-at is on time
+
+    def test_monotonic_under_adversarial_event_times(self):
+        """The watermark never regresses, however disordered arrivals are."""
+        wm = WatermarkTracker(allowed_lateness_s=5.0)
+        stream = rng_mod.derive(13, "test", "watermark")
+        last = NO_WATERMARK
+        for _ in range(500):
+            wm.observe(float(stream.random()) * 1000.0)
+            assert wm.watermark_s >= last
+            last = wm.watermark_s
+
+    def test_floor_advance_is_monotone_and_counts(self):
+        wm = WatermarkTracker(allowed_lateness_s=50.0)
+        wm.observe(100.0)
+        assert wm.watermark_s == 50.0
+        wm.advance_floor(80.0)
+        assert wm.watermark_s == 80.0
+        wm.advance_floor(60.0)  # lower floor never wins
+        assert wm.watermark_s == 80.0
+
+    def test_negative_lateness_rejected(self):
+        with pytest.raises(ConfigError):
+            WatermarkTracker(allowed_lateness_s=-1.0)
+
+    def test_state_round_trip(self):
+        wm = WatermarkTracker(allowed_lateness_s=10.0)
+        wm.observe(100.0)
+        wm.advance_floor(95.0)
+        clone = WatermarkTracker(allowed_lateness_s=10.0)
+        clone.load_state(wm.state_dict())
+        assert clone.watermark_s == wm.watermark_s
+        assert clone.max_event_time_s == wm.max_event_time_s
+        assert clone.observed == wm.observed
+
+    def test_state_round_trip_before_first_observation(self):
+        wm = WatermarkTracker(allowed_lateness_s=10.0)
+        clone = WatermarkTracker(allowed_lateness_s=10.0)
+        clone.load_state(wm.state_dict())
+        assert clone.watermark_s == NO_WATERMARK
+
+
+class TestReorderBuffer:
+    def test_releases_in_event_time_order(self):
+        buf = ReorderBuffer(capacity=16)
+        times = [5.0, 1.0, 3.0, 2.0, 4.0]
+        for t in times:
+            buf.push(rec(t))
+        released = buf.release(3.0)
+        assert [r.event_time_s for r in released] == [1.0, 2.0, 3.0]
+        assert len(buf) == 2
+
+    def test_equal_event_times_release_in_arrival_order(self):
+        buf = ReorderBuffer(capacity=16)
+        buf.push(rec(1.0, key="first"))
+        buf.push(rec(1.0, key="second"))
+        released = buf.release(1.0)
+        assert [r.key for r in released] == ["first", "second"]
+
+    def test_overflow_is_signalled_not_silent(self):
+        buf = ReorderBuffer(capacity=2)
+        for t in (3.0, 1.0, 2.0):
+            buf.push(rec(t))
+        assert buf.overflowing
+        assert buf.pop_oldest().event_time_s == 1.0
+        assert not buf.overflowing
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(ConfigError):
+            ReorderBuffer(capacity=1).pop_oldest()
+
+    def test_state_round_trip_preserves_order(self):
+        buf = ReorderBuffer(capacity=8)
+        for t in (5.0, 1.0, 3.0):
+            buf.push(rec(t))
+        clone = ReorderBuffer(capacity=8)
+        clone.load_state(buf.state_dict())
+        assert [r.event_time_s for r in clone.release(10.0)] == [
+            r.event_time_s for r in buf.release(10.0)
+        ]
+
+
+class TestDedupFilter:
+    def test_duplicate_detected_distinct_passed(self):
+        dd = DedupFilter(horizon_s=60.0)
+        a, b = rec(1.0, key="u1"), rec(1.0, key="u2")
+        assert not dd.seen(a)
+        assert dd.seen(a)
+        assert not dd.seen(b)  # same instant, different key
+
+    def test_same_fields_same_fingerprint(self):
+        dd = DedupFilter(horizon_s=60.0)
+        assert not dd.seen(rec(1.0))
+        assert dd.seen(rec(1.0))  # a distinct but identical object
+
+    def test_eviction_bounds_memory(self):
+        dd = DedupFilter(horizon_s=10.0)
+        for t in range(100):
+            dd.seen(rec(float(t)))
+        dropped = dd.evict(watermark_s=99.0)
+        assert dropped == dd.evicted > 0
+        assert len(dd) == 100 - dropped
+        # everything younger than watermark - horizon is retained
+        assert dd.seen(rec(95.0))
+
+    def test_state_round_trip(self):
+        dd = DedupFilter(horizon_s=60.0)
+        dd.seen(rec(1.0))
+        dd.seen(rec(2.0))
+        clone = DedupFilter(horizon_s=60.0)
+        clone.load_state(dd.state_dict())
+        assert clone.seen(rec(1.0))
+        assert not clone.seen(rec(3.0))
+
+
+class TestStreamRecord:
+    def test_validation(self):
+        with pytest.raises(Exception):
+            StreamRecord(event_time_s=-1.0, source="s", metric="m", value=1.0)
+        with pytest.raises(Exception):
+            StreamRecord(event_time_s=0.0, source="", metric="m", value=1.0)
+        with pytest.raises(Exception):
+            StreamRecord(
+                event_time_s=0.0, source="s", metric="m", value=1.0,
+                role="nonsense",
+            )
+
+    def test_round_trip(self):
+        r = rec(3.5, metric="mos", value=4.25, key="u7")
+        assert StreamRecord.from_dict(r.to_dict()) == r
+        assert StreamRecord.from_dict(r.to_dict()).fingerprint == r.fingerprint

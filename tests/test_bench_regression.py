@@ -80,3 +80,51 @@ def test_regression_still_detected(tmp_path):
          "results": {"calls_cold_s": 2.0, "corpus_cold_s": 1.0}},
     ]
     assert tool.check(_write(tmp_path, {"schema": 1, "runs": runs})) == 1
+
+
+def test_floor_families_apply_only_when_present(tmp_path):
+    """A full-scale run recorded before a family's harness phase existed
+    must stay valid: floors gate per family, on that family's metrics."""
+    tool = _load_tool()
+    pre_streaming = [
+        {"scale": "full",
+         "results": {"calls_vec_speedup": 9.0, "corpus_vec_speedup": 8.0}},
+    ]
+    assert tool.check(
+        _write(tmp_path, {"schema": 1, "runs": pre_streaming})
+    ) == 0
+    pre_everything = [{"scale": "full", "results": {"calls_cold_s": 1.0}}]
+    assert tool.check(
+        _write(tmp_path, {"schema": 1, "runs": pre_everything})
+    ) == 0
+
+
+def test_floor_violation_fails_within_its_family(tmp_path):
+    tool = _load_tool()
+    runs = [
+        {"scale": "full",
+         "results": {"calls_vec_speedup": 9.0, "corpus_vec_speedup": 8.0,
+                     "streaming_incremental_speedup": 1.2}},
+    ]
+    assert tool.check(_write(tmp_path, {"schema": 1, "runs": runs})) == 1
+
+
+def test_all_floors_met_passes(tmp_path):
+    tool = _load_tool()
+    runs = [
+        {"scale": "full",
+         "results": {"calls_vec_speedup": 9.0, "corpus_vec_speedup": 8.0,
+                     "streaming_incremental_speedup": 13.0}},
+    ]
+    assert tool.check(_write(tmp_path, {"schema": 1, "runs": runs})) == 0
+
+
+def test_simulated_streaming_metric_has_no_noise_floor(tmp_path):
+    """streaming_detect_latency_s is simulated time: tiny absolute
+    drifts are real behaviour changes and must fail the ratio gate."""
+    tool = _load_tool()
+    runs = [
+        {"scale": "full", "results": {"streaming_detect_latency_s": 0.010}},
+        {"scale": "full", "results": {"streaming_detect_latency_s": 0.020}},
+    ]
+    assert tool.check(_write(tmp_path, {"schema": 1, "runs": runs})) == 1

@@ -9,8 +9,9 @@ metrics additionally get an absolute noise floor (:data:`MIN_DELTA_S`)
 so host-load jitter on millisecond phases cannot fail the gate; the
 simulated-clock serving/cluster metrics get none.  Independently
 of the pairwise comparison, the newest full-scale run must keep the
-vectorized-engine speedups above :data:`SPEEDUP_FLOORS` (checked even
-when there is no earlier run to compare against).
+structural speedups above :data:`SPEEDUP_FLOOR_FAMILIES` (checked even
+when there is no earlier run to compare against; each family applies
+only once the run records its metrics).
 
 Usage::
 
@@ -39,7 +40,10 @@ from typing import Dict, List, Optional
 #: The cluster entries extend the same discipline to the multi-replica
 #: soak *under replica loss*: admitted-latency percentiles and the shed
 #: rate with one replica crashing mid-spike, guarding the failover /
-#: rebalance / quota path end to end.
+#: rebalance / quota path end to end.  The streaming entry is the
+#: simulated-time lag from an injected degradation to its experience
+#: change point — seed-derived like the serving percentiles, so any
+#: movement is a detector behaviour change.
 GUARDED_METRICS = (
     "calls_cold_s",
     "corpus_cold_s",
@@ -54,6 +58,7 @@ GUARDED_METRICS = (
     "cluster_p50_admitted_s",
     "cluster_p99_admitted_s",
     "cluster_shed_rate",
+    "streaming_detect_latency_s",
 )
 
 #: Allowed slowdown before the check fails.
@@ -69,19 +74,28 @@ THRESHOLD = 0.30
 #: stay ratio-only — for them any drift is a behaviour change.
 MIN_DELTA_S = 0.1
 
-_SIMULATED_PREFIXES = ("serving_", "cluster_")
+_SIMULATED_PREFIXES = ("serving_", "cluster_", "streaming_")
 
-#: Absolute floors on the vectorized-engine speedups, checked on the
-#: *latest full-scale* run alone (no previous run needed).  The cold
-#: metrics above catch gradual drift between runs; these catch the
-#: vectorized path quietly collapsing back toward record-path cost —
-#: a "cold regression" a ratio check can't see when both paths move
-#: together.  Floors sit well under the measured speedups (~10x calls,
-#: ~8x corpus) so host noise can't trip them, while a real loss of
-#: vectorization (2-3x territory) fails loudly.
-SPEEDUP_FLOORS = {
-    "calls_vec_speedup": 5.0,
-    "corpus_vec_speedup": 5.0,
+#: Absolute floors on structural speedups, checked on the *latest
+#: full-scale* run alone (no previous run needed).  The cold metrics
+#: above catch gradual drift between runs; these catch an optimised
+#: path quietly collapsing back toward its reference cost — a "cold
+#: regression" a ratio check can't see when both paths move together.
+#: Floors are grouped into families and each family is enforced only
+#: when the run records at least one of its metrics, so trajectory
+#: entries that predate a family (e.g. pre-streaming full runs) stay
+#: valid.  Within a present family every floor must hold.  Floors sit
+#: well under the measured speedups (~10x vectorized calls, ~8x
+#: corpus, ~13x incremental windows) so host noise can't trip them,
+#: while a real structural loss (2-3x territory) fails loudly.
+SPEEDUP_FLOOR_FAMILIES = {
+    "vectorized": {
+        "calls_vec_speedup": 5.0,
+        "corpus_vec_speedup": 5.0,
+    },
+    "streaming": {
+        "streaming_incremental_speedup": 5.0,
+    },
 }
 
 
@@ -159,12 +173,12 @@ def check(path: Path) -> int:
 
 
 def _check_speedup_floors(runs: List[dict]) -> List[str]:
-    """Enforce :data:`SPEEDUP_FLOORS` on the newest full-scale run.
+    """Enforce :data:`SPEEDUP_FLOOR_FAMILIES` on the newest full-scale run.
 
-    Older runs legitimately predate the vectorized engines, so a
-    missing metric only fails when the run is full-scale *and recent
-    enough to have the harness phase* — i.e. any full-scale run that
-    already records one of the floored metrics must satisfy all floors.
+    Older runs legitimately predate the optimised paths, so floors
+    apply per family: a family only fails when the run is full-scale
+    *and records at least one of that family's metrics* — in which
+    case every floor in the family must hold.
     """
     latest_full = None
     for run in reversed(runs):
@@ -174,21 +188,27 @@ def _check_speedup_floors(runs: List[dict]) -> List[str]:
     if latest_full is None:
         return []
     results = latest_full.get("results", {})
-    if not any(metric in results for metric in SPEEDUP_FLOORS):
-        return []  # pre-vectorization trajectory entry
     failures: List[str] = []
-    for metric, floor in sorted(SPEEDUP_FLOORS.items()):
-        value = results.get(metric)
-        if not isinstance(value, (int, float)) or value < floor:
-            shown = f"{value:.2f}x" if isinstance(value, (int, float)) else value
-            failures.append(f"{metric}: {shown} < {floor:.1f}x floor")
-            print(f"  {metric:26s} {shown}  (floor {floor:.1f}x)  FAIL")
-        else:
-            print(f"  {metric:26s} {value:8.2f}x (floor {floor:.1f}x)  ok")
+    for family, floors in sorted(SPEEDUP_FLOOR_FAMILIES.items()):
+        if not any(metric in results for metric in floors):
+            continue  # run predates this family's harness phase
+        for metric, floor in sorted(floors.items()):
+            value = results.get(metric)
+            if not isinstance(value, (int, float)) or value < floor:
+                shown = (
+                    f"{value:.2f}x"
+                    if isinstance(value, (int, float)) else value
+                )
+                failures.append(
+                    f"{metric}: {shown} < {floor:.1f}x floor"
+                )
+                print(f"  {metric:26s} {shown}  (floor {floor:.1f}x)  FAIL")
+            else:
+                print(f"  {metric:26s} {value:8.2f}x "
+                      f"(floor {floor:.1f}x)  ok")
     if failures:
         print(
-            "FAIL: vectorized speedup floor violated: "
-            + "; ".join(failures),
+            "FAIL: speedup floor violated: " + "; ".join(failures),
             file=sys.stderr,
         )
     return failures

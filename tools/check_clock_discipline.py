@@ -12,8 +12,9 @@ A single stray ``time.time()`` in a covered module silently breaks
 byte-identical replays — the failure shows up as flaky soak counters
 far from the offending line — so the rule is enforced structurally:
 
-* covered packages: ``repro/serving``, ``repro/resilience`` and
-  ``repro/core/usaas`` (matched as contiguous path parts), plus any
+* covered packages: ``repro/serving``, ``repro/resilience``,
+  ``repro/streaming`` and ``repro/core/usaas`` (matched as contiguous
+  path parts), plus any
   ``cluster*.py`` or ``vectorized*.py`` module anywhere under a
   ``repro`` package — the cluster router/soak layer and the vectorized
   block engines must stay deterministic no matter where a future
@@ -47,6 +48,7 @@ BANNED_ATTRS = (
 COVERED_DIRS = (
     ("repro", "serving"),
     ("repro", "resilience"),
+    ("repro", "streaming"),
     ("repro", "core", "usaas"),
 )
 
