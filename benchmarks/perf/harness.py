@@ -48,7 +48,18 @@ The suite measures the three levers this repo pulls for scale:
   sliding-window operator against a stateless consumer that recomputes
   :func:`~repro.streaming.batch_window_aggregates` from the full
   prefix at every slide boundary — outputs asserted equal before the
-  speedup is recorded.
+  speedup is recorded;
+* **prediction phase** — the columnar MOS predictor
+  (:mod:`repro.prediction`) against the record-at-a-time
+  :class:`~repro.engagement.predictor.MosPredictor` reference on a
+  rating-rich replay of the call workload: training cost, batched
+  inference speedup and rows/sec (weights and predictions asserted
+  byte-identical first; the gate enforces a 20x speedup and 100k
+  rows/sec floor at full scale), MAE/bias against the simulator's
+  experienced-QoE ground truth (asserted no worse than the E-model
+  prior), and an over-capacity coalesced ``predict_mos`` soak on a
+  ``ManualClock`` whose p99 latency is seed-derived, byte-stable and
+  regression-guarded.
 
 Results append to a machine-readable trajectory file
 (``BENCH_perf.json`` at the repo root) so subsequent PRs can show
@@ -610,6 +621,153 @@ def run_perf_suite(
     results["streaming_naive_recompute_s"] = naive["seconds"]
     results["streaming_incremental_speedup"] = naive["seconds"] / max(
         1e-9, incremental["seconds"]
+    )
+
+    # --- prediction phase: columnar MOS training/inference/serving ------
+    import dataclasses
+
+    import numpy as np
+
+    from repro.engagement.predictor import MosPredictor
+    from repro.perf.columnar import ParticipantColumns
+    from repro.prediction import (
+        CoalescerConfig,
+        ColumnarMosPredictor,
+        emodel_prior_mos,
+        evaluate_ground_truth,
+        run_prediction_soak,
+        synthetic_prediction_server,
+    )
+    from repro.resilience.faults import Arrival
+    from repro.rng import derive
+    from repro.telemetry.vectorized import VectorizedCallEngine
+
+    # A rating-rich replay of the call workload: training needs far more
+    # rated sessions than the paper's ~0.5 % prompt rate yields.
+    rated_config = dataclasses.replace(calls_config, mos_sample_rate=0.5)
+    rated_dataset = CallDatasetGenerator(rated_config).generate()
+    rated_parts = list(rated_dataset.participants())
+    rated_cols = ParticipantColumns.from_dataset(rated_dataset)
+
+    record_model = MosPredictor().fit(rated_parts)
+    train = _timed_vec(
+        lambda: ColumnarMosPredictor().fit_columns(rated_cols)
+    )
+    columnar_model = train["value"]
+    if any(
+        np.float64(record_model.weights()[f]).tobytes()
+        != np.float64(columnar_model.weights()[f]).tobytes()
+        for f in record_model.weights()
+    ):
+        raise AssertionError(
+            "columnar fit diverged from the record reference weights"
+        )
+    results["prediction_train_s"] = train["seconds"]
+    results["prediction_train_rows"] = len(rated_cols)
+
+    record_infer = _timed(lambda: record_model.predict(rated_parts))
+    batch_infer = _timed_vec(
+        lambda: columnar_model.predict_columns(rated_cols)
+    )
+    if record_infer["value"].tobytes() != batch_infer["value"].tobytes():
+        raise AssertionError(
+            "columnar predictions diverged from the record reference"
+        )
+    results["prediction_record_infer_s"] = record_infer["seconds"]
+    results["prediction_batch_infer_s"] = batch_infer["seconds"]
+    results["prediction_batch_speedup"] = record_infer["seconds"] / max(
+        1e-9, batch_infer["seconds"]
+    )
+    results["prediction_rows_per_s"] = len(rated_cols) / max(
+        1e-9, batch_infer["seconds"]
+    )
+
+    # Accuracy against the simulator's experienced QoE: the rating-
+    # trained model must beat the network-only E-model prior, which
+    # cannot see user-experience factors like early drops.
+    truth_cols, truth = VectorizedCallEngine(
+        rated_config
+    ).generate_with_ground_truth()
+    truth_model = ColumnarMosPredictor().fit_columns(truth_cols)
+    report_model = evaluate_ground_truth(
+        truth_model.predict_columns(truth_cols), truth, truth_cols.platform
+    )
+    report_prior = evaluate_ground_truth(
+        emodel_prior_mos(truth_cols), truth, truth_cols.platform
+    )
+    # Smoke scale trains on a few dozen ratings — too few for the
+    # model to beat the prior reliably, so the accuracy bar (like the
+    # speedup floors) binds only at full scale.
+    if scale.name == "full" and report_model.mae > report_prior.mae:
+        raise AssertionError(
+            f"trained predictor MAE {report_model.mae:.4f} worse than "
+            f"the E-model prior's {report_prior.mae:.4f}"
+        )
+    results["prediction_mae"] = report_model.mae
+    results["prediction_bias"] = report_model.bias
+    results["prediction_prior_mae"] = report_prior.mae
+
+    # Over-capacity coalesced serving soak on a ManualClock: arrivals,
+    # costs and the coalescer all run on simulated time, so the p99 is
+    # seed-derived and byte-stable — it joins the regression gate.
+    coalescer = CoalescerConfig(max_batch=16, max_delay_s=0.01)
+
+    def prediction_soak_once():
+        server, _, engine = synthetic_prediction_server(
+            truth_cols, truth_model, seed=scale.seed,
+            coalescer=coalescer, max_pending=16,
+        )
+        batch_cost = engine.cost_model.batch_cost_s(
+            coalescer.max_batch * len(truth_cols)
+        )
+        # 1.5x the one-batch-per-service-time capacity, with a deadline
+        # of ten batch costs: enough for coalesced groups to survive
+        # the 16-deep queue, tight enough that overload still degrades
+        # (E-model fallback) and sheds the rest.
+        rate = 1.5 * coalescer.max_batch / batch_cost
+        n_queries = max(60, int(50 * scale.soak_duration_s))
+        rng = derive(scale.seed, "prediction", "perf-soak")
+        at_s = np.cumsum(rng.exponential(1.0 / rate, n_queries))
+        arrivals = [
+            Arrival(
+                at_s=float(t),
+                priority="interactive" if i % 8 == 0 else "batch",
+                deadline_s=10.0 * batch_cost,
+            )
+            for i, t in enumerate(at_s)
+        ]
+        return run_prediction_soak(server, arrivals), batch_cost
+
+    soak_timing = _timed(prediction_soak_once)
+    prediction_report, batch_cost = soak_timing["value"]
+    if not prediction_report.accounted:
+        raise AssertionError(
+            "prediction soak accounting violated: submitted != sum of "
+            "terminal states"
+        )
+    if prediction_report.deadline_exceeded:
+        raise AssertionError(
+            f"{prediction_report.deadline_exceeded} prediction(s) were "
+            f"answered past their deadline instead of degrading"
+        )
+    if prediction_report.max_overrun_s > batch_cost:
+        raise AssertionError(
+            f"prediction answered {prediction_report.max_overrun_s:.4f}s "
+            f"over budget (> one batch cost {batch_cost:.4f}s)"
+        )
+    results["prediction_soak_wall_s"] = soak_timing["seconds"]
+    results["prediction_soak_submitted"] = prediction_report.submitted
+    results["prediction_soak_served"] = prediction_report.served
+    results["prediction_soak_degraded"] = prediction_report.served_degraded
+    results["prediction_soak_shed"] = prediction_report.shed
+    results["prediction_soak_mean_coalesced"] = (
+        prediction_report.mean_coalesced
+    )
+    results["prediction_soak_p99_coalesced_s"] = (
+        prediction_report.p99_latency_s
+    )
+    results["prediction_soak_max_overrun_s"] = (
+        prediction_report.max_overrun_s
     )
 
     results["cache_stats"] = cache.stats().summary()

@@ -317,7 +317,114 @@ def _cmd_usaas_stream_soak(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_usaas_predict(args: argparse.Namespace) -> int:
+    """Fit the columnar MOS predictor and grade it against ground truth."""
+    import json
+
+    import numpy as np
+
+    from repro.errors import InsufficientRatingsError
+    from repro.prediction import (
+        CoalescerConfig,
+        ColumnarMosPredictor,
+        emodel_prior_mos,
+        evaluate_ground_truth,
+        run_prediction_soak,
+        synthetic_prediction_server,
+    )
+    from repro.resilience.faults import Arrival
+    from repro.rng import derive
+    from repro.telemetry.generator import GeneratorConfig
+    from repro.telemetry.vectorized import VectorizedCallEngine
+
+    config = GeneratorConfig(
+        seed=args.seed,
+        n_calls=args.n_calls,
+        mos_sample_rate=args.mos_sample_rate,
+    )
+    cols, truth = VectorizedCallEngine(config).generate_with_ground_truth()
+    model = ColumnarMosPredictor(l2=args.l2)
+    try:
+        model.fit_columns(cols)
+    except InsufficientRatingsError as exc:
+        print(f"cannot fit the MOS predictor: {exc}", file=sys.stderr)
+        return 2
+
+    predictions = model.predict_columns(cols)
+    report_model = evaluate_ground_truth(predictions, truth, cols.platform)
+    report_prior = evaluate_ground_truth(
+        emodel_prior_mos(cols), truth, cols.platform
+    )
+    payload = {
+        "seed": args.seed,
+        "sessions": len(cols),
+        "rated": int(np.isfinite(cols.rating).sum()),
+        "model": report_model.as_dict(),
+        "emodel_prior": report_prior.as_dict(),
+        "weights": {k: round(v, 9) for k, v in model.weights().items()},
+    }
+
+    soak = None
+    one_batch_s = None
+    if args.soak_queries:
+        rng = derive(args.seed, "prediction", "cli-soak")
+        at_s = np.cumsum(
+            rng.exponential(1.0 / args.arrival_rate_per_s, args.soak_queries)
+        )
+        arrivals = [
+            Arrival(
+                at_s=float(t),
+                priority=("interactive", "batch", "batch")[i % 3],
+                deadline_s=args.deadline_s,
+            )
+            for i, t in enumerate(at_s)
+        ]
+        server, _, engine = synthetic_prediction_server(
+            cols, model, seed=args.seed,
+            coalescer=CoalescerConfig(
+                max_batch=args.max_batch, max_delay_s=args.max_delay_s
+            ),
+        )
+        soak = run_prediction_soak(server, arrivals)
+        one_batch_s = engine.cost_model.batch_cost_s(
+            args.max_batch * len(cols)
+        )
+        payload["soak"] = soak.counters_dict()
+
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        print(f"seed {args.seed}: {len(cols)} sessions, "
+              f"{payload['rated']} rated "
+              f"({100 * args.mos_sample_rate:.1f}% prompted)")
+        print("model vs experienced QoE:")
+        print(report_model.table())
+        print(f"E-model prior MAE {report_prior.mae:.4f} "
+              f"(bias {report_prior.bias:+.4f})")
+        if soak is not None:
+            print(soak.summary())
+
+    if soak is not None:
+        if not soak.accounted:
+            print("accounting violation: submitted != sum(terminal "
+                  "states) for predict_mos", file=sys.stderr)
+            return 3
+        if soak.deadline_exceeded:
+            print(f"deadline violation: {soak.deadline_exceeded} "
+                  f"prediction(s) answered past their budget",
+                  file=sys.stderr)
+            return 3
+        if soak.max_overrun_s > one_batch_s:
+            print(f"deadline violation: answered {soak.max_overrun_s:.4f}s "
+                  f"over budget (> one batch cost {one_batch_s:.4f}s)",
+                  file=sys.stderr)
+            return 3
+    return 0
+
+
 def _cmd_usaas(args: argparse.Namespace) -> int:
+    if getattr(args, "usaas_command", None) == "predict":
+        return _cmd_usaas_predict(args)
     if getattr(args, "usaas_command", None) == "soak":
         return _cmd_usaas_soak(args)
     if getattr(args, "usaas_command", None) == "cluster-soak":
@@ -964,6 +1071,49 @@ def build_parser() -> argparse.ArgumentParser:
                      help="append-only emission journal (JSONL)")
     ssp.add_argument("--json", action="store_true",
                      help="emit the stable counters dict as JSON")
+    pp = usaas_sub.add_parser(
+        "predict",
+        help="fit the columnar MOS predictor and grade it against "
+             "simulator ground truth",
+        description="Simulate a call dataset (vectorized engine), fit "
+                    "ridge regression on the sparse rating column, and "
+                    "compare its per-platform MAE/bias against the "
+                    "experienced-QoE ground truth the simulator knows "
+                    "— alongside the training-free E-model prior used "
+                    "as the deadline fallback.  With --soak-queries, "
+                    "also drive the micro-batching predict_mos serving "
+                    "path on a simulated clock and close the books.",
+        epilog="exit codes: 0 = fitted and (if soaked) every "
+               "prediction served, degraded or shed within the ladder's "
+               "bounds; 2 = too few rated sessions to fit — raise "
+               "--mos-sample-rate or --n-calls; 3 = serving invariant "
+               "violated (accounting open, or an answer overran its "
+               "deadline by more than one batch cost)",
+    )
+    pp.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    pp.add_argument("--n-calls", type=int, default=400,
+                    help="simulated meetings to train/evaluate on")
+    pp.add_argument("--mos-sample-rate", type=float, default=0.3,
+                    help="fraction of sessions prompted for a rating "
+                         "(the paper's real-world rate is ~0.005; "
+                         "training needs more)")
+    pp.add_argument("--l2", type=float, default=1.0,
+                    help="ridge regularisation strength")
+    pp.add_argument("--soak-queries", type=int, default=0,
+                    help="also run a predict_mos serving soak with this "
+                         "many queries (0 = skip)")
+    pp.add_argument("--arrival-rate-per-s", type=float, default=200.0,
+                    help="soak arrival rate (queries per simulated "
+                         "second)")
+    pp.add_argument("--deadline-s", type=float, default=0.05,
+                    help="per-query deadline budget in the soak")
+    pp.add_argument("--max-batch", type=int, default=16,
+                    help="coalescer flush size")
+    pp.add_argument("--max-delay-s", type=float, default=0.01,
+                    help="coalescer age bound (simulated seconds)")
+    pp.add_argument("--json", action="store_true",
+                    help="emit the evaluation (and soak counters) as "
+                         "JSON")
     p.set_defaults(fn=_cmd_usaas)
     return parser
 

@@ -13,6 +13,13 @@ from typing import Optional, Tuple
 
 from repro.errors import QueryError
 
+#: Supported query kinds: ``insights`` is §5's level/correlation/anomaly
+#: answer (served by :meth:`UsaasService.answer`); ``predict_mos`` asks
+#: for per-session MOS predictions and is served by a
+#: :class:`~repro.serving.server.UsaasServer` carrying a prediction
+#: engine (optionally micro-batched).
+QUERY_KINDS: Tuple[str, ...] = ("insights", "predict_mos")
+
 
 @dataclass(frozen=True)
 class UsaasQuery:
@@ -29,6 +36,9 @@ class UsaasQuery:
         breakdown: optional signal attribute (e.g. ``"platform"``,
             ``"country"``) to split level insights by — §5's "deep
             insights" knob.
+        kind: which query family this is (:data:`QUERY_KINDS`).
+        rows: for ``predict_mos`` only — session row indices into the
+            serving engine's columnar block (None = every session).
     """
 
     network: str
@@ -39,10 +49,30 @@ class UsaasQuery:
     end: Optional[dt.datetime] = None
     min_users: Optional[int] = None
     breakdown: Optional[str] = None
+    kind: str = "insights"
+    rows: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         if not self.network:
             raise QueryError("query requires a network")
+        if self.kind not in QUERY_KINDS:
+            raise QueryError(
+                f"unknown query kind {self.kind!r}; "
+                f"expected one of {QUERY_KINDS}"
+            )
+        if self.rows is not None:
+            if self.kind != "predict_mos":
+                raise QueryError(
+                    "rows apply only to predict_mos queries"
+                )
+            rows = tuple(int(r) for r in self.rows)
+            if not rows:
+                raise QueryError(
+                    "predict_mos rows must be non-empty (None = all)"
+                )
+            if any(r < 0 for r in rows):
+                raise QueryError("predict_mos rows must be non-negative")
+            object.__setattr__(self, "rows", rows)
         if not self.implicit_metrics and not self.explicit_metrics:
             raise QueryError("query must request at least one metric")
         if self.start is not None and self.end is not None:

@@ -180,6 +180,12 @@ class UsaasService:
             DegradedServiceError: fewer than ``min_sources`` sources
                 survived ingestion (or any failed under ``strict``).
         """
+        if query.kind != "insights":
+            raise QueryError(
+                f"UsaasService.answer handles only insights queries; "
+                f"kind={query.kind!r} must be submitted to a UsaasServer "
+                f"configured with a prediction engine"
+            )
         if len(self._registry) == 0:
             raise QueryError("no signal sources registered")
         gathered = self._gather(query, deadline)

@@ -17,7 +17,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.stats import pearson
-from repro.errors import AnalysisError
+from repro.errors import AnalysisError, InsufficientRatingsError
+from repro.rng import derive
 from repro.telemetry.schema import (
     ENGAGEMENT_METRICS,
     NETWORK_METRICS,
@@ -90,10 +91,7 @@ class MosPredictor:
     def fit(self, sessions: Iterable[ParticipantRecord]) -> "MosPredictor":
         rated = [p for p in sessions if p.rating is not None]
         if len(rated) < len(self._features) + 2:
-            raise AnalysisError(
-                f"need more rated sessions than features: "
-                f"{len(rated)} <= {len(self._features) + 1}"
-            )
+            raise InsufficientRatingsError(len(rated), len(self._features) + 2)
         x = self._design(rated)
         y = np.array([float(p.rating) for p in rated])
         self._mean = x.mean(axis=0)
@@ -134,16 +132,18 @@ def kfold_evaluate(
     """K-fold cross-validated evaluation (pooled out-of-fold predictions).
 
     More stable than a single split for the modest rated-session counts
-    realistic sampling rates produce.
+    realistic sampling rates produce.  The fold assignment comes from
+    the ``derive(seed, "predictor", "kfold")`` substream, so a given
+    seed yields a byte-identical split (and report) across runs and
+    across worker counts — the same discipline every other seeded path
+    in the repo follows.
     """
     if k < 2:
         raise AnalysisError("k must be >= 2")
     rated = [p for p in sessions if p.rating is not None]
     if len(rated) < 4 * k:
-        raise AnalysisError(
-            f"only {len(rated)} rated sessions for {k}-fold evaluation"
-        )
-    rng = np.random.default_rng(seed)
+        raise InsufficientRatingsError(len(rated), 4 * k)
+    rng = derive(seed, "predictor", "kfold")
     order = rng.permutation(len(rated))
     folds = np.array_split(order, k)
 
@@ -174,13 +174,17 @@ def train_test_evaluate(
     l2: float = 1.0,
     seed: int = 0,
 ) -> PredictionReport:
-    """Split the rated sessions, fit, and evaluate on the held-out part."""
+    """Split the rated sessions, fit, and evaluate on the held-out part.
+
+    The split comes from the ``derive(seed, "predictor", "split")``
+    substream, so it is byte-identical across runs and worker counts.
+    """
     if not 0 < test_share < 1:
         raise AnalysisError("test_share must be in (0, 1)")
     rated = [p for p in sessions if p.rating is not None]
     if len(rated) < 20:
-        raise AnalysisError(f"only {len(rated)} rated sessions; need >= 20")
-    rng = np.random.default_rng(seed)
+        raise InsufficientRatingsError(len(rated), 20)
+    rng = derive(seed, "predictor", "split")
     order = rng.permutation(len(rated))
     n_test = max(1, int(len(rated) * test_share))
     test = [rated[i] for i in order[:n_test]]

@@ -28,6 +28,33 @@ class AnalysisError(ReproError):
     """An analysis pipeline received data it cannot process."""
 
 
+class InsufficientRatingsError(ConfigError, AnalysisError):
+    """A training corpus carried too few explicit ratings to fit on.
+
+    Raised by the MOS-predictor fit paths *before* any linear algebra
+    runs, so a mis-configured feedback funnel (``FeedbackModel.
+    sample_rate=0``, zero respondents) surfaces as a typed, actionable
+    error naming the rating count instead of a numpy ``LinAlgError``
+    from a degenerate normal-equation solve.  It derives from both
+    :class:`ConfigError` (the root cause is configuration — the CLI
+    maps it to exit 2) and :class:`AnalysisError` (the historical type
+    of insufficient-data failures, so existing callers keep working).
+    """
+
+    def __init__(self, n_rated: int, n_required: int) -> None:
+        self.n_rated = int(n_rated)
+        self.n_required = int(n_required)
+        super().__init__(
+            f"corpus has {self.n_rated} rated session(s); fitting needs "
+            f"at least {self.n_required} — raise the feedback sample "
+            f"rate (FeedbackModel.sample_rate / --mos-sample-rate) or "
+            f"supply more rated data"
+        )
+
+    def __reduce__(self):
+        return (InsufficientRatingsError, (self.n_rated, self.n_required))
+
+
 class QueryError(ReproError):
     """A USaaS query was malformed or referenced unknown signals."""
 

@@ -1,0 +1,110 @@
+"""Micro-batching for batch-class ``predict_mos`` queries.
+
+A single prediction is one tiny matvec; the fixed per-query serving
+overhead (admission, deadline bookkeeping, dispatch) dwarfs it.  The
+coalescer sits *in front of* the admission controller: batch-class
+prediction tickets accumulate here and enter the queue as one group
+occupying one slot, executed as one vectorized ``predict_columns``
+call.  Interactive-class predictions never come through this path —
+the server admits them directly, trading throughput for latency.
+
+Two knobs bound the added latency (:class:`CoalescerConfig`):
+
+* ``max_batch`` — a full buffer flushes immediately, regardless of age;
+* ``max_delay_s`` — once the oldest buffered ticket has waited this
+  long *on the injected clock*, the next server interaction (submit,
+  ``run_next``, ``has_pending``, drain) flushes, so no query ever waits
+  in the buffer past ``max_delay_s`` once the server is touched again.
+
+The coalescer holds tickets, not queries: the server mints and counts
+the ticket first, so exactly-once accounting is unaffected by whether
+a prediction travelled solo or coalesced.  Time arrives as explicit
+``now`` values read from the server's injected Clock — the coalescer
+itself never reads a clock, which keeps it trivially deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class CoalescerConfig:
+    """Bounds on prediction micro-batches.
+
+    Attributes:
+        max_batch: flush as soon as this many tickets are buffered.
+        max_delay_s: flush once the oldest buffered ticket has waited
+            this long, full or not.
+    """
+
+    max_batch: int = 16
+    max_delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ConfigError("max_batch must be >= 1")
+        if self.max_delay_s < 0:
+            raise ConfigError("max_delay_s must be non-negative")
+
+
+class PredictionCoalescer:
+    """FIFO buffer that groups tickets into admission-ready batches."""
+
+    def __init__(self, config: CoalescerConfig) -> None:
+        self._config = config
+        self._entries: List = []          # (ticket, enqueued_at) pairs
+        self.flushed_batches = 0
+        self.flushed_tickets = 0
+
+    @property
+    def config(self) -> CoalescerConfig:
+        return self._config
+
+    def pending_count(self) -> int:
+        return len(self._entries)
+
+    def has_entries(self) -> bool:
+        return bool(self._entries)
+
+    def add(self, ticket, now: float) -> None:
+        """Buffer one batch-class prediction ticket."""
+        self._entries.append((ticket, float(now)))
+
+    def oldest_wait_s(self, now: float) -> float:
+        if not self._entries:
+            return 0.0
+        return float(now) - self._entries[0][1]
+
+    def due(self, now: float) -> bool:
+        """True when the next interaction must flush at least one batch."""
+        if not self._entries:
+            return False
+        return (
+            len(self._entries) >= self._config.max_batch
+            or self.oldest_wait_s(now) >= self._config.max_delay_s
+        )
+
+    def _pop_batch(self) -> List:
+        batch = [t for t, _ in self._entries[: self._config.max_batch]]
+        del self._entries[: self._config.max_batch]
+        self.flushed_batches += 1
+        self.flushed_tickets += len(batch)
+        return batch
+
+    def flush_due(self, now: float) -> List[List]:
+        """Every batch that is due at ``now`` (oldest first)."""
+        batches: List[List] = []
+        while self.due(now):
+            batches.append(self._pop_batch())
+        return batches
+
+    def flush_all(self) -> List[List]:
+        """Everything, due or not — the drain/serve path."""
+        batches: List[List] = []
+        while self._entries:
+            batches.append(self._pop_batch())
+        return batches

@@ -1,0 +1,149 @@
+"""Columnar ridge regression for MOS, byte-identical to the record path.
+
+:class:`ColumnarMosPredictor` is the training/inference half of the
+prediction tentpole: it fits the same standardised ridge model as
+:class:`repro.engagement.predictor.MosPredictor` but reads its features
+straight out of a :class:`~repro.perf.columnar.ParticipantColumns`
+block — network aggregates via :meth:`ParticipantColumns.metric` and
+engagement percentages via the block's attribute arrays — so neither
+training nor inference ever touches a record object.
+
+Equivalence is a hard contract, pinned the way ``test_columnar.py``
+pins the analysis paths: the design matrix is assembled with the exact
+same numpy construction as the record reference (a ``(k, n)``
+C-contiguous stack of feature columns, transposed), the rated-row
+filter selects the same rows in the same order as the reference's
+``p.rating is not None`` list comprehension, and the normal-equation
+solve runs the identical op sequence.  Weights and predictions are
+therefore ``tobytes``-identical, not merely close — which is what lets
+the serving layer swap the columnar engine in without changing a single
+answer.
+
+Column *extraction* is zero-copy (the feature arrays are the block's
+own buffers); only the final stack into the design matrix copies, which
+BLAS needs anyway.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.engagement.predictor import ALL_FEATURES, NETWORK_FEATURES
+from repro.errors import AnalysisError, InsufficientRatingsError
+from repro.perf.columnar import ParticipantColumns
+
+
+class ColumnarMosPredictor:
+    """Ridge regression from columnar session features to the 1–5 rating.
+
+    Mirrors :class:`~repro.engagement.predictor.MosPredictor` exactly —
+    same features, same ``l2``, same standardisation, same closed-form
+    solve — but fits and predicts on column blocks.  ``fit_columns`` on
+    a block built from a record dataset yields ``tobytes``-identical
+    weights to the record reference fitted on the same sessions, and
+    ``predict_columns`` yields ``tobytes``-identical predictions.
+    """
+
+    def __init__(
+        self,
+        features: Sequence[str] = ALL_FEATURES,
+        l2: float = 1.0,
+        network_stat: str = "mean",
+    ) -> None:
+        unknown = [f for f in features if f not in ALL_FEATURES]
+        if unknown:
+            raise AnalysisError(f"unknown features: {unknown}")
+        if not features:
+            raise AnalysisError("at least one feature required")
+        if l2 < 0:
+            raise AnalysisError("l2 must be non-negative")
+        self._features = tuple(features)
+        self._l2 = l2
+        self._network_stat = network_stat
+        self._weights: Optional[np.ndarray] = None
+        self._mean: Optional[np.ndarray] = None
+        self._sd: Optional[np.ndarray] = None
+        self._intercept: float = 0.0
+
+    @property
+    def features(self) -> Tuple[str, ...]:
+        return self._features
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._weights is not None
+
+    def _feature_column(self, cols: ParticipantColumns, name: str) -> np.ndarray:
+        if name in NETWORK_FEATURES:
+            return cols.metric(name, self._network_stat)
+        return np.asarray(getattr(cols, name), dtype=float)
+
+    def _design(
+        self,
+        cols: ParticipantColumns,
+        rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        # Identical construction to the record reference: stack the k
+        # feature columns into a (k, n) C-contiguous array, then view it
+        # transposed.  Keeping the construction (not just the values)
+        # identical is what makes the downstream reductions and BLAS
+        # calls bit-for-bit reproducible against the record path.
+        columns = []
+        for name in self._features:
+            col = self._feature_column(cols, name)
+            columns.append(col if rows is None else col[rows])
+        return np.array(columns, dtype=float).T
+
+    def fit_columns(self, cols: ParticipantColumns) -> "ColumnarMosPredictor":
+        """Fit on the block's rated rows (NaN in ``rating`` = unrated).
+
+        Raises:
+            InsufficientRatingsError: fewer rated rows than the model
+                needs — e.g. a corpus generated with
+                ``FeedbackModel.sample_rate=0`` — *before* any linear
+                algebra runs, so the failure names the rating count
+                instead of surfacing as a numpy ``LinAlgError``.
+        """
+        rating = np.asarray(cols.rating, dtype=float)
+        rated = np.flatnonzero(np.isfinite(rating))
+        required = len(self._features) + 2
+        if len(rated) < required:
+            raise InsufficientRatingsError(len(rated), required)
+        x = self._design(cols, rated)
+        y = rating[rated]
+        self._mean = x.mean(axis=0)
+        sd = x.std(axis=0)
+        sd[sd == 0] = 1.0
+        self._sd = sd
+        xs = (x - self._mean) / self._sd
+        n_features = xs.shape[1]
+        gram = xs.T @ xs + self._l2 * np.eye(n_features)
+        self._weights = np.linalg.solve(gram, xs.T @ (y - y.mean()))
+        self._intercept = float(y.mean())
+        return self
+
+    def predict_columns(
+        self,
+        cols: ParticipantColumns,
+        rows: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Predict MOS for ``rows`` of the block (all rows when None)."""
+        if not self.is_fitted:
+            raise AnalysisError("predictor is not fitted")
+        if rows is not None:
+            rows = np.asarray(rows, dtype=np.intp)
+            if rows.size == 0:
+                return np.array([])
+        elif len(cols) == 0:
+            return np.array([])
+        xs = (self._design(cols, rows) - self._mean) / self._sd
+        raw = xs @ self._weights + self._intercept
+        return np.clip(raw, 1.0, 5.0)
+
+    def weights(self) -> Dict[str, float]:
+        """Standardised coefficient per feature (importance proxy)."""
+        if not self.is_fitted:
+            raise AnalysisError("predictor is not fitted")
+        return dict(zip(self._features, (float(w) for w in self._weights)))

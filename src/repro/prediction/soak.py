@@ -1,0 +1,214 @@
+"""Deterministic overload soak for the prediction serving path.
+
+Drives a coalescer-equipped :class:`~repro.serving.server.UsaasServer`
+with a seeded arrival schedule of ``predict_mos`` queries on a
+:class:`~repro.resilience.clock.ManualClock`, then closes the books:
+every submitted prediction must land in exactly one terminal state, and
+any query that carried a deadline and was *answered* must have overrun
+it by at most one batch cost (the degradation ladder's invariant).
+
+The driver advances the clock in steps no larger than half the
+coalescer's ``max_delay_s`` while idle, so age-due flushes happen
+promptly instead of being discovered an arbitrary interval later —
+mirroring a real server's timer wheel without giving the coalescer a
+clock of its own.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Sequence, Tuple
+
+from repro.core.usaas.query import UsaasQuery
+from repro.errors import ConfigError, QueryRejectedError
+from repro.perf.columnar import ParticipantColumns
+from repro.prediction.coalescer import CoalescerConfig
+from repro.prediction.model import ColumnarMosPredictor
+from repro.prediction.service import PredictionCostModel, PredictionEngine
+from repro.resilience.clock import ManualClock
+from repro.resilience.faults import Arrival, FaultPlan
+from repro.serving.server import DrainReport, UsaasServer
+
+
+@dataclass(frozen=True)
+class PredictionSoakReport:
+    """Closed-books summary of one prediction soak."""
+
+    arrivals: int
+    submitted: int
+    served: int
+    served_degraded: int
+    shed: int
+    deadline_exceeded: int
+    failed: int
+    batches: int
+    fallback_batches: int
+    mean_coalesced: float
+    p50_latency_s: Optional[float]
+    p99_latency_s: Optional[float]
+    max_overrun_s: float
+    drain: DrainReport
+    final_clock_s: float
+
+    @property
+    def accounted(self) -> bool:
+        """Exactly-once: every submission reached one terminal state."""
+        return self.submitted == (
+            self.served + self.served_degraded + self.shed
+            + self.deadline_exceeded + self.failed
+        )
+
+    @property
+    def answered(self) -> int:
+        return self.served + self.served_degraded
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.submitted if self.submitted else 0.0
+
+    def counters_dict(self) -> Dict[str, object]:
+        return {
+            "arrivals": self.arrivals,
+            "submitted": self.submitted,
+            "served": self.served,
+            "served_degraded": self.served_degraded,
+            "shed": self.shed,
+            "deadline_exceeded": self.deadline_exceeded,
+            "failed": self.failed,
+            "batches": self.batches,
+            "fallback_batches": self.fallback_batches,
+            "mean_coalesced": round(self.mean_coalesced, 6),
+            "p50_latency_s": self.p50_latency_s,
+            "p99_latency_s": self.p99_latency_s,
+            "max_overrun_s": round(self.max_overrun_s, 9),
+            "final_clock_s": round(self.final_clock_s, 6),
+        }
+
+    def summary(self) -> str:
+        return (
+            f"prediction soak: {self.submitted} submitted, "
+            f"{self.served} served, {self.served_degraded} degraded, "
+            f"{self.shed} shed, {self.deadline_exceeded} deadline, "
+            f"{self.failed} failed over {self.batches} batch(es) "
+            f"({self.fallback_batches} fallback)"
+        )
+
+
+def synthetic_prediction_server(
+    columns: ParticipantColumns,
+    model: ColumnarMosPredictor,
+    seed: int = 0,
+    cost_model: Optional[PredictionCostModel] = None,
+    coalescer: Optional[CoalescerConfig] = None,
+    max_pending: int = 8,
+    shed_policy: str = "priority",
+    min_feasible_s: Optional[float] = None,
+) -> Tuple[UsaasServer, FaultPlan, PredictionEngine]:
+    """A clock-charged prediction server on a fresh ``ManualClock``.
+
+    The underlying :func:`~repro.serving.soak.synthetic_soak_service`
+    provides the clock and executor plumbing; the engine charges its
+    modelled batch cost to that clock (``charge_clock=True``) so
+    deadline pressure is real and byte-reproducible.  ``min_feasible_s``
+    defaults to the cost of a single-row *fallback* batch: a deadline
+    that cannot fit even that is shed at admission as infeasible
+    instead of being answered hopelessly late.
+    """
+    from repro.serving.soak import synthetic_soak_service
+
+    plan = FaultPlan(seed=seed, clock=ManualClock())
+    service = synthetic_soak_service(plan)
+    cost_model = cost_model or PredictionCostModel()
+    engine = PredictionEngine(
+        model, columns, clock=plan.clock,
+        cost_model=cost_model, charge_clock=True,
+    )
+    if min_feasible_s is None:
+        min_feasible_s = cost_model.fallback_cost_s(1)
+    server = UsaasServer(
+        service,
+        max_pending=max_pending,
+        shed_policy=shed_policy,
+        min_feasible_s=min_feasible_s,
+        prediction=engine,
+        coalescer=coalescer or CoalescerConfig(),
+    )
+    return server, plan, engine
+
+
+def run_prediction_soak(
+    server: UsaasServer,
+    arrivals: Sequence[Arrival],
+    rows_for: Optional[
+        Callable[[Arrival, int], Optional[Tuple[int, ...]]]
+    ] = None,
+    network: str = "synthetic",
+) -> PredictionSoakReport:
+    """Feed ``arrivals`` as ``predict_mos`` queries and close the books.
+
+    ``rows_for(arrival, index)`` chooses each query's row subset (None
+    = every row of the engine's block); it must be a pure function of
+    its arguments so the soak stays deterministic.
+    """
+    if server.prediction is None:
+        raise ConfigError("prediction soak requires a prediction engine")
+    clock = server.clock
+    advance = getattr(clock, "advance", clock.sleep)
+    tick = None
+    if server.coalescer is not None:
+        delay = server.coalescer.config.max_delay_s
+        tick = delay / 2 if delay > 0 else None
+    ordered = sorted(arrivals, key=lambda a: a.at_s)
+    engine = server.prediction
+    budgets: Dict[int, float] = {}
+    submitted = 0
+    for index, arrival in enumerate(ordered):
+        while clock.now() < arrival.at_s:
+            if server.has_pending():
+                server.run_next()
+            else:
+                step = arrival.at_s - clock.now()
+                if tick is not None:
+                    step = min(step, tick)
+                advance(step)
+        rows = rows_for(arrival, index) if rows_for is not None else None
+        query = UsaasQuery(network=network, kind="predict_mos", rows=rows)
+        submitted += 1
+        try:
+            ticket = server.submit(
+                query,
+                priority=arrival.priority,
+                deadline_s=arrival.deadline_s,
+            )
+        except QueryRejectedError:
+            continue  # accounted as shed by the server
+        if arrival.deadline_s is not None:
+            budgets[ticket.id] = float(arrival.deadline_s)
+    drain = server.drain()
+
+    counters = server.kind_counters("predict_mos")
+    max_overrun = 0.0
+    for ticket_id, budget in budgets.items():
+        outcome = server.outcomes.get(ticket_id)
+        if outcome is None or outcome.latency_s is None:
+            continue
+        if outcome.status in ("served", "served_degraded"):
+            max_overrun = max(max_overrun, outcome.latency_s - budget)
+    engine_metrics = engine.metrics()
+    return PredictionSoakReport(
+        arrivals=len(ordered),
+        submitted=submitted,
+        served=counters.served,
+        served_degraded=counters.served_degraded,
+        shed=counters.shed,
+        deadline_exceeded=counters.deadline_exceeded,
+        failed=counters.failed,
+        batches=int(engine_metrics["batches"]),
+        fallback_batches=int(engine_metrics["fallback_batches"]),
+        mean_coalesced=float(engine_metrics["mean_coalesced"]),
+        p50_latency_s=counters.as_dict()["p50_latency_s"],
+        p99_latency_s=counters.as_dict()["p99_latency_s"],
+        max_overrun_s=max(0.0, max_overrun),
+        drain=drain,
+        final_clock_s=clock.now(),
+    )

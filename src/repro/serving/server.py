@@ -25,6 +25,18 @@ terminal states:
 Time comes exclusively from the service's injected clock, so the whole
 serving lifecycle is deterministic under a
 :class:`~repro.resilience.clock.ManualClock`.
+
+Beyond ``insights`` queries, a server constructed with a
+:class:`~repro.prediction.service.PredictionEngine` also serves the
+``predict_mos`` query kind: batch-class predictions are micro-batched
+by a :class:`~repro.prediction.coalescer.PredictionCoalescer` in front
+of the admission controller (one queue slot, one vectorized call per
+batch; interactive predictions bypass it), and the engine's deadline
+ladder falls back to the E-model prior rather than blowing a deadline.
+Accounting is additionally tracked *per query kind*
+(:meth:`UsaasServer.kind_counters`), and the exactly-once rule extends
+unchanged: every member of a coalesced batch gets its own terminal
+outcome.
 """
 
 from __future__ import annotations
@@ -211,6 +223,8 @@ class UsaasServer:
         shed_policy: str = "priority",
         default_deadline_s: Optional[float] = None,
         min_feasible_s: Optional[float] = None,
+        prediction=None,
+        coalescer=None,
     ) -> None:
         if default_deadline_s is not None and default_deadline_s <= 0:
             raise ConfigError("default_deadline_s must be positive")
@@ -227,10 +241,32 @@ class UsaasServer:
             min_feasible_s=min_feasible_s,
         )
         self.default_deadline_s = default_deadline_s
+        self.prediction = prediction
+        self.coalescer = None
+        if coalescer is not None:
+            if prediction is None:
+                raise ConfigError(
+                    "a coalescer needs a prediction engine to flush into; "
+                    "pass prediction= as well"
+                )
+            # Function-level import: repro.prediction imports the serving
+            # package for Deadline/soak plumbing, so the server must not
+            # import it at module load.
+            from repro.prediction.coalescer import (
+                CoalescerConfig, PredictionCoalescer,
+            )
+            if not isinstance(coalescer, CoalescerConfig):
+                raise ConfigError(
+                    "coalescer must be a prediction.CoalescerConfig"
+                )
+            self.coalescer = PredictionCoalescer(coalescer)
         self.outcomes: Dict[int, QueryOutcome] = {}
         self._counters: Dict[str, ClassCounters] = {
             name: ClassCounters() for name in PRIORITY_CLASSES
         }
+        self._kind_counters: Dict[str, ClassCounters] = {}
+        self._kind_of: Dict[int, str] = {}
+        self._groups: Dict[int, Tuple[Ticket, ...]] = {}
         self._next_id = 0
         self._draining = False
 
@@ -247,7 +283,12 @@ class UsaasServer:
         return self._draining
 
     def has_pending(self) -> bool:
-        return self.admission.has_pending()
+        if self.admission.has_pending():
+            return True
+        return (
+            self.coalescer is not None
+            and self.coalescer.due(self._clock.now())
+        )
 
     # -- accounting -------------------------------------------------------
 
@@ -256,6 +297,10 @@ class UsaasServer:
             (name, self._counters[name]) for name in PRIORITY_CLASSES
         ))
 
+    def kind_counters(self, kind: str) -> ClassCounters:
+        """Counters for one query kind (``insights`` / ``predict_mos``)."""
+        return self._kind_counters.setdefault(kind, ClassCounters())
+
     def _record(self, outcome: QueryOutcome) -> QueryOutcome:
         if outcome.ticket_id in self.outcomes:
             raise ConfigError(
@@ -263,19 +308,22 @@ class UsaasServer:
                 f"every query must be accounted exactly once"
             )
         self.outcomes[outcome.ticket_id] = outcome
-        counters = self._counters[outcome.priority]
-        if outcome.status == "served":
-            counters.served += 1
-        elif outcome.status == "served_degraded":
-            counters.served_degraded += 1
-        elif outcome.status == "shed":
-            counters.shed += 1
-        elif outcome.status == "deadline_exceeded":
-            counters.deadline_exceeded += 1
-        else:
-            counters.failed += 1
-        if outcome.latency_s is not None:
-            counters.latencies_s.append(float(outcome.latency_s))
+        kind = self._kind_of.get(outcome.ticket_id, "insights")
+        for counters in (
+            self._counters[outcome.priority], self.kind_counters(kind),
+        ):
+            if outcome.status == "served":
+                counters.served += 1
+            elif outcome.status == "served_degraded":
+                counters.served_degraded += 1
+            elif outcome.status == "shed":
+                counters.shed += 1
+            elif outcome.status == "deadline_exceeded":
+                counters.deadline_exceeded += 1
+            else:
+                counters.failed += 1
+            if outcome.latency_s is not None:
+                counters.latencies_s.append(float(outcome.latency_s))
         return outcome
 
     # -- submission -------------------------------------------------------
@@ -292,12 +340,27 @@ class UsaasServer:
         outcome before the typed error propagates.  Evicted lower-
         priority queries (``shed_policy="priority"``/``"lifo"``) get
         their own ``shed`` outcomes at the same moment.
+
+        ``predict_mos`` queries require a prediction engine; with a
+        coalescer configured, non-interactive predictions are buffered
+        for micro-batching instead of entering the queue individually
+        (the returned ticket is live either way).
         """
         if priority not in PRIORITY_CLASSES:
             raise ConfigError(
                 f"unknown priority {priority!r}; "
                 f"expected one of {PRIORITY_CLASSES}"
             )
+        kind = getattr(query, "kind", "insights") or "insights"
+        if kind == "predict_mos":
+            if self.prediction is None:
+                raise ConfigError(
+                    "predict_mos query needs a prediction engine; "
+                    "construct UsaasServer(prediction=...)"
+                )
+            # Validate rows against the bound block *before* minting a
+            # ticket: a malformed query is a caller bug, not shed load.
+            self.prediction.check_rows(getattr(query, "rows", None))
         budget = deadline_s if deadline_s is not None else self.default_deadline_s
         deadline = (
             Deadline.start(self._clock, budget) if budget is not None else None
@@ -311,6 +374,31 @@ class UsaasServer:
         )
         self._next_id += 1
         self._counters[priority].submitted += 1
+        self._kind_of[ticket.id] = kind
+        self.kind_counters(kind).submitted += 1
+        if (
+            kind == "predict_mos"
+            and self.coalescer is not None
+            and priority != "interactive"
+            and not self._draining
+        ):
+            # Hopeless deadlines shed now, exactly as try_admit would.
+            if deadline is not None and (
+                deadline.remaining() <= self.admission.min_feasible_s
+            ):
+                exc = QueryRejectedError(
+                    "deadline_infeasible", priority,
+                    f"{deadline.remaining():.3f}s remaining < "
+                    f"{self.admission.min_feasible_s:.3f}s minimum feasible",
+                )
+                self._record(QueryOutcome(
+                    ticket_id=ticket.id, priority=priority, status="shed",
+                    error=f"{type(exc).__name__}: {exc}",
+                ))
+                raise exc
+            self.coalescer.add(ticket, self._clock.now())
+            self._flush_due()
+            return ticket
         try:
             evicted = self.admission.try_admit(ticket)
         except QueryRejectedError as exc:
@@ -320,28 +408,117 @@ class UsaasServer:
             ))
             raise
         for victim in evicted:
-            error = QueryRejectedError(
-                "queue_full", victim.priority,
-                f"evicted by higher-priority ticket {ticket.id}",
+            self._shed_ticket(
+                victim, f"evicted by higher-priority ticket {ticket.id}"
             )
+        return ticket
+
+    def _shed_ticket(self, victim: Ticket, detail: str) -> None:
+        """Shed one evicted ticket — expanded to members for a batch."""
+        members = self._groups.pop(victim.id, None) or (victim,)
+        for m in members:
+            error = QueryRejectedError("queue_full", m.priority, detail)
             self._record(QueryOutcome(
-                ticket_id=victim.id, priority=victim.priority, status="shed",
+                ticket_id=m.id, priority=m.priority, status="shed",
                 error=f"{type(error).__name__}: {error}",
             ))
-        return ticket
 
     # -- execution --------------------------------------------------------
 
+    def _flush_due(self, force: bool = False) -> None:
+        """Move due (or, when forced, all) coalesced batches into the queue."""
+        if self.coalescer is None:
+            return
+        if force:
+            batches = self.coalescer.flush_all()
+        else:
+            batches = self.coalescer.flush_due(self._clock.now())
+        for members in batches:
+            self._admit_group(members)
+
+    def _admit_group(self, members) -> None:
+        """Admit one flushed batch as a single internal group ticket.
+
+        The group ticket occupies one queue slot and is never itself
+        accounted — only its members get outcomes.  Members whose
+        deadline became infeasible while buffered are shed here, with
+        the same typed reason admission would have used.
+        """
+        now = self._clock.now()
+        live = []
+        for m in members:
+            if m.deadline is not None and (
+                m.deadline.remaining() <= self.admission.min_feasible_s
+            ):
+                error = QueryRejectedError(
+                    "deadline_infeasible", m.priority,
+                    "deadline lapsed while coalescing",
+                )
+                self._record(QueryOutcome(
+                    ticket_id=m.id, priority=m.priority, status="shed",
+                    latency_s=now - m.submitted_at,
+                    error=f"{type(error).__name__}: {error}",
+                ))
+            else:
+                live.append(m)
+        if not live:
+            return
+        deadline = None
+        for m in live:
+            if m.deadline is not None and (
+                deadline is None
+                or m.deadline.expires_at < deadline.expires_at
+            ):
+                deadline = m.deadline
+        group = Ticket(
+            id=self._next_id,
+            query=live[0].query,
+            priority=live[0].priority,
+            submitted_at=live[0].submitted_at,
+            deadline=deadline,
+        )
+        self._next_id += 1
+        self._groups[group.id] = tuple(live)
+        try:
+            evicted = self.admission.try_admit(group)
+        except QueryRejectedError as exc:
+            for m in self._groups.pop(group.id):
+                error = QueryRejectedError(exc.reason, m.priority, exc.detail)
+                self._record(QueryOutcome(
+                    ticket_id=m.id, priority=m.priority, status="shed",
+                    error=f"{type(error).__name__}: {error}",
+                ))
+            return
+        for victim in evicted:
+            self._shed_ticket(
+                victim, f"evicted by higher-priority ticket {group.id}"
+            )
+
     def run_next(self) -> Optional[QueryOutcome]:
-        """Execute the highest-priority pending query (None if idle)."""
+        """Execute the highest-priority pending query (None if idle).
+
+        For a coalesced prediction batch, every member is executed and
+        recorded in one vectorized call; the last member's outcome is
+        returned.
+        """
+        self._flush_due()
         ticket = self.admission.next_ticket()
         if ticket is None:
             return None
+        members = self._groups.pop(ticket.id, None)
         try:
-            outcome = self._execute(ticket)
+            if members is not None or (
+                self._kind_of.get(ticket.id) == "predict_mos"
+            ):
+                outcomes = self._execute_prediction(
+                    ticket, members if members is not None else (ticket,)
+                )
+                result = outcomes[-1] if outcomes else None
+            else:
+                result = self._record(self._execute(ticket))
         finally:
             self.admission.release(ticket)
-        return self._record(outcome)
+        return result
 
     def run_pending(self, limit: Optional[int] = None) -> List[QueryOutcome]:
         """Run queued queries until the queue is empty (or ``limit``)."""
@@ -394,6 +571,82 @@ class UsaasServer:
             status=status, latency_s=latency, report=report,
         )
 
+    def _execute_prediction(
+        self, ticket: Ticket, members: Tuple[Ticket, ...]
+    ) -> List[QueryOutcome]:
+        """One vectorized prediction call for a batch (or solo ticket).
+
+        Members whose deadline expired while queued are *shed* without
+        running — an answer nobody can use is not worth a batch of
+        compute, and shedding keeps the ladder's promise that an
+        answered prediction never overruns its deadline by more than
+        one batch cost.  The rest share one
+        :meth:`PredictionEngine.predict_rows` call whose deadline is the
+        earliest-expiring member's.  A degraded (E-model fallback)
+        answer is recorded ``served_degraded`` even if the budget lapsed
+        mid-fallback — by construction the overrun is bounded by one
+        fallback batch cost, which beats not answering at all.
+        """
+        from repro.prediction.service import MosPredictionAnswer
+
+        engine = self.prediction
+        outcomes: List[QueryOutcome] = []
+        live: List[Ticket] = []
+        for m in members:
+            if m.deadline is not None and m.deadline.expired():
+                outcomes.append(self._record(QueryOutcome(
+                    ticket_id=m.id, priority=m.priority,
+                    status="shed",
+                    latency_s=self._clock.now() - m.submitted_at,
+                    error=(f"QueryRejectedError: deadline expired in "
+                           f"queue ({m.deadline.overrun():.3f}s over "
+                           f"budget); shed unanswered"),
+                )))
+            else:
+                live.append(m)
+        if not live:
+            return outcomes
+        row_sets = [
+            engine.check_rows(getattr(m.query, "rows", None)) for m in live
+        ]
+        lengths = [len(r) for r in row_sets]
+        rows = np.concatenate(row_sets) if len(row_sets) > 1 else row_sets[0]
+        deadline = None
+        for m in live:
+            if m.deadline is not None and (
+                deadline is None
+                or m.deadline.expires_at < deadline.expires_at
+            ):
+                deadline = m.deadline
+        answer = engine.predict_rows(
+            rows, deadline=deadline, coalesced=len(live)
+        )
+        offset = 0
+        for m, n in zip(live, lengths):
+            report = MosPredictionAnswer(
+                predictions=answer.predictions[offset:offset + n],
+                rows=answer.rows[offset:offset + n],
+                model=answer.model,
+                degraded=answer.degraded,
+                batch_rows=answer.batch_rows,
+                coalesced=answer.coalesced,
+            )
+            offset += n
+            latency = self._clock.now() - m.submitted_at
+            if answer.degraded:
+                status, error = "served_degraded", None
+            elif m.deadline is not None and m.deadline.expired():
+                status = "deadline_exceeded"
+                error = (f"DeadlineExceededError: answer arrived "
+                         f"{m.deadline.overrun():.3f}s late")
+            else:
+                status, error = "served", None
+            outcomes.append(self._record(QueryOutcome(
+                ticket_id=m.id, priority=m.priority, status=status,
+                latency_s=latency, error=error, report=report,
+            )))
+        return outcomes
+
     # -- the synchronous convenience path ---------------------------------
 
     def serve(
@@ -412,6 +665,11 @@ class UsaasServer:
         ticket = self.submit(query, priority=priority, deadline_s=deadline_s)
         while ticket.id not in self.outcomes:
             if self.run_next() is None:
+                if self.coalescer is not None and self.coalescer.has_entries():
+                    # The synchronous path cannot wait out max_delay_s:
+                    # flush whatever is buffered and keep running.
+                    self._flush_due(force=True)
+                    continue
                 raise ConfigError(
                     f"ticket {ticket.id} is stuck: queue idle but no outcome"
                 )
@@ -432,7 +690,14 @@ class UsaasServer:
         outcome so cluster-wide accounting stays closed.
         """
         outcomes: List[QueryOutcome] = []
+        doomed: List[Ticket] = []
         for ticket in self.admission.evict_pending():
+            members = self._groups.pop(ticket.id, None)
+            doomed.extend(members if members is not None else (ticket,))
+        if self.coalescer is not None:
+            for batch in self.coalescer.flush_all():
+                doomed.extend(batch)
+        for ticket in doomed:
             outcomes.append(self._record(QueryOutcome(
                 ticket_id=ticket.id, priority=ticket.priority,
                 status="failed",
@@ -446,6 +711,9 @@ class UsaasServer:
     def drain(self) -> DrainReport:
         """Stop admitting, finish everything queued, report leftovers."""
         self._draining = True
+        # Buffered predictions must reach the queue before admission
+        # closes; they were accepted, so they still get answers.
+        self._flush_due(force=True)
         self.admission.stop_admitting()
         completed = len(self.run_pending())
         return DrainReport(

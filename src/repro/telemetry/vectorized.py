@@ -234,6 +234,29 @@ class VectorizedCallEngine:
             )
         return self._build()
 
+    def generate_with_ground_truth(
+        self,
+    ) -> Tuple[ParticipantColumns, np.ndarray]:
+        """The columns block plus each session's *experienced* QoE.
+
+        The ground truth is the attended-interval mean of the QoE
+        model's per-interval overall MOS, minus the drop penalty when
+        the session was cut short, clipped to [1, 5] — i.e. the
+        noiseless centre of the rating distribution.  Being driven out
+        early is part of the experience, so it belongs in the truth;
+        per-user leniency, response noise and rounding are measurement
+        distortion, so they do not.  The simulator already computes
+        every term on the way to ``rating``, so capturing truth adds no
+        RNG draws and the block stays byte-identical to
+        :meth:`generate_columns`.  Serial only: truth is an evaluation
+        aid, not a cached artifact.
+        """
+        schedule_rng = derive(self._config.seed, "telemetry", "calls")
+        meetings = self._scheduler.sample_many(
+            schedule_rng, self._config.n_calls
+        )
+        return self._simulate_block(meetings, with_truth=True)
+
     def _build(self) -> ParticipantColumns:
         from repro.perf.parallel import ParallelMap
 
@@ -369,7 +392,9 @@ class VectorizedCallEngine:
 
     # -- stage 2: width-bucketed model evaluation ------------------------
 
-    def _simulate_block(self, meetings: List[Meeting]) -> ParticipantColumns:
+    def _simulate_block(
+        self, meetings: List[Meeting], with_truth: bool = False
+    ) -> "ParticipantColumns | Tuple[ParticipantColumns, np.ndarray]":
         draws: List[_CallDraws] = []
         row_start = 0
         for meeting in meetings:
@@ -377,6 +402,7 @@ class VectorizedCallEngine:
             row_start += meeting.size
         total = row_start
 
+        truth = np.empty(total) if with_truth else None
         duration_s = np.empty(total)
         mic_frac = np.empty(total)
         cam_frac = np.empty(total)
@@ -408,6 +434,12 @@ class VectorizedCallEngine:
             dropped[rows] = out["dropped"]
             rating[rows] = out["rating"]
             conditioning[rows] = out["conditioning"]
+            if truth is not None:
+                truth[rows] = np.clip(
+                    out["mos"]
+                    - self._feedback.drop_penalty * out["dropped"],
+                    1.0, 5.0,
+                )
             for m in NETWORK_METRICS:
                 for s in AGGREGATES:
                     network[m][s][rows] = out["network"][m][s]
@@ -440,7 +472,7 @@ class VectorizedCallEngine:
             country.extend(meeting.countries)
             call_start.extend([meeting.start] * meeting.size)
 
-        return ParticipantColumns(
+        cols = ParticipantColumns(
             call_id=call_id,
             user_id=user_id,
             platform=platform,
@@ -455,6 +487,9 @@ class VectorizedCallEngine:
             rating=rating,
             network=network,
         )
+        if truth is not None:
+            return cols, truth
+        return cols
 
     def _evaluate_bucket(
         self, width: int, group: List[_CallDraws]
@@ -597,6 +632,7 @@ class VectorizedCallEngine:
             "rating": rating,
             "conditioning": conditioning,
             "network": network,
+            "mos": mos,
         }
 
 

@@ -167,6 +167,20 @@ class TestSignalEquivalence:
         assert kinds["presence"] is SignalKind.IMPLICIT
         assert kinds.get("rating", SignalKind.EXPLICIT) is SignalKind.EXPLICIT
 
+    def test_rating_column_is_nan_sparse_and_matches_records(self):
+        ds = CallDatasetGenerator(
+            GeneratorConfig(n_calls=20, seed=101, mos_sample_rate=0.5)
+        ).generate()
+        cols = participant_columns(ds)
+        parts = list(ds.participants())
+        rated = np.isfinite(cols.rating)
+        assert rated.tolist() == [p.rating is not None for p in parts]
+        assert 0 < rated.sum() < len(parts)
+        expected = np.array(
+            [p.rating for p in parts if p.rating is not None], dtype=float
+        )
+        assert cols.rating[rated].tobytes() == expected.tobytes()
+
     def test_network_of_falls_back_to_records(self, datasets):
         ds = datasets[101]
         rec = telemetry_signals_records(

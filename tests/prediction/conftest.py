@@ -1,0 +1,26 @@
+"""Shared prediction fixtures: a rating-rich block and a fitted model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.columnar import ParticipantColumns
+from repro.prediction import ColumnarMosPredictor
+from repro.telemetry import CallDatasetGenerator, GeneratorConfig
+
+
+@pytest.fixture(scope="session")
+def rated_dataset():
+    """A small dataset with enough ratings to fit the predictor."""
+    config = GeneratorConfig(n_calls=60, seed=7, mos_sample_rate=0.5)
+    return CallDatasetGenerator(config).generate()
+
+
+@pytest.fixture(scope="session")
+def rated_columns(rated_dataset):
+    return ParticipantColumns.from_dataset(rated_dataset)
+
+
+@pytest.fixture(scope="session")
+def fitted_model(rated_columns):
+    return ColumnarMosPredictor().fit_columns(rated_columns)

@@ -1,0 +1,85 @@
+"""Ground-truth grading: hand-checkable MAE/bias, per-platform split."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import AnalysisError
+from repro.prediction import GroundTruthReport, evaluate_ground_truth
+
+
+class TestHandBuilt:
+    def test_overall_mae_and_bias(self):
+        report = evaluate_ground_truth(
+            predictions=[3.0, 4.0, 2.0, 5.0],
+            truth=[3.5, 3.0, 2.0, 4.0],
+            platforms=["a", "a", "b", "b"],
+        )
+        # errors: -0.5, +1.0, 0.0, +1.0
+        assert report.mae == pytest.approx(0.625)
+        assert report.bias == pytest.approx(0.375)
+        assert report.n == 4
+
+    def test_per_platform_split(self):
+        report = evaluate_ground_truth(
+            predictions=[3.0, 4.0, 2.0, 5.0],
+            truth=[3.5, 3.0, 2.0, 4.0],
+            platforms=["a", "a", "b", "b"],
+        )
+        by_name = {p.platform: p for p in report.per_platform}
+        assert set(by_name) == {"a", "b"}
+        assert by_name["a"].mae == pytest.approx(0.75)
+        assert by_name["a"].bias == pytest.approx(0.25)
+        assert by_name["a"].n == 2
+        assert by_name["b"].mae == pytest.approx(0.5)
+        assert by_name["b"].bias == pytest.approx(0.5)
+
+    def test_perfect_predictions(self):
+        report = evaluate_ground_truth([1.0, 5.0], [1.0, 5.0], ["x", "x"])
+        assert report.mae == 0.0 and report.bias == 0.0
+
+
+class TestValidation:
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(AnalysisError):
+            evaluate_ground_truth([1.0, 2.0], [1.0], ["a", "b"])
+
+    def test_platform_mismatch_raises(self):
+        with pytest.raises(AnalysisError):
+            evaluate_ground_truth([1.0, 2.0], [1.0, 2.0], ["a"])
+
+    def test_empty_raises(self):
+        with pytest.raises(AnalysisError):
+            evaluate_ground_truth([], [], [])
+
+    def test_2d_raises(self):
+        with pytest.raises(AnalysisError):
+            evaluate_ground_truth(
+                np.ones((2, 2)), np.ones((2, 2)), ["a", "b"]
+            )
+
+
+class TestSerialisation:
+    @pytest.fixture()
+    def report(self) -> GroundTruthReport:
+        return evaluate_ground_truth(
+            predictions=[3.0, 4.0, 2.0],
+            truth=[3.5, 3.0, 2.0],
+            platforms=["meet", "zoom", "zoom"],
+        )
+
+    def test_as_dict_round_trips_through_json(self, report):
+        import json
+
+        payload = json.loads(json.dumps(report.as_dict()))
+        assert payload["n"] == 3
+        assert set(payload["per_platform"]) == {"meet", "zoom"}
+        assert payload["per_platform"]["meet"]["n"] == 1
+
+    def test_table_lists_every_platform_and_the_total(self, report):
+        table = report.table()
+        for token in ("platform", "meet", "zoom", "(all)"):
+            assert token in table
+        # Header, rule, two platforms, the (all) row.
+        assert len(table.splitlines()) == 5

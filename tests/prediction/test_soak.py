@@ -1,0 +1,128 @@
+"""Over-capacity prediction soaks: closed books, bounded overrun,
+byte-determinism on a ManualClock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.prediction import (
+    CoalescerConfig,
+    run_prediction_soak,
+    synthetic_prediction_server,
+)
+from repro.prediction.soak import PredictionSoakReport
+from repro.resilience.faults import Arrival
+from repro.rng import derive
+
+
+def _overload_arrivals(seed, n_queries=80, deadline_scale=10.0):
+    """Arrivals at 1.5x the coalesced service rate with tight deadlines,
+    mirroring the harness's over-capacity plan at test scale."""
+    from repro.prediction import PredictionCostModel
+
+    cost = PredictionCostModel()
+    max_batch = 16
+    batch_cost = cost.batch_cost_s(max_batch)
+    rate = 1.5 * max_batch / batch_cost
+    deadline_s = deadline_scale * batch_cost
+    rng = derive(seed, "prediction", "test-soak")
+    gaps = rng.exponential(1.0 / rate, size=n_queries)
+    at = 0.0
+    arrivals = []
+    for i, gap in enumerate(gaps):
+        at += float(gap)
+        arrivals.append(Arrival(
+            at_s=at,
+            priority="interactive" if i % 8 == 0 else "batch",
+            deadline_s=deadline_s,
+        ))
+    return arrivals
+
+
+def _run(rated_columns, fitted_model, seed=17):
+    server, plan, engine = synthetic_prediction_server(
+        rated_columns, fitted_model, seed=seed,
+        coalescer=CoalescerConfig(max_batch=16, max_delay_s=0.01),
+        max_pending=16,
+    )
+    arrivals = _overload_arrivals(seed)
+    report = run_prediction_soak(
+        server, arrivals,
+        rows_for=lambda a, i: tuple(range(i % 4 + 1)),
+    )
+    return report, server, engine
+
+
+class TestOverCapacity:
+    @pytest.fixture(scope="class")
+    def soak(self, rated_columns, fitted_model):
+        return _run(rated_columns, fitted_model)
+
+    def test_books_close_exactly_once(self, soak):
+        report, server, _ = soak
+        assert report.accounted
+        assert report.drain.clean
+        counters = server.kind_counters("predict_mos")
+        assert counters.submitted == report.submitted
+
+    def test_only_served_degraded_or_shed(self, soak):
+        report, _, _ = soak
+        assert report.deadline_exceeded == 0
+        assert report.failed == 0
+        assert report.served + report.served_degraded + report.shed == (
+            report.submitted
+        )
+        # Overload must actually bite for the test to mean anything.
+        assert report.served_degraded + report.shed > 0
+
+    def test_overrun_bounded_by_one_batch_cost(self, soak):
+        report, _, engine = soak
+        bound = engine.cost_model.batch_cost_s(
+            16 * engine.n_rows  # generous: one max coalesced batch
+        )
+        assert report.max_overrun_s <= bound
+
+    def test_coalescing_happened(self, soak):
+        report, _, _ = soak
+        assert report.mean_coalesced > 1.0
+        assert report.batches < report.submitted
+
+    def test_insights_books_unaffected(self, soak):
+        _, server, _ = soak
+        counters = server.kind_counters("insights")
+        assert counters.submitted == 0
+
+
+class TestDeterminism:
+    def test_repeat_runs_are_byte_identical(self, rated_columns,
+                                            fitted_model):
+        a, _, _ = _run(rated_columns, fitted_model, seed=23)
+        b, _, _ = _run(rated_columns, fitted_model, seed=23)
+        assert isinstance(a, PredictionSoakReport)
+        assert a.counters_dict() == b.counters_dict()
+
+    def test_different_seeds_differ(self, rated_columns, fitted_model):
+        a, _, _ = _run(rated_columns, fitted_model, seed=23)
+        b, _, _ = _run(rated_columns, fitted_model, seed=24)
+        assert a.counters_dict() != b.counters_dict()
+
+
+class TestRoomyCapacity:
+    def test_under_capacity_everything_is_served_cleanly(self, rated_columns,
+                                                         fitted_model):
+        server, plan, engine = synthetic_prediction_server(
+            rated_columns, fitted_model, seed=3,
+            coalescer=CoalescerConfig(max_batch=8, max_delay_s=0.01),
+            max_pending=32,
+        )
+        cost = engine.cost_model.batch_cost_s(8)
+        arrivals = [
+            Arrival(at_s=i * 2 * cost, priority="batch", deadline_s=1.0)
+            for i in range(20)
+        ]
+        report = run_prediction_soak(server, arrivals,
+                                     rows_for=lambda a, i: (i % 5,))
+        assert report.accounted
+        assert report.served == report.submitted == 20
+        assert report.served_degraded == report.shed == 0
+        assert report.max_overrun_s == 0.0

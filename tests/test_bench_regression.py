@@ -128,3 +128,51 @@ def test_simulated_streaming_metric_has_no_noise_floor(tmp_path):
         {"scale": "full", "results": {"streaming_detect_latency_s": 0.020}},
     ]
     assert tool.check(_write(tmp_path, {"schema": 1, "runs": runs})) == 1
+
+
+def test_prediction_floor_family(tmp_path):
+    """The prediction family gates batched speedup and rows/sec floors,
+    and only binds when a full-scale run records one of its metrics."""
+    tool = _load_tool()
+    pre_prediction = [
+        {"scale": "full",
+         "results": {"calls_vec_speedup": 9.0, "corpus_vec_speedup": 8.0}},
+    ]
+    assert tool.check(
+        _write(tmp_path, {"schema": 1, "runs": pre_prediction})
+    ) == 0
+    slow_inference = [
+        {"scale": "full",
+         "results": {"prediction_batch_speedup": 3.0,
+                     "prediction_rows_per_s": 500000.0}},
+    ]
+    assert tool.check(
+        _write(tmp_path, {"schema": 1, "runs": slow_inference})
+    ) == 1
+    low_throughput = [
+        {"scale": "full",
+         "results": {"prediction_batch_speedup": 40.0,
+                     "prediction_rows_per_s": 50000.0}},
+    ]
+    assert tool.check(
+        _write(tmp_path, {"schema": 1, "runs": low_throughput})
+    ) == 1
+    healthy = [
+        {"scale": "full",
+         "results": {"prediction_batch_speedup": 40.0,
+                     "prediction_rows_per_s": 2000000.0}},
+    ]
+    assert tool.check(_write(tmp_path, {"schema": 1, "runs": healthy})) == 0
+
+
+def test_simulated_prediction_p99_has_no_noise_floor(tmp_path):
+    """prediction_soak_p99_coalesced_s is simulated time: small drifts
+    are behaviour changes, never host noise, so the ratio gate binds."""
+    tool = _load_tool()
+    runs = [
+        {"scale": "full",
+         "results": {"prediction_soak_p99_coalesced_s": 0.020}},
+        {"scale": "full",
+         "results": {"prediction_soak_p99_coalesced_s": 0.040}},
+    ]
+    assert tool.check(_write(tmp_path, {"schema": 1, "runs": runs})) == 1

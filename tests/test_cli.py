@@ -403,3 +403,60 @@ class TestUsaasStreamSoak:
         assert "exit codes: 0" in out
         assert "accounting violation" in out
         assert "detector blind" in out
+
+
+class TestUsaasPredict:
+    """usaas predict: fit, grade vs ground truth, optional soak."""
+
+    ARGS = ["usaas", "predict", "--seed", "7", "--n-calls", "80",
+            "--mos-sample-rate", "0.5"]
+
+    def test_happy_path_prints_error_table(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "model vs experienced QoE:" in out
+        assert "(all)" in out
+        assert "E-model prior MAE" in out
+
+    def test_json_payload_grades_model_and_prior(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["sessions"] == payload["model"]["n"]
+        assert payload["rated"] > 0
+        assert set(payload["emodel_prior"]) >= {"mae", "bias", "per_platform"}
+        assert payload["weights"]
+
+    def test_json_is_seed_deterministic(self, capsys):
+        assert main(self.ARGS + ["--json"]) == 0
+        first = capsys.readouterr().out
+        assert main(self.ARGS + ["--json"]) == 0
+        assert capsys.readouterr().out == first
+
+    def test_zero_ratings_exits_2_with_typed_message(self, capsys):
+        code = main(["usaas", "predict", "--seed", "7", "--n-calls", "20",
+                     "--mos-sample-rate", "0.0"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "cannot fit the MOS predictor" in err
+        assert "0 rated session(s)" in err
+
+    def test_soak_reports_and_stays_within_contract(self, capsys):
+        import json
+
+        assert main(self.ARGS + ["--soak-queries", "60", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        soak = payload["soak"]
+        assert soak["submitted"] == 60
+        assert soak["deadline_exceeded"] == 0
+        terminal = (soak["served"] + soak["served_degraded"] + soak["shed"]
+                    + soak["failed"])
+        assert terminal == soak["submitted"]
+
+    def test_exit_code_contract_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["usaas", "predict", "--help"])
+        out = capsys.readouterr().out
+        assert "exit codes: 0" in out
+        assert "2" in out and "3" in out

@@ -54,7 +54,8 @@ def test_detects_aliased_imports(tmp_path):
 def test_every_covered_package_is_checked(tmp_path):
     tool = _load_tool()
     for subdir in (("repro", "serving"), ("repro", "resilience"),
-                   ("repro", "streaming"), ("repro", "core", "usaas")):
+                   ("repro", "streaming"), ("repro", "prediction"),
+                   ("repro", "core", "usaas")):
         path = _covered(tmp_path, "import time\ntime.time()\n", subdir)
         assert len(tool.check_file(path)) == 1, subdir
 

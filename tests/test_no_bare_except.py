@@ -61,9 +61,10 @@ def test_cli_entrypoint(tmp_path):
 
 
 def test_strict_dirs_flag_narrow_swallow(tmp_path):
-    """In repro/perf and repro/resilience, even narrow swallows are banned."""
+    """In the strict packages, even narrow swallows are banned."""
     tool = _load_tool()
-    for subdir in (("repro", "perf"), ("repro", "resilience")):
+    for subdir in (("repro", "perf"), ("repro", "resilience"),
+                   ("repro", "prediction")):
         target = tmp_path.joinpath(*subdir)
         target.mkdir(parents=True, exist_ok=True)
         bad = target / "x.py"

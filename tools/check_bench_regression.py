@@ -59,6 +59,9 @@ GUARDED_METRICS = (
     "cluster_p99_admitted_s",
     "cluster_shed_rate",
     "streaming_detect_latency_s",
+    "prediction_train_s",
+    "prediction_batch_infer_s",
+    "prediction_soak_p99_coalesced_s",
 )
 
 #: Allowed slowdown before the check fails.
@@ -74,7 +77,9 @@ THRESHOLD = 0.30
 #: stay ratio-only — for them any drift is a behaviour change.
 MIN_DELTA_S = 0.1
 
-_SIMULATED_PREFIXES = ("serving_", "cluster_", "streaming_")
+_SIMULATED_PREFIXES = (
+    "serving_", "cluster_", "streaming_", "prediction_soak_",
+)
 
 #: Absolute floors on structural speedups, checked on the *latest
 #: full-scale* run alone (no previous run needed).  The cold metrics
@@ -95,6 +100,10 @@ SPEEDUP_FLOOR_FAMILIES = {
     },
     "streaming": {
         "streaming_incremental_speedup": 5.0,
+    },
+    "prediction": {
+        "prediction_batch_speedup": 20.0,
+        "prediction_rows_per_s": 100000.0,
     },
 }
 
@@ -193,19 +202,21 @@ def _check_speedup_floors(runs: List[dict]) -> List[str]:
         if not any(metric in results for metric in floors):
             continue  # run predates this family's harness phase
         for metric, floor in sorted(floors.items()):
+            unit = "/s" if metric.endswith("_per_s") else "x"
             value = results.get(metric)
             if not isinstance(value, (int, float)) or value < floor:
                 shown = (
-                    f"{value:.2f}x"
+                    f"{value:.2f}{unit}"
                     if isinstance(value, (int, float)) else value
                 )
                 failures.append(
-                    f"{metric}: {shown} < {floor:.1f}x floor"
+                    f"{metric}: {shown} < {floor:.1f}{unit} floor"
                 )
-                print(f"  {metric:26s} {shown}  (floor {floor:.1f}x)  FAIL")
+                print(f"  {metric:26s} {shown}  "
+                      f"(floor {floor:.1f}{unit})  FAIL")
             else:
-                print(f"  {metric:26s} {value:8.2f}x "
-                      f"(floor {floor:.1f}x)  ok")
+                print(f"  {metric:26s} {value:8.2f}{unit} "
+                      f"(floor {floor:.1f}{unit})  ok")
     if failures:
         print(
             "FAIL: speedup floor violated: " + "; ".join(failures),

@@ -49,6 +49,7 @@ COVERED_DIRS = (
     ("repro", "serving"),
     ("repro", "resilience"),
     ("repro", "streaming"),
+    ("repro", "prediction"),
     ("repro", "core", "usaas"),
 )
 

@@ -39,7 +39,11 @@ _BROAD = {"Exception", "BaseException"}
 
 #: Directory suffixes (as contiguous path parts) where the strict rule
 #: applies: any swallow-only handler is a violation, narrow types too.
-STRICT_DIRS = (("repro", "perf"), ("repro", "resilience"))
+STRICT_DIRS = (
+    ("repro", "perf"),
+    ("repro", "resilience"),
+    ("repro", "prediction"),
+)
 
 #: File stems under ``repro`` that are strict wherever they live: the
 #: vectorized block engines promise byte-identical columns per seed, and
