@@ -59,7 +59,14 @@ The suite measures the three levers this repo pulls for scale:
   experienced-QoE ground truth (asserted no worse than the E-model
   prior), and an over-capacity coalesced ``predict_mos`` soak on a
   ``ManualClock`` whose p99 latency is seed-derived, byte-stable and
-  regression-guarded.
+  regression-guarded;
+* **integrity phase** — the trust-weighted robust aggregation path
+  (:mod:`repro.integrity`) on a seeded fraud-contaminated replay: the
+  naive columnar mean against the full score-raters -> weight ->
+  trimmed-mean pipeline (overhead ratio and rows/sec, floored by the
+  gate at full scale), plus the *simulated-time* latency from the
+  start of a constant-value flood to the online trust gate's first
+  quarantine (seed-derived, byte-stable, regression-guarded).
 
 Results append to a machine-readable trajectory file
 (``BENCH_perf.json`` at the repo root) so subsequent PRs can show
@@ -769,6 +776,82 @@ def run_perf_suite(
     results["prediction_soak_max_overrun_s"] = (
         prediction_report.max_overrun_s
     )
+
+    # --- integrity phase: trust scoring + robust aggregation ------------
+    from repro.integrity import (
+        OnlineTrustGate,
+        rated_weights_columns,
+        robust_mos_columns,
+        score_raters,
+    )
+    from repro.resilience.faults import DataFaultSpec, FaultPlan
+    from repro.streaming.records import StreamRecord
+
+    # Contaminate the rating-rich replay with a seeded fraud campaign,
+    # then time the naive mean against the full trust-weighted robust
+    # path (score raters -> weight rated rows -> trimmed mean).  The
+    # overhead ratio is the price of integrity on every aggregate.
+    injector = FaultPlan(scale.seed).data_faults(
+        "perf-integrity", DataFaultSpec(fraud_fraction=0.1, fraud_rating=1)
+    )
+    tainted = injector.contaminate_calls(rated_dataset)
+    tainted_cols = ParticipantColumns.from_dataset(tainted.dataset)
+
+    naive_agg = _timed_vec(
+        lambda: robust_mos_columns(tainted_cols, statistic="mean")
+    )
+
+    def robust_once() -> float:
+        scores = score_raters(tainted.dataset)
+        weights = rated_weights_columns(tainted_cols, scores)
+        return robust_mos_columns(
+            tainted_cols, statistic="trimmed_mean", weights=weights
+        )
+
+    robust_agg = _timed_vec(robust_once)
+    results["integrity_naive_agg_s"] = naive_agg["seconds"]
+    results["integrity_robust_agg_s"] = robust_agg["seconds"]
+    results["integrity_agg_overhead"] = robust_agg["seconds"] / max(
+        1e-9, naive_agg["seconds"]
+    )
+    results["integrity_rows_per_s"] = len(tainted_cols) / max(
+        1e-9, robust_agg["seconds"]
+    )
+
+    # Contamination-detection latency on the *simulated* clock: feed the
+    # online gate organic traffic, then a constant-value flood from one
+    # key, and report how much event time passes before the first
+    # quarantine.  Seed-derived, so byte-stable across hosts — any
+    # movement is a gate behaviour change, not noise.
+    def detect_once() -> float:
+        gate = OnlineTrustGate()
+        rng = derive(scale.seed, "integrity", "perf-detect")
+        attack_at = 300.0
+        t = 0.0
+        while t < attack_at:
+            t += float(rng.exponential(0.5))
+            gate.observe(StreamRecord(
+                event_time_s=t,
+                source="app",
+                metric="rtt_ms",
+                value=round(float(rng.normal(50.0, 5.0)), 3),
+                key=f"user-{int(rng.integers(0, 40))}",
+            ))
+        t = attack_at
+        while t <= attack_at + 600.0:
+            quarantined = gate.observe(StreamRecord(
+                event_time_s=t,
+                source="bot",
+                metric="rtt_ms",
+                value=999.0,
+                key="flood",
+            ))
+            if quarantined:
+                return t - attack_at
+            t += 0.05
+        raise AssertionError("trust gate never quarantined the flood")
+
+    results["integrity_detect_latency_s"] = detect_once()
 
     results["cache_stats"] = cache.stats().summary()
     return results

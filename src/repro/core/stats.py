@@ -94,12 +94,118 @@ def _as_1d(values: Sequence[float], name: str) -> np.ndarray:
     return arr
 
 
+def trimmed_mean(values: Sequence[float], trim: float = 0.1) -> float:
+    """Mean after discarding the ``trim`` fraction from *each* tail.
+
+    The classic robust location estimate: sort, drop ``floor(trim * n)``
+    samples from both ends, average the rest.  Breakdown point =
+    ``trim`` — any contamination fraction strictly below ``trim`` can
+    move the estimate only by a bounded amount, because every
+    contaminated sample lands in a discarded tail (adversaries gain
+    nothing by hiding in the middle: displacing a clean sample into the
+    kept set moves the mean by at most one in-range value).
+    """
+    if not 0.0 <= trim < 0.5:
+        raise AnalysisError(f"trim must be in [0, 0.5), got {trim}")
+    arr = _as_1d(values, "values")
+    if len(arr) == 0:
+        raise AnalysisError("cannot take a trimmed mean of an empty sequence")
+    g = int(trim * len(arr))
+    if 2 * g >= len(arr):
+        g = (len(arr) - 1) // 2
+    ordered = np.sort(arr, kind="stable")
+    return float(np.mean(ordered[g:len(arr) - g]))
+
+
+def winsorized_mean(values: Sequence[float], trim: float = 0.1) -> float:
+    """Mean after clamping each tail to its ``trim``-quantile neighbour.
+
+    Like :func:`trimmed_mean` but the ``floor(trim * n)`` most extreme
+    samples per side are *replaced* by the nearest kept order statistic
+    instead of dropped, so the sample size (and hence the variance
+    behaviour) is preserved.  Breakdown point = ``trim``, same argument
+    as the trimmed mean: outliers beyond the clamp rank cannot move the
+    clamp values themselves.
+    """
+    if not 0.0 <= trim < 0.5:
+        raise AnalysisError(f"trim must be in [0, 0.5), got {trim}")
+    arr = _as_1d(values, "values")
+    if len(arr) == 0:
+        raise AnalysisError(
+            "cannot take a winsorized mean of an empty sequence"
+        )
+    g = int(trim * len(arr))
+    if 2 * g >= len(arr):
+        g = (len(arr) - 1) // 2
+    ordered = np.sort(arr, kind="stable")
+    if g > 0:
+        ordered[:g] = ordered[g]
+        ordered[len(arr) - g:] = ordered[len(arr) - g - 1]
+    return float(np.mean(ordered))
+
+
+def median_of_means(values: Sequence[float], n_blocks: int = 5) -> float:
+    """Median of the means of ``n_blocks`` contiguous blocks.
+
+    The samples are split (in their given order, deterministically) into
+    ``n_blocks`` near-equal contiguous blocks; each block is averaged
+    and the median of the block means is returned.  Breakdown point:
+    the estimate survives as long as fewer than ``ceil(n_blocks / 2)``
+    blocks are contaminated — under adversarial placement one bad
+    sample can poison one block, so the worst-case tolerated fraction
+    is ``(ceil(n_blocks / 2) - 1) / n`` of the samples; under random
+    ε-contamination most blocks stay majority-clean for small ε, which
+    is the regime the integrity soak exercises.
+    """
+    if n_blocks < 1:
+        raise AnalysisError(f"n_blocks must be >= 1, got {n_blocks}")
+    arr = _as_1d(values, "values")
+    if len(arr) == 0:
+        raise AnalysisError(
+            "cannot take a median-of-means of an empty sequence"
+        )
+    k = min(n_blocks, len(arr))
+    block_means = [float(np.mean(block)) for block in np.array_split(arr, k)]
+    return float(np.median(block_means))
+
+
+def _trimmed_mean_default(a) -> float:
+    return trimmed_mean(a)
+
+
+def _winsorized_mean_default(a) -> float:
+    return winsorized_mean(a)
+
+
+def _median_of_means_default(a) -> float:
+    return median_of_means(a)
+
+
 _REDUCERS: dict = {
     "mean": np.mean,
     "median": np.median,
     "p95": lambda a: np.percentile(a, 95),
     "count": len,
+    # Robust location estimates (repro.integrity): registered here so
+    # every consumer of BinGrouping.reduce / bin_statistic — record and
+    # columnar curve paths alike — accepts them by name, with the same
+    # bit-identical member ordering as the naive reducers.
+    "trimmed_mean": _trimmed_mean_default,
+    "winsorized_mean": _winsorized_mean_default,
+    "median_of_means": _median_of_means_default,
 }
+
+
+def resolve_statistic(name: str) -> Callable:
+    """The reducer behind a statistic name (shared with BinGrouping).
+
+    Lets :mod:`repro.integrity` apply the exact same callable to a flat
+    value column that the curve paths apply per bin, so a robust MOS or
+    polarity aggregate matches its binned counterpart bit for bit.
+    """
+    if name not in _REDUCERS:
+        raise AnalysisError(f"unknown statistic {name!r}")
+    return _REDUCERS[name]
 
 
 @dataclass(frozen=True)

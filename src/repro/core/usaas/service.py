@@ -37,6 +37,7 @@ from repro.resilience.executor import ResilienceConfig, SourceExecutor
 from repro.resilience.health import SourceHealth
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.integrity.report import IntegritySection
     from repro.serving.deadline import Deadline
 
 
@@ -46,7 +47,11 @@ class UsaasReport:
 
     ``source_health`` is a point-in-time snapshot per registered source;
     ``degraded`` is True when at least one source failed or was served
-    stale — the insights then cover only the surviving feeds.
+    stale — the insights then cover only the surviving feeds — **or**
+    when the integrity check downgraded confidence (contaminated
+    contributions moved the naive aggregate away from its robust twin).
+    ``integrity`` carries that check's evidence (None when the answer
+    had no explicit signals to score).
     """
 
     query: UsaasQuery
@@ -57,12 +62,19 @@ class UsaasReport:
     n_explicit: int
     source_health: Tuple[SourceHealth, ...] = ()
     degraded: bool = False
+    integrity: Optional["IntegritySection"] = None
 
     def health_table(self) -> str:
         """Fixed-width per-source health table (CLI / log friendly)."""
         from repro.resilience.health import health_table
 
         return health_table(iter(self.source_health))
+
+    def integrity_table(self) -> str:
+        """Fixed-width trust/integrity table ('' without explicit data)."""
+        if self.integrity is None:
+            return ""
+        return self.integrity.table()
 
 
 @dataclass(frozen=True)
@@ -286,6 +298,9 @@ class UsaasService:
                         )
                     )
 
+        integrity = self._integrity_section(explicit)
+        integrity_downgraded = integrity is not None and integrity.downgraded
+
         summary = summarize_insights(insights, query.network)
         if gathered.degraded:
             notes = []
@@ -298,6 +313,15 @@ class UsaasService:
                 f"{len(self._registry)} sources served this answer "
                 f"({'; '.join(notes)})"
             )
+        if integrity_downgraded:
+            summary += (
+                f"\n[degraded] integrity: "
+                f"{integrity.n_flagged}/{integrity.n_units} contributors "
+                f"flagged (est. contamination "
+                f"{integrity.contamination_estimate:.1%}); naive "
+                f"{integrity.naive_value:.3f} vs robust "
+                f"{integrity.robust_value:.3f} — trust the robust figure"
+            )
         return UsaasReport(
             query=query,
             insights=tuple(insights),
@@ -306,7 +330,60 @@ class UsaasService:
             n_implicit=len(implicit),
             n_explicit=len(explicit),
             source_health=gathered.health,
-            degraded=gathered.degraded,
+            degraded=gathered.degraded or integrity_downgraded,
+            integrity=integrity,
+        )
+
+    def _integrity_section(
+        self, explicit: SignalSeries
+    ) -> Optional["IntegritySection"]:
+        """Trust-score explicit contributors; None without explicit data.
+
+        Scores every ``user``-attributed explicit signal
+        (:func:`repro.integrity.trust.score_signal_units`), then compares
+        the naive mean of the primary explicit aggregate (ratings when
+        present, else sentiment polarity) against its trust-weighted
+        trimmed mean.  A divergence or contamination estimate above the
+        documented thresholds downgrades the answer's confidence.
+        """
+        from repro.core.stats import trimmed_mean
+        from repro.integrity.report import build_section
+        from repro.integrity.trust import (
+            contamination_estimate,
+            score_signal_units,
+        )
+
+        scores = score_signal_units(explicit)
+        if not scores:
+            return None
+        subset = explicit.filter(metric="rating")
+        statistic_target = "rating"
+        if len(subset) == 0:
+            subset = explicit.filter(metric="sentiment_polarity")
+            statistic_target = "sentiment_polarity"
+        if len(subset) == 0:
+            return None
+        values: List[float] = []
+        kept: List[float] = []
+        for signal in subset:
+            unit = signal.attr("user")
+            trust = scores[unit].trust if unit in scores else 1.0
+            values.append(signal.value)
+            if trust > 0:
+                kept.append(signal.value)
+        if not kept:
+            return None
+        flags = sorted({
+            flag for score in scores.values() for flag in score.flags
+        })
+        return build_section(
+            n_units=len(scores),
+            n_flagged=sum(1 for s in scores.values() if s.trust < 1.0),
+            contamination=contamination_estimate(scores),
+            naive_value=float(np.mean(values)),
+            robust_value=float(trimmed_mean(np.array(kept, dtype=float))),
+            statistic=f"trimmed_mean[{statistic_target}]",
+            flags=tuple(flags),
         )
 
     def _breakdown_insights(

@@ -47,12 +47,16 @@ def mos_by_engagement(
     participants: Iterable[ParticipantRecord],
     n_bins: int = 10,
     min_bin_count: int = 5,
+    statistic: str = "mean",
 ) -> MosCorrelation:
     """Compute the Fig. 4 curves from the rated subset of sessions.
 
     Engagement is normalized per metric to [0, 100] (% of the maximum
     observed value) so the three metrics share an x-axis, as in the
-    paper's figure.
+    paper's figure.  ``statistic`` is any registered reducer name
+    (``mean``, ``trimmed_mean``, ``winsorized_mean``,
+    ``median_of_means``, ...) — the robust variants bound how far a
+    rating-fraud campaign can bend each bin (see docs/integrity.md).
     """
     rated: List[ParticipantRecord] = [
         p for p in participants if p.rating is not None
@@ -73,7 +77,7 @@ def mos_by_engagement(
         if peak <= 0:
             raise AnalysisError(f"engagement metric {name} is all zero")
         normalized = 100.0 * values / peak
-        curve = bin_statistic(normalized, ratings, edges, statistic="mean")
+        curve = bin_statistic(normalized, ratings, edges, statistic=statistic)
         stat = curve.stat.copy()
         stat[curve.counts < min_bin_count] = np.nan
         curves[name] = BinnedCurve(

@@ -1,0 +1,108 @@
+"""The integrity section a USaaS answer carries alongside its health.
+
+A number without provenance is the anti-pattern the paper warns about;
+a number computed over a contaminated corpus is worse — it carries
+false confidence.  :class:`IntegritySection` makes the contamination
+question part of the answer itself: how many contributors were
+down-weighted, how far the naive mean sits from the trust-weighted
+robust aggregate, and whether that gap was large enough to downgrade
+the answer's confidence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["IntegritySection", "build_section"]
+
+#: Relative naive-vs-robust divergence beyond which confidence is
+#: downgraded (the aggregate disagrees with its robust twin enough that
+#: contamination is the simplest explanation).
+DIVERGENCE_DOWNGRADE = 0.05
+
+#: Estimated contamination beyond which confidence is downgraded even
+#: if the aggregates happen to agree.
+CONTAMINATION_DOWNGRADE = 0.10
+
+
+@dataclass(frozen=True)
+class IntegritySection:
+    """Trust/contamination summary attached to a :class:`UsaasReport`."""
+
+    n_units: int
+    n_flagged: int
+    contamination_estimate: float
+    naive_value: float
+    robust_value: float
+    statistic: str
+    downgraded: bool
+    flags: Tuple[str, ...] = field(default_factory=tuple)
+
+    @property
+    def divergence(self) -> float:
+        """Relative |naive - robust| gap (robust as the denominator)."""
+        scale = max(abs(self.robust_value), 1e-9)
+        return abs(self.naive_value - self.robust_value) / scale
+
+    def table(self) -> str:
+        """Fixed-width trust table, printed next to the health table."""
+        rows = [
+            ("contributors", f"{self.n_units}"),
+            ("flagged", f"{self.n_flagged}"),
+            ("contamination", f"{self.contamination_estimate:.3f}"),
+            ("naive mean", f"{self.naive_value:.4f}"),
+            (f"robust ({self.statistic})", f"{self.robust_value:.4f}"),
+            ("divergence", f"{self.divergence:.4f}"),
+            ("confidence", "downgraded" if self.downgraded else "intact"),
+        ]
+        if self.flags:
+            rows.append(("flags", ",".join(self.flags)))
+        width = max(len(name) for name, _ in rows)
+        lines = ["integrity".ljust(width) + "  value", "-" * (width + 13)]
+        for name, value in rows:
+            lines.append(f"{name.ljust(width)}  {value}")
+        return "\n".join(lines)
+
+    def summary(self) -> str:
+        state = "DOWNGRADED" if self.downgraded else "ok"
+        return (
+            f"[integrity] {state} flagged={self.n_flagged}/{self.n_units} "
+            f"contamination={self.contamination_estimate:.3f} "
+            f"naive={self.naive_value:.4f} robust={self.robust_value:.4f}"
+        )
+
+
+def build_section(
+    n_units: int,
+    n_flagged: int,
+    contamination: float,
+    naive_value: float,
+    robust_value: float,
+    statistic: str,
+    flags: Tuple[str, ...] = (),
+) -> IntegritySection:
+    """Assemble a section, deciding the downgrade from the two thresholds.
+
+    Divergence alone never downgrades: robust estimators legitimately
+    disagree with the mean on skewed clean data (and the relative gap
+    is unstable when the robust value sits near zero).  The downgrade
+    needs *flagged contributors* plus divergence, or an outright
+    contamination estimate above the threshold.
+    """
+    scale = max(abs(robust_value), 1e-9)
+    divergence = abs(naive_value - robust_value) / scale
+    downgraded = (
+        (n_flagged > 0 and divergence > DIVERGENCE_DOWNGRADE)
+        or contamination > CONTAMINATION_DOWNGRADE
+    )
+    return IntegritySection(
+        n_units=n_units,
+        n_flagged=n_flagged,
+        contamination_estimate=contamination,
+        naive_value=naive_value,
+        robust_value=robust_value,
+        statistic=statistic,
+        downgraded=downgraded,
+        flags=tuple(flags),
+    )

@@ -20,8 +20,9 @@ garbage!!" scores strongly negative.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -71,17 +72,36 @@ class SentimentScores:
 
 
 class SentimentAnalyzer:
-    """Reusable scorer; stateless between calls."""
+    """Reusable scorer; scoring is stateless, the memo is bounded state."""
 
-    def __init__(self, neutral_weight: float = 0.5) -> None:
+    def __init__(
+        self, neutral_weight: float = 0.5, memo_cap: int = 4096
+    ) -> None:
         """``neutral_weight`` scales how much plain text dilutes valence.
 
         Higher values make the analyzer more conservative (more texts
-        classified neutral).
+        classified neutral).  ``memo_cap`` bounds the batch-scoring
+        memo (distinct texts retained, LRU eviction): an adversarial
+        flood of unique texts — exactly what a spam brigade produces —
+        can no longer grow the memo without bound.  The cap changes
+        memory behaviour only; scores are byte-identical at any cap.
         """
         if neutral_weight <= 0:
             raise ExtractionError("neutral_weight must be positive")
+        if memo_cap < 1:
+            raise ExtractionError("memo_cap must be >= 1")
         self._neutral_weight = neutral_weight
+        self._memo_cap = int(memo_cap)
+        self._memo: "OrderedDict[str, SentimentScores]" = OrderedDict()
+
+    @property
+    def memo_cap(self) -> int:
+        return self._memo_cap
+
+    @property
+    def memo_size(self) -> int:
+        """Distinct texts currently memoised (always <= ``memo_cap``)."""
+        return len(self._memo)
 
     def score(self, text: str) -> SentimentScores:
         """Score one piece of text."""
@@ -157,22 +177,31 @@ class SentimentAnalyzer:
     def score_many(self, texts: Iterable[str]) -> List[SentimentScores]:
         """Score a batch of texts — the bulk entry point.
 
-        The analyzer is stateless and deterministic, so identical texts
-        get identical scores; the batch path memoises on the text and
-        scores each distinct string once.  Generated corpora are heavily
-        templated (most posts share a text with an earlier one), which
-        makes this much faster than per-text :meth:`score` calls while
-        returning exactly the same scores.
+        Scoring is deterministic, so identical texts get identical
+        scores; the batch path memoises on the text and scores each
+        distinct string once.  Generated corpora are heavily templated
+        (most posts share a text with an earlier one), which makes this
+        much faster than per-text :meth:`score` calls while returning
+        exactly the same scores.
+
+        The memo lives on the analyzer (so repeated batches share it)
+        and is LRU-bounded at ``memo_cap`` distinct texts — a cache
+        miss past the cap evicts the least recently used entry and
+        rescores on the next occurrence, changing timing, never values.
         """
-        memo: Dict[str, SentimentScores] = {}
-        memo_get = memo.get
+        memo = self._memo
+        cap = self._memo_cap
         score = self.score
         out: List[SentimentScores] = []
         for text in texts:
-            scores = memo_get(text)
+            scores = memo.get(text)
             if scores is None:
                 scores = score(text)
                 memo[text] = scores
+                if len(memo) > cap:
+                    memo.popitem(last=False)
+            else:
+                memo.move_to_end(text)
             out.append(scores)
         return out
 

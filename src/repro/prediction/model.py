@@ -96,8 +96,19 @@ class ColumnarMosPredictor:
             columns.append(col if rows is None else col[rows])
         return np.array(columns, dtype=float).T
 
-    def fit_columns(self, cols: ParticipantColumns) -> "ColumnarMosPredictor":
+    def fit_columns(
+        self,
+        cols: ParticipantColumns,
+        exclude: Optional[np.ndarray] = None,
+    ) -> "ColumnarMosPredictor":
         """Fit on the block's rated rows (NaN in ``rating`` = unrated).
+
+        ``exclude`` is an optional boolean mask over *all* rows marking
+        ratings the trainer must not learn from — typically
+        :func:`repro.integrity.trust.fraud_rating_mask`, so a rating-
+        fraud campaign cannot steer the model.  With ``exclude=None``
+        (or an all-False mask) the fit is byte-identical to the
+        unfiltered path.
 
         Raises:
             InsufficientRatingsError: fewer rated rows than the model
@@ -107,7 +118,16 @@ class ColumnarMosPredictor:
                 instead of surfacing as a numpy ``LinAlgError``.
         """
         rating = np.asarray(cols.rating, dtype=float)
-        rated = np.flatnonzero(np.isfinite(rating))
+        finite = np.isfinite(rating)
+        if exclude is not None:
+            exclude = np.asarray(exclude, dtype=bool)
+            if exclude.shape != rating.shape:
+                raise AnalysisError(
+                    f"exclude mask must cover all rows: "
+                    f"{exclude.shape} != {rating.shape}"
+                )
+            finite = finite & ~exclude
+        rated = np.flatnonzero(finite)
         required = len(self._features) + 2
         if len(rated) < required:
             raise InsufficientRatingsError(len(rated), required)

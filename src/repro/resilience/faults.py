@@ -287,6 +287,322 @@ class StreamDelivery:
     duplicate: bool = False
 
 
+@dataclass(frozen=True)
+class DataFaultSpec:
+    """Adversarial *data* faults: the signals themselves lie.
+
+    Where every other spec in this module breaks infrastructure, this
+    one contaminates content — the crowdsourced-QoE threat model.  All
+    knobs default off; each family is applied as a pure transform of a
+    clean artifact (corpus / call dataset / stream), with every draw
+    taken from the plan's seeded substream, so clean and contaminated
+    runs are byte-reproducible per seed.
+
+    * **brigade** — ``brigade_fraction`` of the corpus size is injected
+      as near-duplicate strongly-negative spam posts, written by a bot
+      ring of ``ring_size`` authors cycling ``template_count`` template
+      texts, concentrated on ``brigade_days`` seeded days;
+    * **rating fraud** — each session is overwritten with probability
+      ``fraud_fraction``: its rating becomes ``fraud_rating`` and its
+      author one of ``fraud_cohort`` shill accounts;
+    * **sensor drift** — each (non-fraud) session drifts with
+      probability ``drift_fraction``: every aggregate of
+      ``drift_metric`` gains ``drift_bias``;
+    * **stream boundary** — each stream record is dropped with
+      probability ``drop_rate`` or malformed (missing / non-numeric /
+      negative fields) with probability ``malform_rate``.
+    """
+
+    brigade_fraction: float = 0.0
+    brigade_days: int = 3
+    ring_size: int = 3
+    template_count: int = 2
+    fraud_fraction: float = 0.0
+    fraud_rating: int = 1
+    fraud_cohort: int = 4
+    drift_fraction: float = 0.0
+    drift_metric: str = "latency_ms"
+    drift_bias: float = 40.0
+    malform_rate: float = 0.0
+    drop_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "brigade_fraction", "fraud_fraction", "drift_fraction",
+            "malform_rate", "drop_rate",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigError(f"{name} must be in [0, 1]")
+        if self.malform_rate + self.drop_rate > 1.0:
+            raise ConfigError("malform_rate + drop_rate must be <= 1")
+        if self.brigade_days < 1:
+            raise ConfigError("brigade_days must be >= 1")
+        if self.ring_size < 1:
+            raise ConfigError("ring_size must be >= 1")
+        if self.template_count < 1:
+            raise ConfigError("template_count must be >= 1")
+        if self.fraud_rating not in (1, 2, 3, 4, 5):
+            raise ConfigError("fraud_rating must be a 1-5 star value")
+        if self.fraud_cohort < 1:
+            raise ConfigError("fraud_cohort must be >= 1")
+        if not self.drift_metric:
+            raise ConfigError("drift_metric must be non-empty")
+
+
+@dataclass(frozen=True)
+class ContaminatedCorpus:
+    """A corpus with brigade spam injected, plus the ground truth."""
+
+    corpus: Any
+    injected_post_ids: Tuple[str, ...]
+    ring_authors: Tuple[str, ...]
+
+    @property
+    def n_injected(self) -> int:
+        return len(self.injected_post_ids)
+
+
+@dataclass(frozen=True)
+class ContaminatedCalls:
+    """A call dataset with fraud/drift applied, plus the ground truth.
+
+    ``fraud_sessions`` / ``drifted_sessions`` are ``(call_id, user_id)``
+    pairs identifying exactly which sessions were rewritten.
+    """
+
+    dataset: Any
+    fraud_users: Tuple[str, ...]
+    fraud_sessions: Tuple[Tuple[str, str], ...]
+    drifted_sessions: Tuple[Tuple[str, str], ...]
+
+    @property
+    def n_fraud(self) -> int:
+        return len(self.fraud_sessions)
+
+    @property
+    def n_drifted(self) -> int:
+        return len(self.drifted_sessions)
+
+
+@dataclass(frozen=True)
+class MangledStream:
+    """Stream-boundary fault output: raw dicts, some mangled or gone."""
+
+    records: Tuple[dict, ...]
+    dropped: int
+    malformed: int
+
+
+#: The spam a brigade posts: strongly negative under the offline
+#: lexicon, repetitive by design (duplicate-text fingerprinting is one
+#: of the trust signals the integrity layer must exercise).
+BRIGADE_TEMPLATES: Tuple[Tuple[str, str], ...] = (
+    ("service is garbage again",
+     "Completely unusable tonight. Terrible latency, terrible speeds, "
+     "absolutely the worst connection I have ever paid for!!"),
+    ("this network is a scam",
+     "Horrible. Awful. Useless. Every single call drops and support is "
+     "a joke. Total garbage, do not buy!!"),
+    ("worst provider ever",
+     "Unusable and broken for days. Pathetic speeds, terrible support, "
+     "an absolutely horrible waste of money!!"),
+    ("cancel this trash",
+     "Garbage uptime, awful latency, worst experience imaginable. "
+     "Completely broken and totally unacceptable!!"),
+)
+
+
+class DataFaultInjector:
+    """The corpus/stream contamination seam of a :class:`FaultPlan`.
+
+    Produced by :meth:`FaultPlan.data_faults`.  Every method is a pure
+    transform — the clean input is never mutated — and every random
+    choice comes from the plan's seeded substreams for ``name``, so the
+    same plan contaminates the same artifacts identically, which is
+    what lets the ε-contamination soak pin its counters byte-for-byte.
+    """
+
+    def __init__(self, plan: "FaultPlan", name: str, spec: DataFaultSpec) -> None:
+        self._plan = plan
+        self._name = name
+        self.spec = spec
+
+    def contaminate_corpus(self, corpus: Any) -> ContaminatedCorpus:
+        """Inject a seeded brigade of template spam into a corpus.
+
+        Returns a *new* corpus (same config) holding the clean posts
+        plus ``round(brigade_fraction * len(corpus))`` injected ones,
+        concentrated on ``brigade_days`` seeded days and authored by a
+        ``ring_size`` bot ring cycling ``template_count`` templates.
+        """
+        import datetime as dt
+
+        from repro.social.corpus import RedditCorpus
+        from repro.social.schema import Post
+
+        spec = self.spec
+        n_inject = int(round(spec.brigade_fraction * len(corpus)))
+        clean_posts = corpus.posts()
+        if n_inject == 0:
+            self._plan.log.append((self._name, "data.brigade.0"))
+            return ContaminatedCorpus(
+                corpus=RedditCorpus(clean_posts, corpus.config),
+                injected_post_ids=(), ring_authors=(),
+            )
+        stream = self._plan._stream(self._name + "#brigade")
+        config = corpus.config
+        span_days = (config.span_end - config.span_start).days + 1
+        day_offsets: List[int] = []
+        while len(day_offsets) < min(spec.brigade_days, span_days):
+            offset = int(float(stream.random()) * span_days)
+            if offset not in day_offsets:
+                day_offsets.append(offset)
+        templates = BRIGADE_TEMPLATES[
+            : min(spec.template_count, len(BRIGADE_TEMPLATES))
+        ]
+        ring = tuple(
+            f"{self._name}-ring-{j}" for j in range(spec.ring_size)
+        )
+        injected: List[Post] = []
+        for i in range(n_inject):
+            day = day_offsets[int(float(stream.random()) * len(day_offsets))]
+            second = int(float(stream.random()) * 86400)
+            title, text = templates[i % len(templates)]
+            injected.append(Post(
+                post_id=f"{self._name}-brigade-{i:05d}",
+                created=(
+                    dt.datetime.combine(
+                        config.span_start, dt.time.min
+                    ) + dt.timedelta(days=day, seconds=second)
+                ),
+                author=ring[i % len(ring)],
+                title=title,
+                text=text,
+                upvotes=int(float(stream.random()) * 3),
+                n_comments=0,
+                topic="outage_report",
+            ))
+        self._plan.log.append((self._name, f"data.brigade.{n_inject}"))
+        return ContaminatedCorpus(
+            corpus=RedditCorpus(clean_posts + injected, config),
+            injected_post_ids=tuple(p.post_id for p in injected),
+            ring_authors=ring,
+        )
+
+    def contaminate_calls(self, dataset: Any) -> ContaminatedCalls:
+        """Apply rating fraud and sensor drift to a call dataset.
+
+        Fraud rewrites a session's rating to ``fraud_rating`` and its
+        author to one of ``fraud_cohort`` shill handles; drift adds
+        ``drift_bias`` to every aggregate of ``drift_metric``.  Both
+        are per-session seeded coin flips over a *new* dataset — clean
+        records are reused, rewritten ones rebuilt via ``replace``.
+        """
+        from dataclasses import replace
+
+        from repro.telemetry.store import CallDataset
+
+        spec = self.spec
+        stream = self._plan._stream(self._name + "#calls")
+        fraud_users = tuple(
+            f"{self._name}-shill-{k}" for k in range(spec.fraud_cohort)
+        )
+        fraud_sessions: List[Tuple[str, str]] = []
+        drifted_sessions: List[Tuple[str, str]] = []
+        new_calls = []
+        for call in dataset:
+            participants = []
+            changed = False
+            for p in call.participants:
+                if (
+                    spec.fraud_fraction > 0
+                    and float(stream.random()) < spec.fraud_fraction
+                ):
+                    shill = fraud_users[
+                        int(float(stream.random()) * len(fraud_users))
+                    ]
+                    p = replace(p, rating=spec.fraud_rating, user_id=shill)
+                    fraud_sessions.append((call.call_id, p.user_id))
+                    changed = True
+                elif (
+                    spec.drift_fraction > 0
+                    and float(stream.random()) < spec.drift_fraction
+                ):
+                    network = {
+                        metric: dict(stats)
+                        for metric, stats in p.network.items()
+                    }
+                    if spec.drift_metric in network:
+                        network[spec.drift_metric] = {
+                            stat: value + spec.drift_bias
+                            for stat, value in network[spec.drift_metric].items()
+                        }
+                    p = replace(p, network=network)
+                    drifted_sessions.append((call.call_id, p.user_id))
+                    changed = True
+                participants.append(p)
+            new_calls.append(
+                replace(call, participants=participants) if changed else call
+            )
+        self._plan.log.append((
+            self._name,
+            f"data.calls.fraud{len(fraud_sessions)}"
+            f".drift{len(drifted_sessions)}",
+        ))
+        return ContaminatedCalls(
+            dataset=CallDataset(new_calls),
+            fraud_users=fraud_users,
+            fraud_sessions=tuple(fraud_sessions),
+            drifted_sessions=tuple(drifted_sessions),
+        )
+
+    def mangle_stream(self, records: Iterable[Any]) -> MangledStream:
+        """Mangle stream records at the ingestion boundary.
+
+        Each record (a dict, or anything with ``to_dict``) is dropped with
+        probability ``drop_rate``, malformed with probability
+        ``malform_rate`` (a seeded pick among: value field missing,
+        value non-numeric, event time negative, metric missing), else
+        passed through intact — always as raw dicts, the wire form a
+        boundary parser must validate before trusting.
+        """
+        spec = self.spec
+        stream = self._plan._stream(self._name + "#boundary")
+        out: List[dict] = []
+        dropped = 0
+        malformed = 0
+        for record in records:
+            u = float(stream.random())
+            if u < spec.drop_rate:
+                dropped += 1
+                continue
+            data = dict(
+                record if isinstance(record, dict) else record.to_dict()
+            )
+            if u < spec.drop_rate + spec.malform_rate:
+                mode = int(float(stream.random()) * 4)
+                if mode == 0:
+                    data.pop("value", None)
+                elif mode == 1:
+                    data["value"] = "not-a-number"
+                elif mode == 2:
+                    data["event_time_s"] = -abs(
+                        float(data.get("event_time_s", 1.0))
+                    ) - 1.0
+                else:
+                    data.pop("metric", None)
+                malformed += 1
+            out.append(data)
+        self._plan.log.append((
+            self._name,
+            f"data.boundary.drop{dropped}.malform{malformed}",
+        ))
+        return MangledStream(
+            records=tuple(out), dropped=dropped, malformed=malformed
+        )
+
+
 #: The sentinel a corrupt-output fault substitutes for a shard's result
 #: list — deliberately not a list, so the executor's integrity check
 #: (a worker must return a list) trips and requeues the shard.
@@ -482,6 +798,19 @@ class FaultPlan:
         hangs, slowness and corrupt output on this plan's clock.
         """
         return ShardFaultInjector(self, name, spec)
+
+    def data_faults(
+        self, name: str, spec: DataFaultSpec
+    ) -> DataFaultInjector:
+        """The adversarial-content seam: contaminate data, not processes.
+
+        Returns a :class:`DataFaultInjector` whose transforms inject
+        brigade spam into a corpus, rating fraud / sensor drift into a
+        call dataset, and malformed or dropped fields into a stream —
+        all from this plan's seeded substreams for ``name``, so a soak
+        can pin the contaminated artifacts byte-for-byte per seed.
+        """
+        return DataFaultInjector(self, name, spec)
 
     def load_spikes(
         self, name: str, *specs: LoadSpikeSpec

@@ -34,7 +34,10 @@ class ChangePoint:
     threshold; ``shift_at_s`` the first test-half instant (the earliest
     the shift could have started).  ``attributed_to`` / ``attributed_at_s``
     are filled for experience metrics when a network change-point
-    precedes them inside the attribution horizon.
+    precedes them inside the attribution horizon.  ``suspect`` marks a
+    shift whose run-up was dense with records the online trust gate
+    quarantined — likely an attack burst, not a real network event
+    (set by the pipeline when it runs with a gate).
     """
 
     at_s: float
@@ -46,6 +49,7 @@ class ChangePoint:
     shift_at_s: float
     attributed_to: Optional[str] = None
     attributed_at_s: Optional[float] = None
+    suspect: bool = False
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -58,6 +62,7 @@ class ChangePoint:
             "shift_at_s": self.shift_at_s,
             "attributed_to": self.attributed_to,
             "attributed_at_s": self.attributed_at_s,
+            "suspect": self.suspect,
         }
 
     @classmethod
@@ -78,6 +83,7 @@ class ChangePoint:
             attributed_at_s=(
                 None if attributed_at is None else float(attributed_at)
             ),
+            suspect=bool(data.get("suspect", False)),
         )
 
     def summary(self) -> str:
@@ -90,6 +96,8 @@ class ChangePoint:
             line += (
                 f" <- {self.attributed_to} at t={self.attributed_at_s:.0f}s"
             )
+        if self.suspect:
+            line += " [suspect: attack burst]"
         return line
 
 

@@ -22,9 +22,11 @@ lot as one epoch through :class:`~repro.perf.checkpoint.CheckpointStore`
 (run-keyed on the config fingerprint, so a checkpoint can never resume
 a different stream).  The exactly-once ledger —
 
-    emitted == aggregated + late_dropped + late_side + deduped
+    emitted == aggregated + late_dropped + late_side + deduped + quarantined
 
 — must close at the end of every run, crashed or not; violations raise.
+(``quarantined`` is only nonzero when the pipeline is built with an
+:class:`~repro.integrity.online.OnlineTrustGate`.)
 """
 
 from __future__ import annotations
@@ -115,7 +117,8 @@ class StreamCounters:
 
     ``emitted`` counts deliveries ingested; at the end of a run every
     one of them is **aggregated** (reached the operators), **late**
-    (dropped or side-channelled), or **deduped** — and nothing else.
+    (dropped or side-channelled), **deduped**, or **quarantined** by
+    the trust gate — and nothing else.
     """
 
     emitted: int = 0
@@ -123,6 +126,7 @@ class StreamCounters:
     late_dropped: int = 0
     late_side: int = 0
     deduped: int = 0
+    quarantined: int = 0
     forced_flushes: int = 0
     backpressure_waits: int = 0
     emissions: int = 0
@@ -134,7 +138,7 @@ class StreamCounters:
     def accounted(self) -> int:
         return (
             self.aggregated + self.late_dropped
-            + self.late_side + self.deduped
+            + self.late_side + self.deduped + self.quarantined
         )
 
     def check_exact_once(self) -> None:
@@ -144,7 +148,8 @@ class StreamCounters:
                 f"exact-once ledger violated: emitted={self.emitted} != "
                 f"aggregated={self.aggregated} + "
                 f"late_dropped={self.late_dropped} + "
-                f"late_side={self.late_side} + deduped={self.deduped}"
+                f"late_side={self.late_side} + deduped={self.deduped} + "
+                f"quarantined={self.quarantined}"
             )
 
     def counters_dict(self) -> Dict[str, int]:
@@ -154,6 +159,7 @@ class StreamCounters:
             "late_dropped": self.late_dropped,
             "late_side": self.late_side,
             "deduped": self.deduped,
+            "quarantined": self.quarantined,
             "forced_flushes": self.forced_flushes,
             "backpressure_waits": self.backpressure_waits,
             "emissions": self.emissions,
@@ -242,8 +248,14 @@ class StreamPipeline:
         clock: Optional[Clock] = None,
         checkpoint_dir: Optional[PathLike] = None,
         journal: Optional[StreamJournal] = None,
+        trust_gate: Optional[Any] = None,
     ) -> None:
+        # ``trust_gate`` (an OnlineTrustGate-shaped object) is a
+        # construction argument, NOT a StreamConfig field: the config
+        # fingerprint keys checkpoints, and running with or without a
+        # gate must not orphan existing checkpoint epochs.
         self.config = config
+        self.trust_gate = trust_gate
         self.clock = clock or ManualClock()
         self.journal = journal
         self.counters = StreamCounters()
@@ -276,21 +288,48 @@ class StreamPipeline:
         self._epoch = 0
         self._next_checkpoint_s = config.checkpoint_every_s
         self._finished = False
+        #: fingerprint -> FIFO of fault-tag tuples for deliveries still
+        #: in flight (pushed at ingest, popped when the delivery reaches
+        #: its terminal bucket).  A FIFO because duplicate deliveries
+        #: share a fingerprint and each carries its own tags; in-flight
+        #: occupancy is bounded by the reorder buffer, so this is too.
+        self._pending_tags: Dict[str, List[Tuple[str, ...]]] = {}
+        #: fault kind -> terminal bucket -> count; the soak's per-kind
+        #: dedup/quarantine attribution.
+        self.fault_outcomes: Dict[str, Dict[str, int]] = {}
+
+    def _tag_outcome(self, tags: Tuple[str, ...], bucket: str) -> None:
+        for kind in tags:
+            buckets = self.fault_outcomes.setdefault(kind, {})
+            buckets[bucket] = buckets.get(bucket, 0) + 1
 
     # -- ingest -----------------------------------------------------------
 
-    def ingest(self, record: StreamRecord) -> None:
-        """Deliver one record (arrival order = call order)."""
+    def ingest(
+        self, record: StreamRecord, tags: Tuple[str, ...] = ()
+    ) -> None:
+        """Deliver one record (arrival order = call order).
+
+        ``tags`` names the injected fault kinds that shaped this
+        delivery (a soak passes ``delivery.injected``); the pipeline
+        attributes the record's terminal bucket to each tag in
+        :attr:`fault_outcomes`.
+        """
         if self._finished:
             raise ConfigError("cannot ingest into a finished pipeline")
         self.counters.emitted += 1
         if self.watermark.is_late(record.event_time_s):
             if self.config.late_policy == "side":
                 self.counters.late_side += 1
+                self._tag_outcome(tuple(tags), "late_side")
                 self.side_channel.append(record)
             else:
                 self.counters.late_dropped += 1
+                self._tag_outcome(tuple(tags), "late_dropped")
             return
+        self._pending_tags.setdefault(record.fingerprint, []).append(
+            tuple(tags)
+        )
         self.watermark.observe(record.event_time_s)
         self.buffer.push(record)
         while self.buffer.overflowing:
@@ -304,11 +343,23 @@ class StreamPipeline:
         self._maybe_checkpoint()
 
     def _route(self, record: StreamRecord) -> None:
-        """Dedup one ordered record and queue it for the operators."""
+        """Dedup and trust-gate one ordered record, then queue it."""
+        queue = self._pending_tags.get(record.fingerprint)
+        tags: Tuple[str, ...] = ()
+        if queue:
+            tags = queue.pop(0)
+            if not queue:
+                del self._pending_tags[record.fingerprint]
         if self.dedup.seen(record):
             self.counters.deduped += 1
+            self._tag_outcome(tags, "deduped")
+            return
+        if self.trust_gate is not None and self.trust_gate.observe(record):
+            self.counters.quarantined += 1
+            self._tag_outcome(tags, "quarantined")
             return
         self.counters.aggregated += 1
+        self._tag_outcome(tags, "aggregated")
         if self._to_operators.full:
             self.counters.backpressure_waits += 1
             # A mid-release drain may not use the global watermark:
@@ -347,6 +398,8 @@ class StreamPipeline:
             self._to_detector.push(emission)
 
     def _drain_detector(self) -> None:
+        from dataclasses import replace as dc_replace
+
         emissions = self._to_detector.drain()
         for emission in emissions:
             self.emissions.append(emission)
@@ -354,6 +407,15 @@ class StreamPipeline:
             cp = self.detector.on_emission(emission)
             if cp is not None:
                 self.counters.change_points += 1
+                # A shift whose run-up was dense with quarantined
+                # records is an attack burst, not a network event.
+                if (
+                    self.trust_gate is not None
+                    and self.trust_gate.burst_active(cp.at_s)
+                ):
+                    self.detector.change_points[-1] = dc_replace(
+                        cp, suspect=True
+                    )
         if self.journal is not None and emissions:
             self.journal.append(emissions)
 
@@ -385,6 +447,18 @@ class StreamPipeline:
             "clock_s": self.clock.now(),
             "epoch": self._epoch,
             "next_checkpoint_s": self._next_checkpoint_s,
+            "pending_tags": [
+                [fp, [list(tags) for tags in queue]]
+                for fp, queue in self._pending_tags.items()
+            ],
+            "fault_outcomes": {
+                kind: dict(buckets)
+                for kind, buckets in self.fault_outcomes.items()
+            },
+            "trust_gate": (
+                None if self.trust_gate is None
+                else self.trust_gate.state_dict()
+            ),
         }
 
     def load_state(self, state: Dict[str, Any]) -> None:
@@ -406,6 +480,17 @@ class StreamPipeline:
         self._next_checkpoint_s = float(
             state.get("next_checkpoint_s", self.config.checkpoint_every_s)
         )
+        self._pending_tags = {
+            str(fp): [tuple(str(t) for t in tags) for tags in queue]
+            for fp, queue in state.get("pending_tags", [])
+        }
+        self.fault_outcomes = {
+            str(kind): {str(b): int(n) for b, n in buckets.items()}
+            for kind, buckets in state.get("fault_outcomes", {}).items()
+        }
+        gate_state = state.get("trust_gate")
+        if gate_state is not None and self.trust_gate is not None:
+            self.trust_gate.load_state(gate_state)
 
     def checkpoint(self) -> int:
         """Drain, snapshot every stage, commit one epoch; returns it."""
@@ -432,6 +517,7 @@ class StreamPipeline:
         config: StreamConfig,
         checkpoint_dir: PathLike,
         journal: Optional[StreamJournal] = None,
+        trust_gate: Optional[Any] = None,
     ) -> Tuple["StreamPipeline", int]:
         """Rebuild a pipeline from its latest committed epoch.
 
@@ -459,6 +545,7 @@ class StreamPipeline:
             clock=ManualClock(start=float(state.get("clock_s", 0.0))),
             checkpoint_dir=checkpoint_dir,
             journal=journal,
+            trust_gate=trust_gate,
         )
         pipeline.load_state(state)
         pipeline.counters.resumes += 1

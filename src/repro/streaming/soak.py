@@ -18,7 +18,7 @@ wall-clock cost.  The report asserts three things:
 from __future__ import annotations
 
 import tempfile
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Tuple, Union
 
@@ -65,6 +65,10 @@ class StreamSoakReport:
     degradations: Tuple[DegradationSpec, ...]
     detected: int
     crashes: int
+    #: fault kind -> terminal bucket -> count: where each injected
+    #: delivery kind (duplicate / reorder / skew / gap) actually landed
+    #: (aggregated / deduped / late_* / quarantined).
+    fault_outcomes: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     @property
     def accounted(self) -> int:
@@ -72,6 +76,7 @@ class StreamSoakReport:
         return (
             c["aggregated"] + c["late_dropped"]
             + c["late_side"] + c["deduped"]
+            + c.get("quarantined", 0)
         )
 
     @property
@@ -91,6 +96,11 @@ class StreamSoakReport:
         merged["n_deliveries"] = self.n_deliveries
         merged["detected"] = self.detected
         merged["crashes"] = self.crashes
+        for kind in sorted(self.fault_outcomes):
+            for bucket in sorted(self.fault_outcomes[kind]):
+                merged[f"fault.{kind}.{bucket}"] = (
+                    self.fault_outcomes[kind][bucket]
+                )
         return merged
 
     def summary(self) -> str:
@@ -100,7 +110,9 @@ class StreamSoakReport:
             f"deliveries={self.n_deliveries} emitted={c['emitted']} "
             f"aggregated={c['aggregated']} "
             f"late={c['late_dropped'] + c['late_side']} "
-            f"deduped={c['deduped']} forced={c['forced_flushes']} "
+            f"deduped={c['deduped']} "
+            f"quarantined={c.get('quarantined', 0)} "
+            f"forced={c['forced_flushes']} "
             f"cps={c['change_points']} crashes={self.crashes} "
             f"detected={self.detected}/{len(self.degradations)} "
             f"ledger={'closed' if self.ledger_closed else 'VIOLATED'} "
@@ -133,6 +145,7 @@ def run_stream_soak(
     config: Optional[StreamConfig] = None,
     checkpoint_dir: Optional[PathLike] = None,
     journal_path: Optional[PathLike] = None,
+    gate_kwargs: Optional[Dict[str, float]] = None,
 ) -> StreamSoakReport:
     """Run one deterministic stream soak end to end.
 
@@ -142,6 +155,11 @@ def run_stream_soak(
     checkpoint's cursor — the report's digest is asserted equal whether
     or not the crash happened, which is the crash-consistency claim in
     executable form.
+
+    ``gate_kwargs``, when given, runs the pipeline behind an
+    :class:`~repro.integrity.online.OnlineTrustGate` built with those
+    keyword arguments (a fresh instance per (re)start; its state rides
+    the checkpoint), so quarantine counters appear in the ledger.
     """
     spec = DEFAULT_STREAM_FAULTS if faults is None else faults
     if degradations is None:
@@ -165,12 +183,21 @@ def run_stream_soak(
     journal = (
         StreamJournal(journal_path) if journal_path is not None else None
     )
+
+    def make_gate():
+        if gate_kwargs is None:
+            return None
+        from repro.integrity.online import OnlineTrustGate
+
+        return OnlineTrustGate(**gate_kwargs)
+
     try:
         pipeline = StreamPipeline(
             config,
             clock=ManualClock(),
             checkpoint_dir=checkpoint_dir,
             journal=journal,
+            trust_gate=make_gate(),
         )
         n_crashes = 0
         idx = 0
@@ -183,7 +210,8 @@ def run_stream_soak(
                 plan.log.append(("stream-soak", "crash"))
                 try:
                     pipeline, idx = StreamPipeline.resume(
-                        config, checkpoint_dir, journal=journal
+                        config, checkpoint_dir, journal=journal,
+                        trust_gate=make_gate(),
                     )
                 except ConfigError:
                     # Crashed before the first checkpoint: start over.
@@ -192,6 +220,7 @@ def run_stream_soak(
                         clock=ManualClock(),
                         checkpoint_dir=checkpoint_dir,
                         journal=journal,
+                        trust_gate=make_gate(),
                     )
                     if journal is not None:
                         journal.rewrite([])
@@ -200,9 +229,13 @@ def run_stream_soak(
             gap = delivery.at_s - pipeline.clock.now()
             if gap > 0:
                 pipeline.clock.advance(gap)
-            pipeline.ingest(delivery.record)
+            pipeline.ingest(delivery.record, tags=delivery.injected)
             idx += 1
         result: StreamResult = pipeline.finish()
+        fault_outcomes = {
+            kind: dict(buckets)
+            for kind, buckets in pipeline.fault_outcomes.items()
+        }
     finally:
         if tmp is not None:
             tmp.cleanup()
@@ -218,4 +251,5 @@ def run_stream_soak(
         degradations=degradations,
         detected=detected,
         crashes=n_crashes,
+        fault_outcomes=fault_outcomes,
     )

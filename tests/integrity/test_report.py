@@ -1,0 +1,77 @@
+"""IntegritySection downgrade rules and rendering."""
+
+from repro.integrity import IntegritySection, build_section
+
+
+def _section(n_flagged=0, contamination=0.0, naive=3.8, robust=3.8):
+    return build_section(
+        n_units=100,
+        n_flagged=n_flagged,
+        contamination=contamination,
+        naive_value=naive,
+        robust_value=robust,
+        statistic="trimmed_mean",
+        flags=("rating_fraud",) if n_flagged else (),
+    )
+
+
+class TestDowngradeRules:
+    def test_clean_agreement_stays_intact(self):
+        assert not _section().downgraded
+
+    def test_flagged_plus_divergence_downgrades(self):
+        section = _section(n_flagged=5, naive=2.0, robust=3.8)
+        assert section.downgraded
+
+    def test_divergence_alone_never_downgrades(self):
+        """Robust estimators legitimately disagree on skewed clean data."""
+        section = _section(n_flagged=0, naive=2.0, robust=3.8)
+        assert section.divergence > 0.05
+        assert not section.downgraded
+
+    def test_flags_without_divergence_stay_intact(self):
+        section = _section(n_flagged=2, naive=3.81, robust=3.8)
+        assert not section.downgraded
+
+    def test_contamination_alone_downgrades(self):
+        section = _section(contamination=0.15)
+        assert section.downgraded
+
+    def test_contamination_at_threshold_stays_intact(self):
+        assert not _section(contamination=0.10).downgraded
+
+
+class TestDivergence:
+    def test_relative_to_robust_value(self):
+        section = _section(naive=4.18, robust=3.8)
+        assert abs(section.divergence - 0.1) < 1e-9
+
+    def test_near_zero_robust_does_not_explode(self):
+        section = _section(naive=0.001, robust=0.0)
+        assert section.divergence < float("inf")
+
+
+class TestRendering:
+    def test_table_lists_every_row(self):
+        table = _section(n_flagged=5, naive=2.0, robust=3.8).table()
+        for needle in ("contributors", "flagged", "contamination",
+                       "naive mean", "robust (trimmed_mean)",
+                       "divergence", "downgraded", "rating_fraud"):
+            assert needle in table
+
+    def test_summary_states_the_verdict(self):
+        assert "DOWNGRADED" in _section(
+            n_flagged=5, naive=2.0, robust=3.8
+        ).summary()
+        assert "[integrity] ok" in _section().summary()
+
+    def test_section_is_frozen(self):
+        import dataclasses
+
+        section = _section()
+        assert isinstance(section, IntegritySection)
+        try:
+            section.n_units = 1
+        except dataclasses.FrozenInstanceError:
+            return
+        raise AssertionError("IntegritySection must be frozen")

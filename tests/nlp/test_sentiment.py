@@ -159,3 +159,37 @@ class TestAnalyzer:
         cloud = build_wordcloud(["outage outage 😡 😡 😡"])
         assert "😡" not in cloud.unigram_counts
         assert cloud.unigram_counts["outage"] == 2
+
+
+class TestMemoCap:
+    def test_memo_never_exceeds_cap(self):
+        analyzer = SentimentAnalyzer(memo_cap=8)
+        analyzer.score_many(f"distinct text number {i}" for i in range(50))
+        assert analyzer.memo_size <= analyzer.memo_cap == 8
+
+    def test_eviction_is_lru(self):
+        analyzer = SentimentAnalyzer(memo_cap=2)
+        analyzer.score_many(["alpha", "beta"])
+        # Touch alpha so beta is the least recently used, then insert.
+        analyzer.score_many(["alpha", "gamma"])
+        assert analyzer.memo_size == 2
+        assert "alpha" in analyzer._memo and "beta" not in analyzer._memo
+
+    def test_scores_byte_identical_at_any_cap(self):
+        texts = [f"repetitive outage report {i % 5}" for i in range(40)]
+        unbounded = SentimentAnalyzer().score_many(texts)
+        tiny = SentimentAnalyzer(memo_cap=1).score_many(texts)
+        assert unbounded == tiny
+
+    def test_adversarial_distinct_flood_stays_bounded(self):
+        """The brigade threat: unbounded distinct texts must not grow
+        the memo without bound."""
+        analyzer = SentimentAnalyzer(memo_cap=16)
+        analyzer.score_many(
+            f"Completely unusable tonight, ticket {i}!!" for i in range(500)
+        )
+        assert analyzer.memo_size == 16
+
+    def test_bad_cap_rejected(self):
+        with pytest.raises(ExtractionError):
+            SentimentAnalyzer(memo_cap=0)

@@ -176,3 +176,39 @@ def test_simulated_prediction_p99_has_no_noise_floor(tmp_path):
          "results": {"prediction_soak_p99_coalesced_s": 0.040}},
     ]
     assert tool.check(_write(tmp_path, {"schema": 1, "runs": runs})) == 1
+
+
+def test_integrity_floor_family(tmp_path):
+    """The integrity family floors the robust path's throughput, and
+    only binds on full-scale runs that record its metric."""
+    tool = _load_tool()
+    meets = [
+        {"scale": "full",
+         "results": {"integrity_rows_per_s": 50000.0}},
+    ]
+    assert tool.check(_write(tmp_path, {"schema": 1, "runs": meets})) == 0
+    below = [
+        {"scale": "full",
+         "results": {"integrity_rows_per_s": 5000.0}},
+    ]
+    assert tool.check(_write(tmp_path, {"schema": 1, "runs": below})) == 1
+
+
+def test_simulated_integrity_detect_has_no_noise_floor(tmp_path):
+    """integrity_detect_latency_s is simulated time: a small absolute
+    drift is a gate behaviour change and must fail the ratio gate."""
+    tool = _load_tool()
+    runs = [
+        {"scale": "full", "results": {"integrity_detect_latency_s": 0.40}},
+        {"scale": "full", "results": {"integrity_detect_latency_s": 0.80}},
+    ]
+    assert tool.check(_write(tmp_path, {"schema": 1, "runs": runs})) == 1
+
+
+def test_integrity_robust_agg_regression_detected(tmp_path):
+    tool = _load_tool()
+    runs = [
+        {"scale": "full", "results": {"integrity_robust_agg_s": 1.0}},
+        {"scale": "full", "results": {"integrity_robust_agg_s": 2.0}},
+    ]
+    assert tool.check(_write(tmp_path, {"schema": 1, "runs": runs})) == 1

@@ -405,6 +405,41 @@ class TestUsaasStreamSoak:
         assert "detector blind" in out
 
 
+class TestUsaasIntegritySoak:
+    """usaas integrity-soak: the ε-contamination sweep."""
+
+    ARGS = ["usaas", "integrity-soak", "--n-calls", "120",
+            "--corpus-weeks", "2"]
+
+    def test_sweep_holds_and_reports(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "integrity soak [OK]" in out
+        assert "eps sweep" in out
+        assert "mos trust" in out  # the table header
+
+    def test_json_is_seed_deterministic(self, capsys):
+        import json
+
+        argv = self.ARGS + ["--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+        # The clean row and the top-ε row carry the contract.
+        assert first["eps=0.n_fraud_flagged"] == 0
+        assert first["eps=0.2.n_fraud_flagged"] > 0
+
+    def test_exit_code_contract_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["usaas", "integrity-soak", "--help"])
+        out = capsys.readouterr().out
+        assert "exit codes: 0" in out
+        assert "naive mean broke" in out
+        assert "columnar path diverged" in out
+
+
 class TestUsaasPredict:
     """usaas predict: fit, grade vs ground truth, optional soak."""
 

@@ -43,7 +43,10 @@ from typing import Dict, List, Optional
 #: rebalance / quota path end to end.  The streaming entry is the
 #: simulated-time lag from an injected degradation to its experience
 #: change point — seed-derived like the serving percentiles, so any
-#: movement is a detector behaviour change.
+#: movement is a detector behaviour change.  The integrity entries
+#: guard the trust-weighted robust aggregation's wall cost and the
+#: simulated-time lag from a flood's first record to the online trust
+#: gate's first quarantine.
 GUARDED_METRICS = (
     "calls_cold_s",
     "corpus_cold_s",
@@ -62,6 +65,8 @@ GUARDED_METRICS = (
     "prediction_train_s",
     "prediction_batch_infer_s",
     "prediction_soak_p99_coalesced_s",
+    "integrity_robust_agg_s",
+    "integrity_detect_latency_s",
 )
 
 #: Allowed slowdown before the check fails.
@@ -79,6 +84,7 @@ MIN_DELTA_S = 0.1
 
 _SIMULATED_PREFIXES = (
     "serving_", "cluster_", "streaming_", "prediction_soak_",
+    "integrity_detect_",
 )
 
 #: Absolute floors on structural speedups, checked on the *latest
@@ -104,6 +110,9 @@ SPEEDUP_FLOOR_FAMILIES = {
     "prediction": {
         "prediction_batch_speedup": 20.0,
         "prediction_rows_per_s": 100000.0,
+    },
+    "integrity": {
+        "integrity_rows_per_s": 20000.0,
     },
 }
 

@@ -50,6 +50,7 @@ COVERED_DIRS = (
     ("repro", "resilience"),
     ("repro", "streaming"),
     ("repro", "prediction"),
+    ("repro", "integrity"),
     ("repro", "core", "usaas"),
 )
 

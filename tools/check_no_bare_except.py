@@ -43,6 +43,7 @@ STRICT_DIRS = (
     ("repro", "perf"),
     ("repro", "resilience"),
     ("repro", "prediction"),
+    ("repro", "integrity"),
 )
 
 #: File stems under ``repro`` that are strict wherever they live: the
